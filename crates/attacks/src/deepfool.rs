@@ -1,0 +1,191 @@
+//! DeepFool (Moosavi-Dezfooli, Fawzi & Frossard, 2016).
+
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+
+use crate::traits::clip_box;
+use crate::{grad, AttackError, DistanceMetric, Result, UntargetedAttack};
+
+/// Untargeted L2 attack that iteratively projects onto the linearized
+/// decision boundary of the nearest competing class.
+///
+/// At the candidate `x` with label `l`, each other class `k` defines a
+/// hyperplane with normal `wₖ = ∇zₖ − ∇zₗ` and offset `fₖ = zₖ − zₗ`; the
+/// minimal step to the nearest such plane is `|fₖ|/‖wₖ‖² · wₖ`, applied with
+/// a small overshoot until the label flips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeepFool {
+    max_iterations: usize,
+    overshoot: f32,
+}
+
+impl DeepFool {
+    /// Creates DeepFool with an iteration cap and boundary overshoot
+    /// (the original paper uses 0.02).
+    pub fn new(max_iterations: usize, overshoot: f32) -> Self {
+        DeepFool {
+            max_iterations,
+            overshoot,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.max_iterations == 0 || self.overshoot < 0.0 {
+            return Err(AttackError::BadConfig(format!(
+                "iterations ({}) must be positive and overshoot ({}) non-negative",
+                self.max_iterations, self.overshoot
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeepFool {
+    /// 50 iterations, 2% overshoot.
+    fn default() -> Self {
+        DeepFool::new(50, 0.02)
+    }
+}
+
+impl UntargetedAttack for DeepFool {
+    fn name(&self) -> &'static str {
+        "DeepFool"
+    }
+
+    fn metric(&self) -> DistanceMetric {
+        DistanceMetric::L2
+    }
+
+    fn run_untargeted(&self, net: &Network, x: &Tensor) -> Result<Option<Tensor>> {
+        self.validate()?;
+        let k = net.num_classes()?;
+        let label = net.predict_one(x)?;
+        let mut adv = x.clone();
+        for _ in 0..self.max_iterations {
+            if net.predict_one(&adv)? != label {
+                return Ok(Some(adv));
+            }
+            let (gl, logits) = grad::logit_input_grad(net, &adv, label)?;
+            let zl = logits.data()[label];
+            // Find the nearest linearized boundary at the current candidate.
+            let mut best: Option<(f32, Tensor, Tensor)> = None; // (ratio, step, normal)
+            for c in (0..k).filter(|&c| c != label) {
+                let (gc, _) = grad::logit_input_grad(net, &adv, c)?;
+                let w = gc.sub(&gl)?;
+                let wnorm2 = w.dot(&w)?;
+                if wnorm2 < 1e-12 {
+                    continue;
+                }
+                let f = logits.data()[c] - zl; // negative while not flipped
+                let ratio = f.abs() / wnorm2.sqrt();
+                if best.as_ref().is_none_or(|(r, _, _)| ratio < *r) {
+                    let step = w.scale(f.abs() / wnorm2);
+                    best = Some((ratio, step, w.scale(1.0 / wnorm2.sqrt())));
+                }
+            }
+            let Some((ratio, step, normal)) = best else {
+                return Ok(None); // degenerate gradients everywhere
+            };
+            if ratio < 1e-3 {
+                // Sitting (numerically) on the boundary, where the clip and
+                // argmax tie-breaking can starve the linearized step forever.
+                // Escape with a geometric push along the boundary normal —
+                // the smallest working push keeps the distortion minimal.
+                let mut t = 1e-3f32;
+                for _ in 0..14 {
+                    let cand = clip_box(&adv.add(&normal.scale(t))?);
+                    if net.predict_one(&cand)? != label {
+                        return Ok(Some(cand));
+                    }
+                    t *= 2.0;
+                }
+                return Ok(None);
+            }
+            adv = clip_box(&adv.add(&step.scale(1.0 + self.overshoot))?);
+        }
+        if net.predict_one(&adv)? != label {
+            Ok(Some(adv))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_nn::{Dense, Layer};
+
+    /// 2-D, 3-class linear net with well-separated directions.
+    fn tri_net() -> Network {
+        let w = Tensor::from_vec(
+            vec![2, 3],
+            vec![
+                10.0, -10.0, 0.0, // feature 0
+                0.0, 0.0, 10.0, // feature 1
+            ],
+        )
+        .unwrap();
+        let b = Tensor::from_slice(&[0.0, 0.0, -2.0]);
+        let mut net = Network::new(vec![2]);
+        net.push(Layer::Dense(Dense::from_params(w, b).unwrap()));
+        net
+    }
+
+    #[test]
+    fn deepfool_flips_the_label_with_small_l2() {
+        let net = tri_net();
+        let x = Tensor::from_slice(&[0.1, 0.0]);
+        let l = net.predict_one(&x).unwrap();
+        let adv = DeepFool::default()
+            .run_untargeted(&net, &x)
+            .unwrap()
+            .unwrap();
+        assert_ne!(net.predict_one(&adv).unwrap(), l);
+        // Boundary x₀ = 0 is 0.1 away; DeepFool should land near it.
+        let d = DistanceMetric::L2.measure(&x, &adv).unwrap();
+        assert!(d < 0.3, "distortion {d} too large for a linear net");
+    }
+
+    #[test]
+    fn deepfool_picks_the_nearest_boundary() {
+        let net = tri_net();
+        // Class 0 region; class-1 boundary at x₀=0 (distance .05), class-2
+        // boundary further away.
+        let x = Tensor::from_slice(&[0.05, -0.4]);
+        let adv = DeepFool::default()
+            .run_untargeted(&net, &x)
+            .unwrap()
+            .unwrap();
+        assert_eq!(net.predict_one(&adv).unwrap(), 1);
+    }
+
+    #[test]
+    fn deepfool_stays_in_box() {
+        let net = tri_net();
+        let x = Tensor::from_slice(&[0.49, 0.49]);
+        if let Some(adv) = DeepFool::default().run_untargeted(&net, &x).unwrap() {
+            assert!(adv.data().iter().all(|&p| (-0.5..=0.5).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn deepfool_validates_config() {
+        let net = tri_net();
+        let x = Tensor::zeros(&[2]);
+        assert!(DeepFool::new(0, 0.02).run_untargeted(&net, &x).is_err());
+        assert!(DeepFool::new(10, -0.1).run_untargeted(&net, &x).is_err());
+    }
+
+    #[test]
+    fn already_near_boundary_converges_in_one_step() {
+        let net = tri_net();
+        let x = Tensor::from_slice(&[0.001, 0.0]);
+        let adv = DeepFool::new(3, 0.02)
+            .run_untargeted(&net, &x)
+            .unwrap()
+            .unwrap();
+        let d = DistanceMetric::L2.measure(&x, &adv).unwrap();
+        assert!(d < 0.01);
+    }
+}

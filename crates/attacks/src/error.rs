@@ -1,0 +1,54 @@
+use std::fmt;
+
+use dcn_nn::NnError;
+use dcn_tensor::TensorError;
+
+/// Error type for attack execution.
+///
+/// Note that an attack *failing to find* an adversarial example is not an
+/// error — attacks return `Ok(None)` in that case. Errors indicate misuse
+/// (bad targets, mismatched shapes) or substrate failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// A network operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The requested target class is out of range or equals the source.
+    BadTarget(String),
+    /// An attack hyper-parameter is invalid (negative ε, zero iterations…).
+    BadConfig(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Nn(e) => write!(f, "network error: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::BadTarget(msg) => write!(f, "bad target: {msg}"),
+            AttackError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}

@@ -1,0 +1,146 @@
+//! Iterative Gradient Sign Method / Basic Iterative Method
+//! (Kurakin, Goodfellow & Bengio, 2017).
+
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+
+use crate::traits::{check_target, clip_box};
+use crate::{grad, AttackError, DistanceMetric, Result, TargetedAttack};
+
+/// Iterated FGSM: `alpha`-sized signed steps toward the target, re-clipped
+/// after every step into both the `ε`-ball around the original and the pixel
+/// box. Stops early once the target class is reached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Igsm {
+    epsilon: f32,
+    alpha: f32,
+    iterations: usize,
+}
+
+impl Igsm {
+    /// Creates IGSM with total budget `epsilon`, per-step size `alpha`, and
+    /// an iteration cap.
+    pub fn new(epsilon: f32, alpha: f32, iterations: usize) -> Self {
+        Igsm {
+            epsilon,
+            alpha,
+            iterations,
+        }
+    }
+
+    /// The paper-style default: `α = ε/10`, enough iterations to traverse
+    /// the ball twice.
+    pub fn with_epsilon(epsilon: f32) -> Self {
+        Igsm::new(epsilon, epsilon / 10.0, 25)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.epsilon <= 0.0 || self.alpha <= 0.0 || self.iterations == 0 {
+            return Err(AttackError::BadConfig(format!(
+                "epsilon ({}), alpha ({}) and iterations ({}) must be positive",
+                self.epsilon, self.alpha, self.iterations
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl TargetedAttack for Igsm {
+    fn name(&self) -> &'static str {
+        "IGSM"
+    }
+
+    fn metric(&self) -> DistanceMetric {
+        DistanceMetric::Linf
+    }
+
+    fn run_targeted(&self, net: &Network, x: &Tensor, target: usize) -> Result<Option<Tensor>> {
+        self.validate()?;
+        check_target(net, target)?;
+        let mut adv = x.clone();
+        for _ in 0..self.iterations {
+            if net.predict_one(&adv)? == target {
+                return Ok(Some(adv));
+            }
+            let g = grad::ce_input_grad(net, &adv, target)?;
+            let step = g.map(|v| -self.alpha * v.signum());
+            adv = adv.add(&step)?;
+            // Project back into the ε-ball around the original, then the box.
+            adv = adv.zip(x, |a, o| a.clamp(o - self.epsilon, o + self.epsilon))?;
+            adv = clip_box(&adv);
+        }
+        if net.predict_one(&adv)? == target {
+            Ok(Some(adv))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_nn::{Dense, Layer};
+
+    /// Class 1 wins iff x₀ > 0.25 — reachable only by iterating.
+    fn shifted_net() -> Network {
+        let w = Tensor::from_vec(vec![1, 2], vec![-10.0, 10.0]).unwrap();
+        let b = Tensor::from_slice(&[2.5, -2.5]);
+        let mut net = Network::new(vec![1]);
+        net.push(Layer::Dense(Dense::from_params(w, b).unwrap()));
+        net
+    }
+
+    #[test]
+    fn igsm_iterates_to_the_target() {
+        let net = shifted_net();
+        let x = Tensor::from_slice(&[0.0]);
+        assert_eq!(net.predict_one(&x).unwrap(), 0);
+        // One FGSM step of 0.05 cannot cross 0.25; 10 IGSM steps can.
+        let adv = Igsm::new(0.4, 0.05, 10)
+            .run_targeted(&net, &x, 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(net.predict_one(&adv).unwrap(), 1);
+        assert!(DistanceMetric::Linf.measure(&x, &adv).unwrap() <= 0.4 + 1e-6);
+    }
+
+    #[test]
+    fn igsm_respects_epsilon_ball() {
+        let net = shifted_net();
+        let x = Tensor::from_slice(&[0.0]);
+        // ε too small to reach 0.25 → must fail, and stay within the ball.
+        assert!(Igsm::new(0.2, 0.05, 50)
+            .run_targeted(&net, &x, 1)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn igsm_stops_early_when_already_adversarial() {
+        let net = shifted_net();
+        let x = Tensor::from_slice(&[0.4]);
+        assert_eq!(net.predict_one(&x).unwrap(), 1);
+        let adv = Igsm::new(0.1, 0.05, 5)
+            .run_targeted(&net, &x, 1)
+            .unwrap()
+            .unwrap();
+        // Already classified as the target: zero distortion.
+        assert_eq!(adv, x);
+    }
+
+    #[test]
+    fn igsm_validates_config() {
+        let net = shifted_net();
+        let x = Tensor::from_slice(&[0.0]);
+        assert!(Igsm::new(0.1, 0.0, 5).run_targeted(&net, &x, 1).is_err());
+        assert!(Igsm::new(0.1, 0.1, 0).run_targeted(&net, &x, 1).is_err());
+    }
+
+    #[test]
+    fn default_constructor_sets_alpha_fraction() {
+        let a = Igsm::with_epsilon(0.3);
+        assert!((a.alpha - 0.03).abs() < 1e-6);
+        assert_eq!(a.iterations, 25);
+    }
+}

@@ -1,0 +1,306 @@
+//! Box-constrained L-BFGS (Szegedy et al., 2014) — the original adversarial
+//! example algorithm, Table 1's first row.
+//!
+//! The attack minimizes `‖x'−x‖² + c·CE(x', target)` inside the pixel box,
+//! with an outer binary search over `c` (smallest `c` whose minimizer is
+//! adversarial ⇒ least distortion) and an inner *projected* L-BFGS:
+//! two-loop-recursion quasi-Newton directions, Armijo backtracking line
+//! search, and a clamp onto the box after every step.
+
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+
+use crate::traits::{check_target, clip_box};
+use crate::{AttackError, DistanceMetric, Result, TargetedAttack};
+
+/// The Szegedy et al. box-constrained L-BFGS attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lbfgs {
+    /// Outer binary-search steps over `c`.
+    pub binary_search_steps: usize,
+    /// Inner L-BFGS iterations per `c`.
+    pub max_iterations: usize,
+    /// History length of the two-loop recursion.
+    pub history: usize,
+    /// Initial trade-off constant.
+    pub initial_c: f32,
+}
+
+impl Lbfgs {
+    /// Creates the attack with scaled-down defaults (4 × 60 iterations,
+    /// history 8).
+    pub fn new() -> Self {
+        Lbfgs {
+            binary_search_steps: 4,
+            max_iterations: 60,
+            history: 8,
+            initial_c: 1.0,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.binary_search_steps == 0
+            || self.max_iterations == 0
+            || self.history == 0
+            || self.initial_c <= 0.0
+        {
+            return Err(AttackError::BadConfig(
+                "l-bfgs parameters must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Objective value and gradient at `xp`.
+    fn objective(
+        &self,
+        net: &Network,
+        x: &Tensor,
+        xp: &Tensor,
+        target: usize,
+        c: f32,
+    ) -> Result<(f32, Tensor, bool)> {
+        let batched = Tensor::stack(std::slice::from_ref(xp))?;
+        let (logits, caches) = net.forward_train(&batched)?;
+        let lo = dcn_nn::softmax_cross_entropy(&logits, &[target], 1.0)?;
+        let (gce, _) = net.backward(&lo.grad, &caches)?;
+        let gce = gce.unstack()?.swap_remove(0);
+        let diff = xp.sub(x)?;
+        let value = diff.dot(&diff)? + c * lo.loss;
+        let mut g = gce.scale(c);
+        g.add_scaled(&diff, 2.0)?;
+        let is_adv = logits.row(0)?.argmax()? == target;
+        Ok((value, g, is_adv))
+    }
+}
+
+impl Default for Lbfgs {
+    fn default() -> Self {
+        Lbfgs::new()
+    }
+}
+
+impl TargetedAttack for Lbfgs {
+    fn name(&self) -> &'static str {
+        "L-BFGS"
+    }
+
+    fn metric(&self) -> DistanceMetric {
+        DistanceMetric::L2
+    }
+
+    #[allow(clippy::needless_range_loop)] // candidate and direction indexed together
+    fn run_targeted(&self, net: &Network, x: &Tensor, target: usize) -> Result<Option<Tensor>> {
+        self.validate()?;
+        check_target(net, target)?;
+        let n = x.len();
+        let mut lo = 0.0f32;
+        let mut hi: Option<f32> = None;
+        let mut c = self.initial_c;
+        let mut best: Option<(f32, Tensor)> = None;
+        for _ in 0..self.binary_search_steps {
+            // Projected L-BFGS from the original point.
+            let mut xp = x.clone();
+            let (mut f, mut g, _) = self.objective(net, x, &xp, target, c)?;
+            let mut s_hist: Vec<Vec<f32>> = Vec::new(); // x_{k+1} − x_k
+            let mut y_hist: Vec<Vec<f32>> = Vec::new(); // g_{k+1} − g_k
+            let mut succeeded = false;
+            for _ in 0..self.max_iterations {
+                // Two-loop recursion for d = −H·g.
+                let mut q: Vec<f32> = g.data().to_vec();
+                let m = s_hist.len();
+                let mut alphas = vec![0.0f32; m];
+                for i in (0..m).rev() {
+                    let sy: f32 = s_hist[i].iter().zip(&y_hist[i]).map(|(a, b)| a * b).sum();
+                    if sy.abs() < 1e-12 {
+                        continue;
+                    }
+                    let rho = 1.0 / sy;
+                    let sq: f32 = s_hist[i].iter().zip(&q).map(|(a, b)| a * b).sum();
+                    let a = rho * sq;
+                    alphas[i] = a;
+                    for (qj, yj) in q.iter_mut().zip(&y_hist[i]) {
+                        *qj -= a * yj;
+                    }
+                }
+                // Initial Hessian scaling γ = sᵀy / yᵀy of the latest pair.
+                if let (Some(s), Some(y)) = (s_hist.last(), y_hist.last()) {
+                    let sy: f32 = s.iter().zip(y).map(|(a, b)| a * b).sum();
+                    let yy: f32 = y.iter().map(|v| v * v).sum();
+                    if yy > 1e-12 && sy > 0.0 {
+                        let gamma = sy / yy;
+                        for qj in q.iter_mut() {
+                            *qj *= gamma;
+                        }
+                    }
+                }
+                for i in 0..m {
+                    let sy: f32 = s_hist[i].iter().zip(&y_hist[i]).map(|(a, b)| a * b).sum();
+                    if sy.abs() < 1e-12 {
+                        continue;
+                    }
+                    let rho = 1.0 / sy;
+                    let yq: f32 = y_hist[i].iter().zip(&q).map(|(a, b)| a * b).sum();
+                    let beta = rho * yq;
+                    for (qj, sj) in q.iter_mut().zip(&s_hist[i]) {
+                        *qj += (alphas[i] - beta) * sj;
+                    }
+                }
+                // Armijo backtracking on the projected step.
+                let gq: f32 = g.data().iter().zip(&q).map(|(a, b)| a * b).sum();
+                let mut step = 1.0f32;
+                let mut accepted = None;
+                for _ in 0..12 {
+                    let mut cand = xp.clone();
+                    for i in 0..n {
+                        cand.data_mut()[i] -= step * q[i];
+                    }
+                    let cand = clip_box(&cand);
+                    let (fc, gc, adv) = self.objective(net, x, &cand, target, c)?;
+                    if adv {
+                        succeeded = true;
+                        let d = cand.dist_l2(x)?;
+                        if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                            best = Some((d, cand.clone()));
+                        }
+                    }
+                    if fc <= f - 1e-4 * step * gq.max(0.0) {
+                        accepted = Some((cand, fc, gc));
+                        break;
+                    }
+                    step *= 0.5;
+                }
+                let Some((xn, fn_, gn)) = accepted else {
+                    break; // line search failed: (near-)stationary point
+                };
+                let s: Vec<f32> = xn
+                    .data()
+                    .iter()
+                    .zip(xp.data().iter())
+                    .map(|(a, b)| a - b)
+                    .collect();
+                let y: Vec<f32> = gn
+                    .data()
+                    .iter()
+                    .zip(g.data().iter())
+                    .map(|(a, b)| a - b)
+                    .collect();
+                if s.iter().map(|v| v * v).sum::<f32>() < 1e-14 {
+                    break; // converged
+                }
+                s_hist.push(s);
+                y_hist.push(y);
+                if s_hist.len() > self.history {
+                    s_hist.remove(0);
+                    y_hist.remove(0);
+                }
+                xp = xn;
+                f = fn_;
+                g = gn;
+            }
+            // Binary search over c: Szegedy seeks the smallest c that still
+            // yields an adversarial minimizer.
+            if succeeded {
+                hi = Some(c);
+                c = (lo + c) / 2.0;
+            } else {
+                lo = c;
+                c = match hi {
+                    Some(h) => (lo + h) / 2.0,
+                    None => c * 10.0,
+                };
+            }
+        }
+        Ok(best.map(|(_, adv)| adv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_nn::{Adam, Dense, Layer, Network, Relu, TrainConfig, Trainer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(88);
+        let mut net = Network::new(vec![2]);
+        net.push(Layer::Dense(Dense::new(2, 12, &mut rng).unwrap()));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::Dense(Dense::new(12, 3, &mut rng).unwrap()));
+        let centers = [(-0.3f32, -0.3f32), (0.3, -0.3), (0.0, 0.35)];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..120 {
+            let c = i % 3;
+            xs.push(
+                Tensor::randn(&[2], 0.0, 0.06, &mut rng)
+                    .add(&Tensor::from_slice(&[centers[c].0, centers[c].1]))
+                    .unwrap(),
+            );
+            ys.push(c);
+        }
+        let x = Tensor::stack(&xs).unwrap();
+        let mut tr = Trainer::new(TrainConfig {
+            epochs: 60,
+            batch_size: 30,
+            ..Default::default()
+        });
+        tr.fit(&mut net, &x, &ys, &mut Adam::new(0.03), &mut rng)
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn lbfgs_finds_adversarial_examples() {
+        let net = trained_net();
+        let x = Tensor::from_slice(&[-0.3, -0.3]);
+        let label = net.predict_one(&x).unwrap();
+        let target = (label + 1) % 3;
+        let adv = Lbfgs::new()
+            .run_targeted(&net, &x, target)
+            .unwrap()
+            .expect("L-BFGS should beat a soft boundary");
+        assert_eq!(net.predict_one(&adv).unwrap(), target);
+        assert!(adv.data().iter().all(|&p| (-0.5..=0.5).contains(&p)));
+        let d = DistanceMetric::L2.measure(&x, &adv).unwrap();
+        assert!(d < 1.0, "distortion {d}");
+    }
+
+    #[test]
+    fn lbfgs_distortion_is_comparable_to_cw() {
+        let net = trained_net();
+        let x = Tensor::from_slice(&[-0.3, -0.3]);
+        let label = net.predict_one(&x).unwrap();
+        let target = (label + 1) % 3;
+        let lb = Lbfgs::new().run_targeted(&net, &x, target).unwrap();
+        let cw = crate::CwL2::new(0.0).run_targeted(&net, &x, target).unwrap();
+        if let (Some(a), Some(b)) = (lb, cw) {
+            let dl = a.dist_l2(&x).unwrap();
+            let dc = b.dist_l2(&x).unwrap();
+            // The paper's framing: CW is the stronger descendant. L-BFGS may
+            // be somewhat worse but must be in the same regime.
+            assert!(dl <= dc * 3.0 + 0.2, "l-bfgs {dl} vs cw {dc}");
+        }
+    }
+
+    #[test]
+    fn lbfgs_declares_table1_metadata() {
+        let a = Lbfgs::default();
+        assert_eq!(a.name(), "L-BFGS");
+        assert_eq!(a.metric(), DistanceMetric::L2);
+    }
+
+    #[test]
+    fn lbfgs_validates_config_and_target() {
+        let net = trained_net();
+        let x = Tensor::zeros(&[2]);
+        let mut bad = Lbfgs::new();
+        bad.max_iterations = 0;
+        assert!(bad.run_targeted(&net, &x, 1).is_err());
+        assert!(matches!(
+            Lbfgs::new().run_targeted(&net, &x, 7),
+            Err(AttackError::BadTarget(_))
+        ));
+    }
+}

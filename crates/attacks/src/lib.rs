@@ -1,0 +1,129 @@
+//! # dcn-attacks
+//!
+//! White-box evasion attacks against [`dcn_nn::Network`] classifiers — the
+//! threat model of the DCN paper.
+//!
+//! The suite covers every attack in the paper's Table 1:
+//!
+//! | attack | metric | targeted | reference |
+//! |---|---|---|---|
+//! | [`Lbfgs`] | L2 | yes | Szegedy et al. |
+//! | [`Fgsm`] | L∞ | yes | Goodfellow et al. |
+//! | [`Igsm`] | L∞ | yes | Kurakin et al. (BIM) |
+//! | [`Jsma`] | L0 | yes | Papernot et al. |
+//! | [`DeepFool`] | L2 | no | Moosavi-Dezfooli et al. |
+//! | [`CwL2`] | L2 | yes | Carlini & Wagner §V |
+//! | [`CwL0`] | L0 | yes | Carlini & Wagner §VI |
+//! | [`CwLinf`] | L∞ | yes | Carlini & Wagner §VII |
+//!
+//! All attacks operate on inputs normalized to `[-0.5, 0.5]` (the paper's
+//! normalization) and respect that box constraint. Targeted attacks
+//! implement [`TargetedAttack`]; the paper's untargeted variants are derived
+//! with [`untargeted_min_distortion`], which runs all `K−1` targets and keeps
+//! the least-distorted success (§2.2 of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcn_attacks::{Fgsm, TargetedAttack};
+//! use dcn_nn::{Dense, Layer, Network, Relu};
+//! use dcn_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), dcn_attacks::AttackError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Network::new(vec![4]);
+//! net.push(Layer::Dense(Dense::new(4, 8, &mut rng)?));
+//! net.push(Layer::Relu(Relu::new()));
+//! net.push(Layer::Dense(Dense::new(8, 3, &mut rng)?));
+//!
+//! let x = Tensor::from_slice(&[0.1, -0.2, 0.3, 0.0]);
+//! let attack = Fgsm::new(0.2);
+//! // May or may not succeed on an untrained net; the API is the point here.
+//! let _ = attack.run_targeted(&net, &x, 1)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod cw;
+mod deepfool;
+mod error;
+mod eval;
+mod fgsm;
+mod igsm;
+mod jsma;
+mod lbfgs;
+mod metric;
+mod traits;
+
+pub use cw::{CwL0, CwL2, CwLinf};
+pub use deepfool::DeepFool;
+pub use error::AttackError;
+pub use eval::{
+    evaluate_native_untargeted, evaluate_targeted, evaluate_untargeted, AttackStats,
+};
+pub use fgsm::Fgsm;
+pub use igsm::Igsm;
+pub use jsma::Jsma;
+pub use lbfgs::Lbfgs;
+pub use metric::DistanceMetric;
+pub use traits::{
+    untargeted_min_distortion, AdversarialExample, TargetedAttack, UntargetedAttack, BOX_MAX,
+    BOX_MIN,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AttackError>;
+
+pub(crate) mod grad {
+    //! Input-gradient helpers shared by the attack implementations.
+
+    use dcn_nn::{cw_loss, softmax_cross_entropy, Network};
+    use dcn_tensor::Tensor;
+
+    use crate::Result;
+
+    /// Gradient of the cross-entropy toward `label` with respect to the
+    /// single (unbatched) input `x`.
+    pub fn ce_input_grad(net: &Network, x: &Tensor, label: usize) -> Result<Tensor> {
+        let batched = Tensor::stack(std::slice::from_ref(x))?;
+        let (logits, caches) = net.forward_train(&batched)?;
+        let lo = softmax_cross_entropy(&logits, &[label], 1.0)?;
+        let (gin, _) = net.backward(&lo.grad, &caches)?;
+        Ok(gin.unstack()?.swap_remove(0))
+    }
+
+    /// Gradient of logit `class` with respect to the single input `x`,
+    /// along with the full logit vector.
+    pub fn logit_input_grad(net: &Network, x: &Tensor, class: usize) -> Result<(Tensor, Tensor)> {
+        let batched = Tensor::stack(std::slice::from_ref(x))?;
+        let (logits, caches) = net.forward_train(&batched)?;
+        let k = logits.shape()[1];
+        let mut onehot = Tensor::zeros(&[1, k]);
+        onehot.data_mut()[class] = 1.0;
+        let (gin, _) = net.backward(&onehot, &caches)?;
+        Ok((
+            gin.unstack()?.swap_remove(0),
+            logits.unstack()?.swap_remove(0),
+        ))
+    }
+
+    /// Value and input-gradient of the CW margin loss
+    /// `f(x) = max(max_{i≠t} Z_i − Z_t, −κ)` at the single input `x`.
+    pub fn cw_input_grad(
+        net: &Network,
+        x: &Tensor,
+        target: usize,
+        kappa: f32,
+    ) -> Result<(f32, Tensor, Tensor)> {
+        let batched = Tensor::stack(std::slice::from_ref(x))?;
+        let (logits, caches) = net.forward_train(&batched)?;
+        let row = logits.row(0)?;
+        let (f, glogit) = cw_loss(&row, target, kappa)?;
+        let g = Tensor::stack(&[glogit])?;
+        let (gin, _) = net.backward(&g, &caches)?;
+        Ok((f, gin.unstack()?.swap_remove(0), row))
+    }
+}

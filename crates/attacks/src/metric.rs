@@ -1,0 +1,78 @@
+//! The three distortion metrics of the paper (§2.2).
+
+use dcn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::Result;
+
+/// Tolerance below which two pixel values are considered equal for the L0
+/// count (guards against floating-point dust).
+pub const L0_TOLERANCE: f32 = 1e-6;
+
+/// Distance metric under which an attack minimizes distortion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceMetric {
+    /// Number of changed coordinates.
+    L0,
+    /// Euclidean distance.
+    L2,
+    /// Maximum absolute per-coordinate change.
+    Linf,
+}
+
+impl DistanceMetric {
+    /// Measures the distance between an original and a perturbed input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensors' shapes disagree.
+    pub fn measure(&self, original: &Tensor, perturbed: &Tensor) -> Result<f32> {
+        Ok(match self {
+            DistanceMetric::L0 => original.dist_l0(perturbed, L0_TOLERANCE)? as f32,
+            DistanceMetric::L2 => original.dist_l2(perturbed)?,
+            DistanceMetric::Linf => original.dist_linf(perturbed)?,
+        })
+    }
+
+    /// All three metrics, in the paper's order.
+    pub fn all() -> [DistanceMetric; 3] {
+        [DistanceMetric::L0, DistanceMetric::L2, DistanceMetric::Linf]
+    }
+}
+
+impl std::fmt::Display for DistanceMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistanceMetric::L0 => write!(f, "L0"),
+            DistanceMetric::L2 => write!(f, "L2"),
+            DistanceMetric::Linf => write!(f, "Linf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_agree_with_tensor_distances() {
+        let a = Tensor::from_slice(&[0.0, 0.0, 0.0, 0.0]);
+        let b = Tensor::from_slice(&[0.3, 0.0, -0.4, 0.0]);
+        assert_eq!(DistanceMetric::L0.measure(&a, &b).unwrap(), 2.0);
+        assert!((DistanceMetric::L2.measure(&a, &b).unwrap() - 0.5).abs() < 1e-6);
+        assert!((DistanceMetric::Linf.measure(&a, &b).unwrap() - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn measure_checks_shapes() {
+        let a = Tensor::zeros(&[3]);
+        let b = Tensor::zeros(&[4]);
+        assert!(DistanceMetric::L2.measure(&a, &b).is_err());
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(DistanceMetric::L0.to_string(), "L0");
+        assert_eq!(DistanceMetric::Linf.to_string(), "Linf");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the attack suite: box-constraint and budget
+//! invariants that must hold for *every* input and configuration, checked
+//! against randomized linear networks (fast enough for proptest).
+
+use dcn_attacks::{
+    untargeted_min_distortion, AdversarialExample, DistanceMetric, Fgsm, Igsm, TargetedAttack,
+    BOX_MAX, BOX_MIN,
+};
+use dcn_nn::{Dense, Layer, Network};
+use dcn_tensor::Tensor;
+use proptest::prelude::*;
+
+const DIM: usize = 4;
+const CLASSES: usize = 3;
+
+/// A deterministic linear classifier built from proptest-supplied weights.
+fn linear_net(weights: &[f32]) -> Network {
+    let w = Tensor::from_vec(vec![DIM, CLASSES], weights[..DIM * CLASSES].to_vec()).unwrap();
+    let b = Tensor::from_slice(&weights[DIM * CLASSES..DIM * CLASSES + CLASSES]);
+    let mut net = Network::new(vec![DIM]);
+    net.push(Layer::Dense(Dense::from_params(w, b).unwrap()));
+    net
+}
+
+fn weights() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, DIM * CLASSES + CLASSES)
+}
+
+fn input() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(BOX_MIN..BOX_MAX, DIM)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fgsm_respects_box_and_epsilon(ws in weights(), xs in input(), eps in 0.01f32..0.4) {
+        let net = linear_net(&ws);
+        let x = Tensor::from_slice(&xs);
+        let target = (net.predict_one(&x).unwrap() + 1) % CLASSES;
+        if let Ok(Some(adv)) = Fgsm::new(eps).run_targeted(&net, &x, target) {
+            prop_assert!(adv.data().iter().all(|&p| (BOX_MIN..=BOX_MAX).contains(&p)));
+            let linf = DistanceMetric::Linf.measure(&x, &adv).unwrap();
+            prop_assert!(linf <= eps + 1e-5, "linf {linf} > eps {eps}");
+            prop_assert_eq!(net.predict_one(&adv).unwrap(), target);
+        }
+    }
+
+    #[test]
+    fn igsm_stays_inside_its_epsilon_ball(ws in weights(), xs in input(), eps in 0.05f32..0.4) {
+        let net = linear_net(&ws);
+        let x = Tensor::from_slice(&xs);
+        let target = (net.predict_one(&x).unwrap() + 1) % CLASSES;
+        let attack = Igsm::new(eps, eps / 8.0, 12);
+        if let Ok(Some(adv)) = attack.run_targeted(&net, &x, target) {
+            prop_assert!(adv.data().iter().all(|&p| (BOX_MIN..=BOX_MAX).contains(&p)));
+            let linf = DistanceMetric::Linf.measure(&x, &adv).unwrap();
+            prop_assert!(linf <= eps + 1e-5);
+            prop_assert_eq!(net.predict_one(&adv).unwrap(), target);
+        }
+    }
+
+    #[test]
+    fn igsm_distortion_never_exceeds_fgsm_budget_wise(
+        ws in weights(), xs in input(), eps in 0.05f32..0.35,
+    ) {
+        // Within the same ε, IGSM (iterated, early-stopping) must never
+        // produce a *larger* L∞ perturbation than its own ε — and when both
+        // succeed, IGSM's result is still a valid FGSM-budget example.
+        let net = linear_net(&ws);
+        let x = Tensor::from_slice(&xs);
+        let target = (net.predict_one(&x).unwrap() + 1) % CLASSES;
+        let igsm = Igsm::new(eps, eps / 8.0, 16).run_targeted(&net, &x, target).unwrap();
+        if let Some(adv) = igsm {
+            prop_assert!(DistanceMetric::Linf.measure(&x, &adv).unwrap() <= eps + 1e-5);
+        }
+    }
+
+    #[test]
+    fn untargeted_reduction_is_no_worse_than_any_single_target(
+        ws in weights(), xs in input(),
+    ) {
+        let net = linear_net(&ws);
+        let x = Tensor::from_slice(&xs);
+        let label = net.predict_one(&x).unwrap();
+        let attack = Igsm::new(0.3, 0.05, 12);
+        let reduced = untargeted_min_distortion(&attack, &net, &x).unwrap();
+        let mut best_single: Option<f32> = None;
+        for t in (0..CLASSES).filter(|&t| t != label) {
+            if let Some(adv) = attack.run_targeted(&net, &x, t).unwrap() {
+                let d = DistanceMetric::Linf.measure(&x, &adv).unwrap();
+                best_single = Some(best_single.map_or(d, |b: f32| b.min(d)));
+            }
+        }
+        match (reduced, best_single) {
+            (Some(adv), Some(best)) => {
+                let d = DistanceMetric::Linf.measure(&x, &adv).unwrap();
+                prop_assert!(d <= best + 1e-5, "reduction {d} worse than best single {best}");
+            }
+            (None, Some(_)) => prop_assert!(false, "reduction missed an existing success"),
+            _ => {} // both failed, or reduction-only success is impossible
+        }
+    }
+
+    #[test]
+    fn adversarial_example_distances_are_consistent(
+        ws in weights(), a in input(), b in input(),
+    ) {
+        let net = linear_net(&ws);
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let ex = AdversarialExample::measure(&net, &ta, &tb, None).unwrap();
+        // The record must agree with direct metric computation.
+        prop_assert_eq!(ex.dist_l0, DistanceMetric::L0.measure(&ta, &tb).unwrap());
+        prop_assert!((ex.dist_l2 - DistanceMetric::L2.measure(&ta, &tb).unwrap()).abs() < 1e-6);
+        // Metric sandwich: L∞ ≤ L2 ≤ √L0 · L∞.
+        prop_assert!(ex.dist_linf <= ex.dist_l2 + 1e-5);
+        prop_assert!(ex.dist_l2 <= ex.dist_l0.sqrt() * ex.dist_linf + 1e-4);
+    }
+
+    #[test]
+    fn distance_metrics_are_translation_invariant(
+        a in input(), b in input(), shift in -0.1f32..0.1,
+    ) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let sa = ta.shift(shift);
+        let sb = tb.shift(shift);
+        for m in DistanceMetric::all() {
+            let d0 = m.measure(&ta, &tb).unwrap();
+            let d1 = m.measure(&sa, &sb).unwrap();
+            // L0 counts can flicker at the tolerance boundary; allow 0 slack
+            // only for the continuous metrics.
+            match m {
+                DistanceMetric::L0 => prop_assert!((d0 - d1).abs() <= 1.0),
+                _ => prop_assert!((d0 - d1).abs() < 1e-4),
+            }
+        }
+    }
+}

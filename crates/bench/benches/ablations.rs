@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the DESIGN.md §5 ablation axes:
+//! detector inference cost (the "lightweight" claim), corrector cost as a
+//! function of `m` (Fig. 4's time axis), and the substrate primitives the
+//! whole pipeline leans on (forward pass, input gradient).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_core::{Corrector, Detector, DetectorConfig};
+use dcn_data::{synth_mnist, SynthConfig};
+use dcn_nn::{softmax_cross_entropy, Network};
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn mnist_net() -> (Network, Tensor) {
+    let mut rng = StdRng::seed_from_u64(21);
+    // Architecture only — weights don't matter for cost benches.
+    let net = dcn_core::models::mnist_cnn(&mut rng).unwrap();
+    let data = synth_mnist(1, &SynthConfig::default(), &mut rng);
+    (net, data.example(0).unwrap())
+}
+
+fn detector() -> Detector {
+    let mut rng = StdRng::seed_from_u64(22);
+    let benign: Vec<Tensor> = (0..80)
+        .map(|i| {
+            let mut v = vec![-3.0f32; 10];
+            v[i % 10] = 9.0;
+            Tensor::from_slice(&v)
+        })
+        .collect();
+    let adv: Vec<Tensor> = (0..80)
+        .map(|i| {
+            let mut v = vec![-1.0f32; 10];
+            v[i % 10] = 1.1;
+            v[(i + 3) % 10] = 1.0;
+            Tensor::from_slice(&v)
+        })
+        .collect();
+    Detector::train_from_logits(&benign, &adv, &DetectorConfig::default(), &mut rng).unwrap()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let (net, x) = mnist_net();
+    let batched = Tensor::stack(std::slice::from_ref(&x)).unwrap();
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(30);
+    group.bench_function("cnn_forward_1", |b| {
+        b.iter(|| black_box(net.forward(black_box(&batched)).unwrap()))
+    });
+    group.bench_function("cnn_input_gradient_1", |b| {
+        b.iter(|| {
+            let (logits, caches) = net.forward_train(black_box(&batched)).unwrap();
+            let lo = softmax_cross_entropy(&logits, &[0], 1.0).unwrap();
+            black_box(net.backward(&lo.grad, &caches).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let det = detector();
+    let logits = Tensor::from_slice(&[9.0, -3.0, -3.0, -3.0, -3.0, -3.0, -3.0, -3.0, -3.0, -3.0]);
+    let mut group = c.benchmark_group("detector");
+    group.sample_size(50);
+    // The paper's claim: detection is "almost no overhead" next to a CNN
+    // forward pass. Compare this number with substrate/cnn_forward_1.
+    group.bench_function("is_adversarial", |b| {
+        b.iter(|| black_box(det.is_adversarial(black_box(&logits)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_corrector_m(c: &mut Criterion) {
+    let (net, x) = mnist_net();
+    let mut group = c.benchmark_group("corrector_m");
+    group.sample_size(10);
+    for m in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let corrector = Corrector::new(0.3, m).unwrap();
+            let mut rng = StdRng::seed_from_u64(23);
+            b.iter(|| black_box(corrector.correct(&net, black_box(&x), &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_detector, bench_corrector_m);
+criterion_main!(benches);

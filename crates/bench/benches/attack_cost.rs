@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for attack generation cost — how expensive
+//! each evasion attack is per adversarial example (context for the paper's
+//! remark that "CW attacks are inefficient", §5.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_attacks::{CwL2, CwLinf, DeepFool, Fgsm, Igsm, Jsma, TargetedAttack, UntargetedAttack};
+use dcn_core::models;
+use dcn_data::Dataset;
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn blobs(n: usize, rng: &mut StdRng) -> Dataset {
+    let centers = [(-0.3f32, -0.3f32), (0.3, -0.3), (0.0, 0.3)];
+    let mut imgs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let c = i % 3;
+        let p = Tensor::randn(&[2], 0.0, 0.05, rng)
+            .add(&Tensor::from_slice(&[centers[c].0, centers[c].1]))
+            .unwrap()
+            .clamp(-0.5, 0.5);
+        imgs.push(p);
+        labels.push(c);
+    }
+    Dataset::new(Tensor::stack(&imgs).unwrap(), labels, 3).unwrap()
+}
+
+fn setup() -> (Network, Tensor, usize) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let train = blobs(240, &mut rng);
+    let net = models::train_classifier(
+        models::mlp(2, 16, 3, &mut rng).unwrap(),
+        &train,
+        50,
+        0.01,
+        &mut rng,
+    )
+    .unwrap();
+    let x = Tensor::from_slice(&[-0.3, -0.3]);
+    let label = net.predict_one(&x).unwrap();
+    (net, x, (label + 1) % 3)
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (net, x, target) = setup();
+    let mut group = c.benchmark_group("attack_cost");
+    group.sample_size(20);
+
+    group.bench_function("fgsm", |b| {
+        let a = Fgsm::new(0.3);
+        b.iter(|| black_box(a.run_targeted(&net, black_box(&x), target).unwrap()))
+    });
+    group.bench_function("igsm", |b| {
+        let a = Igsm::new(0.3, 0.03, 25);
+        b.iter(|| black_box(a.run_targeted(&net, black_box(&x), target).unwrap()))
+    });
+    group.bench_function("jsma", |b| {
+        let a = Jsma::new(0.5, 1.0);
+        b.iter(|| black_box(a.run_targeted(&net, black_box(&x), target).unwrap()))
+    });
+    group.bench_function("deepfool", |b| {
+        let a = DeepFool::default();
+        b.iter(|| black_box(a.run_untargeted(&net, black_box(&x)).unwrap()))
+    });
+    group.bench_function("cw_l2", |b| {
+        let a = CwL2::new(0.0);
+        b.iter(|| black_box(a.run_targeted(&net, black_box(&x), target).unwrap()))
+    });
+    group.bench_function("cw_linf", |b| {
+        let a = CwLinf::new(0.0);
+        b.iter(|| black_box(a.run_targeted(&net, black_box(&x), target).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

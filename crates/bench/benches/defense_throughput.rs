@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for defense inference cost — the
+//! hardware-calibrated counterpart of Tables 3 and 6: one benign / one
+//! adversarial classification through each defense.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_core::{models, Corrector, Dcn, Detector, DetectorConfig, RegionClassifier};
+use dcn_data::Dataset;
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn blobs(n: usize, rng: &mut StdRng) -> Dataset {
+    let centers = [(-0.3f32, -0.3f32), (0.3, -0.3), (0.0, 0.3)];
+    let mut imgs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let c = i % 3;
+        let p = Tensor::randn(&[2], 0.0, 0.05, rng)
+            .add(&Tensor::from_slice(&[centers[c].0, centers[c].1]))
+            .unwrap()
+            .clamp(-0.5, 0.5);
+        imgs.push(p);
+        labels.push(c);
+    }
+    Dataset::new(Tensor::stack(&imgs).unwrap(), labels, 3).unwrap()
+}
+
+struct Setup {
+    net: Network,
+    dcn: Dcn,
+    rc: RegionClassifier<Network>,
+    benign: Tensor,
+    adversarial: Tensor,
+}
+
+fn setup() -> Setup {
+    let mut rng = StdRng::seed_from_u64(3);
+    let train = blobs(240, &mut rng);
+    let net = models::train_classifier(
+        models::mlp(2, 16, 3, &mut rng).unwrap(),
+        &train,
+        50,
+        0.01,
+        &mut rng,
+    )
+    .unwrap();
+    let benign = Tensor::from_slice(&[-0.3, -0.3]);
+    // A hand-made low-margin "adversarial": just across a boundary.
+    let adversarial = Tensor::from_slice(&[0.005, -0.3]);
+    // Detector from synthetic margin-separated logits.
+    let benign_logits: Vec<Tensor> = (0..120)
+        .map(|i| {
+            let c = i % 3;
+            let mut v = vec![-4.0f32; 3];
+            v[c] = 8.0;
+            Tensor::from_slice(&v)
+        })
+        .collect();
+    let adv_logits: Vec<Tensor> = (0..120)
+        .map(|i| {
+            let c = i % 3;
+            let mut v = vec![-1.0f32; 3];
+            v[c] = 1.1;
+            v[(c + 1) % 3] = 1.0;
+            Tensor::from_slice(&v)
+        })
+        .collect();
+    let detector = Detector::train_from_logits(
+        &benign_logits,
+        &adv_logits,
+        &DetectorConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let dcn = Dcn::new(net.clone(), detector, Corrector::new(0.2, 50).unwrap());
+    let rc = RegionClassifier::new(net.clone(), 0.2, 1000).unwrap();
+    Setup {
+        net,
+        dcn,
+        rc,
+        benign,
+        adversarial,
+    }
+}
+
+fn bench_defenses(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("defense_throughput");
+    group.sample_size(30);
+
+    group.bench_function("standard/benign", |b| {
+        b.iter(|| black_box(s.net.predict_one(black_box(&s.benign)).unwrap()))
+    });
+    group.bench_function("dcn/benign_passthrough", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(s.dcn.classify(black_box(&s.benign), &mut rng).unwrap()))
+    });
+    group.bench_function("dcn/adversarial_corrected", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(s.dcn.classify(black_box(&s.adversarial), &mut rng).unwrap()))
+    });
+    group.bench_function("rc/m1000_always_on", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(s.rc.classify(black_box(&s.benign), &mut rng).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_defenses);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! `repro` — regenerates every table and figure of the DCN paper.
+//!
+//! ```text
+//! repro <experiment> [--scale quick|full] [--task mnist|cifar|both]
+//!
+//! experiments:
+//!   table1    attack/metric taxonomy
+//!   figure1   benign vs adversarial logit vectors
+//!   table2    detector false rates
+//!   table3    benign accuracy + running time per defense
+//!   table4    CW success rates per defense (MNIST)
+//!   table5    CW success rates per defense (CIFAR)
+//!   table6    DCN vs RC runtime vs adversarial fraction
+//!   figure4   corrector accuracy/time vs m
+//!   figure5   table6 as a log-scale series
+//!   extra     §6: FGSM/IGSM/JSMA/DeepFool vs defenses
+//!   ablate    feature/radius/kappa ablations
+//!   related   §2.3 related defenses: DCN detector vs feature squeezing vs MagNet
+//!   adaptive  §6 adaptive attack: CW + detector-evasion term, swept over λ
+//!   all       everything above
+//! ```
+//!
+//! Results print to stdout and are saved as JSON under `results/`.
+
+use std::time::Instant;
+
+use dcn_bench::context::{results_dir, task_context, TaskContext};
+use dcn_bench::experiments::{ablate, attacks, cost, detector, related};
+use dcn_bench::table::save_json;
+use dcn_bench::{Scale, Task};
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    task: Option<Task>,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = String::from("all");
+    let mut scale = Scale::Quick;
+    let mut task = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use quick or full");
+                    std::process::exit(2);
+                });
+            }
+            "--task" => {
+                task = match args.next().as_deref() {
+                    Some("mnist") => Some(Task::Mnist),
+                    Some("cifar") => Some(Task::Cifar),
+                    Some("both") | None => None,
+                    Some(v) => {
+                        eprintln!("unknown task {v:?}; use mnist, cifar or both");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other if !other.starts_with("--") => experiment = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args {
+        experiment,
+        scale,
+        task,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let results = results_dir();
+    let cache = results.join("cache");
+    let t0 = Instant::now();
+
+    let wants = |name: &str| args.experiment == name || args.experiment == "all";
+    let task_filter = |t: Task| args.task.is_none() || args.task == Some(t);
+
+    // Static experiment first — no models needed.
+    if wants("table1") {
+        let t = attacks::table1();
+        println!("== Table 1: attacks and their distance metrics ==\n{}", t.render());
+        save_json(&results, "table1", &t);
+    }
+
+    // Contexts are built lazily per task so `repro table1` stays instant.
+    let mut mnist: Option<TaskContext> = None;
+    let mut cifar: Option<TaskContext> = None;
+    let needs_models = [
+        "figure1", "table2", "table3", "table4", "table5", "table6", "figure4", "figure5",
+        "extra", "ablate", "related", "adaptive",
+    ]
+    .iter()
+    .any(|e| wants(e));
+    if needs_models {
+        if task_filter(Task::Mnist) {
+            eprintln!("[setup] building MNIST context (cached after first run)…");
+            mnist = Some(task_context(Task::Mnist, &cache));
+        }
+        if task_filter(Task::Cifar) {
+            eprintln!("[setup] building CIFAR context (cached after first run)…");
+            cifar = Some(task_context(Task::Cifar, &cache));
+        }
+    }
+
+    if wants("figure1") {
+        if let Some(ctx) = &mnist {
+            let f = detector::figure1(ctx, &cache);
+            println!("== Figure 1: logits of benign vs adversarial examples ==\n{}", f.render());
+            save_json(&results, "figure1", &f);
+        }
+    }
+
+    if wants("table2") {
+        let mut rows = Vec::new();
+        for ctx in [&mnist, &cifar].into_iter().flatten() {
+            eprintln!("[table2] {}…", ctx.task.name());
+            rows.push(detector::table2(ctx, args.scale, &cache));
+        }
+        println!("== Table 2: detector false rates ==\n{}", detector::render_table2(&rows));
+        save_json(&results, "table2", &rows);
+    }
+
+    if wants("table3") {
+        for ctx in [&mnist, &cifar].into_iter().flatten() {
+            eprintln!("[table3] {}…", ctx.task.name());
+            let t = cost::table3(ctx, args.scale);
+            println!("== Table 3: benign accuracy and time ({}) ==\n{}", ctx.task.name(), t.render());
+            save_json(&results, &format!("table3_{}", ctx.task.name()), &t);
+        }
+    }
+
+    if wants("table4") {
+        if let Some(ctx) = &mnist {
+            eprintln!("[table4] generating CW pools (slow; cached)…");
+            let t = attacks::table45(ctx, args.scale, &cache);
+            println!("== Table 4: CW success rates on MNIST ==\n{}", t.render());
+            save_json(&results, "table4", &t);
+        }
+    }
+
+    if wants("table5") {
+        if let Some(ctx) = &cifar {
+            eprintln!("[table5] generating CW pools (slow; cached)…");
+            let t = attacks::table45(ctx, args.scale, &cache);
+            println!("== Table 5: CW success rates on CIFAR ==\n{}", t.render());
+            save_json(&results, "table5", &t);
+        }
+    }
+
+    if wants("table6") || wants("figure5") {
+        for ctx in [&mnist, &cifar].into_iter().flatten() {
+            eprintln!("[table6] {}…", ctx.task.name());
+            let t = cost::table6(ctx, args.scale, &cache);
+            if wants("table6") {
+                println!("== Table 6: runtime vs adversarial fraction ({}) ==\n{}", ctx.task.name(), t.render());
+            }
+            if wants("figure5") {
+                println!("== Figure 5 ==\n{}", t.render_figure5());
+            }
+            save_json(&results, &format!("table6_{}", ctx.task.name()), &t);
+        }
+    }
+
+    if wants("figure4") {
+        for ctx in [&mnist, &cifar].into_iter().flatten() {
+            eprintln!("[figure4] {}…", ctx.task.name());
+            let f = cost::figure4(ctx, args.scale, &cache);
+            println!("== Figure 4: corrector sweep over m ({}) ==\n{}", ctx.task.name(), f.render());
+            save_json(&results, &format!("figure4_{}", ctx.task.name()), &f);
+        }
+    }
+
+    if wants("extra") {
+        for ctx in [&mnist, &cifar].into_iter().flatten() {
+            eprintln!("[extra] {}…", ctx.task.name());
+            let e = attacks::extra_attacks(ctx, args.scale, &cache);
+            println!("== §6: other evasion attacks ({}) ==\n{}", ctx.task.name(), e.render());
+            save_json(&results, &format!("extra_{}", ctx.task.name()), &e);
+        }
+    }
+
+    if wants("ablate") {
+        // Radius is task-specific (the paper tunes r per dataset): sweep on
+        // every requested task. Features and κ are run on MNIST only.
+        for ctx in [&mnist, &cifar].into_iter().flatten() {
+            eprintln!("[ablate] radius ({})…", ctx.task.name());
+            let r = ablate::ablate_radius(ctx, args.scale, &cache);
+            println!("== Ablation: corrector radius ({}) ==\n{}", ctx.task.name(), r.render());
+            save_json(&results, &format!("ablate_radius_{}", ctx.task.name()), &r);
+        }
+        if let Some(ctx) = &mnist {
+            eprintln!("[ablate] features…");
+            let f = ablate::ablate_features(ctx, args.scale, &cache);
+            println!("== Ablation: detector features ==\n{}", f.render());
+            save_json(&results, "ablate_features", &f);
+            eprintln!("[ablate] kappa…");
+            let k = ablate::adaptive_kappa(ctx, args.scale, &cache);
+            println!("== Ablation: adaptive CW confidence (κ) ==\n{}", k.render());
+            save_json(&results, "ablate_kappa", &k);
+        }
+    }
+
+    if wants("related") {
+        for ctx in [&mnist, &cifar].into_iter().flatten() {
+            eprintln!("[related] {}…", ctx.task.name());
+            let r = related::related_defenses(ctx, args.scale, &cache);
+            println!("== Related defenses: detection comparison ({}) ==\n{}", ctx.task.name(), r.render());
+            save_json(&results, &format!("related_{}", ctx.task.name()), &r);
+        }
+    }
+
+    if wants("adaptive") {
+        if let Some(ctx) = &mnist {
+            eprintln!("[adaptive] λ sweep…");
+            let a = related::adaptive_sweep(ctx, args.scale, &cache);
+            println!("== Adaptive attack (CW + detector evasion) ==\n{}", a.render());
+            save_json(&results, "adaptive_sweep", &a);
+        }
+    }
+
+    eprintln!("[done] total {:.1?}; results in {}", t0.elapsed(), results.display());
+}

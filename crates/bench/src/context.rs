@@ -1,0 +1,202 @@
+//! Trained-artifact management: base networks, detectors and distilled
+//! networks, cached on disk so the experiment suite trains each model once.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dcn_attacks::CwL2;
+use dcn_core::{distill, models, Detector, DetectorConfig, DistillConfig};
+use dcn_data::{synth_cifar, synth_mnist, Dataset, SynthConfig};
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Scale, Task};
+
+/// Fixed RNG seed for all experiment artifacts — results are reproducible
+/// run to run and cache entries stay valid.
+pub const SEED: u64 = 42;
+
+/// Everything an experiment needs for one task: data, the trained base
+/// network, the trained detector, and the distilled comparison network.
+pub struct TaskContext {
+    /// Which task this is.
+    pub task: Task,
+    /// Training split (regenerated deterministically, never cached).
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+    /// The standard ("undefended") base network.
+    pub net: Network,
+    /// The paper-protocol detector (trained against CW-L2, κ = 0).
+    pub detector: Detector,
+    /// The defensively distilled network (T = 100).
+    pub distilled: Network,
+    /// Indices into `test` that the base network classifies correctly.
+    pub correct_test: Vec<usize>,
+}
+
+impl TaskContext {
+    /// Test examples (by `correct_test` order) as unbatched tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of correctly-classified test
+    /// examples — experiment scales are chosen to fit.
+    pub fn correct_examples(&self, offset: usize, n: usize) -> Vec<Tensor> {
+        assert!(
+            offset + n <= self.correct_test.len(),
+            "requested {n} examples at offset {offset}, only {} available",
+            self.correct_test.len()
+        );
+        self.correct_test[offset..offset + n]
+            .iter()
+            .map(|&i| self.test.example(i).expect("index from enumeration"))
+            .collect()
+    }
+
+    /// True labels aligned with [`TaskContext::correct_examples`].
+    pub fn correct_labels(&self, offset: usize, n: usize) -> Vec<usize> {
+        self.correct_test[offset..offset + n]
+            .iter()
+            .map(|&i| self.test.labels()[i])
+            .collect()
+    }
+}
+
+/// The CW-L2 configuration shared by experiments: κ = 0, scaled-down search
+/// (the attack still reaches ~100% success on the standard networks).
+pub fn experiment_cw_l2() -> CwL2 {
+    let mut a = CwL2::new(0.0);
+    a.binary_search_steps = 4;
+    a.max_iterations = 120;
+    a
+}
+
+fn cache_path(dir: &Path, task: Task, what: &str) -> PathBuf {
+    dir.join(format!("{}_{what}.json", task.name()))
+}
+
+fn load_net(path: &Path) -> Option<Network> {
+    fs::read_to_string(path)
+        .ok()
+        .and_then(|s| Network::from_json(&s).ok())
+}
+
+/// Builds (or loads from `cache_dir`) the full artifact set for a task.
+///
+/// Dataset sizes are fixed (2000 train / 600 test) independently of
+/// [`Scale`]; the scale only controls how many examples experiments *use*,
+/// so quick and full runs share cached models.
+///
+/// # Panics
+///
+/// Panics if model training fails (unrecoverable for the experiment suite)
+/// or if the base model comes out pathologically weak.
+pub fn task_context(task: Task, cache_dir: &Path) -> TaskContext {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let cfg = SynthConfig::default();
+    let (train, test) = match task {
+        Task::Mnist => (
+            synth_mnist(2000, &cfg, &mut rng),
+            synth_mnist(600, &cfg, &mut rng),
+        ),
+        Task::Cifar => (
+            synth_cifar(2000, &cfg, &mut rng),
+            synth_cifar(600, &cfg, &mut rng),
+        ),
+    };
+    fs::create_dir_all(cache_dir).expect("create cache dir");
+
+    // --- Base network.
+    let net_path = cache_path(cache_dir, task, "net");
+    let net = load_net(&net_path).unwrap_or_else(|| {
+        let fresh = match task {
+            Task::Mnist => models::mnist_cnn(&mut rng),
+            Task::Cifar => models::cifar_cnn(&mut rng),
+        }
+        .expect("zoo model");
+        let trained =
+            models::train_classifier(fresh, &train, 8, 0.002, &mut rng).expect("training");
+        trained.save(&net_path).expect("cache write");
+        trained
+    });
+    let acc = models::accuracy_on(&net, &test).expect("accuracy");
+    assert!(acc > 0.6, "{} base model too weak: {acc}", task.name());
+
+    // --- Distilled network (T = 100, as in the paper).
+    let distilled_path = cache_path(cache_dir, task, "distilled");
+    let distilled = load_net(&distilled_path).unwrap_or_else(|| {
+        let teacher = match task {
+            Task::Mnist => models::mnist_cnn(&mut rng),
+            Task::Cifar => models::cifar_cnn(&mut rng),
+        }
+        .expect("zoo model");
+        let student = match task {
+            Task::Mnist => models::mnist_cnn(&mut rng),
+            Task::Cifar => models::cifar_cnn(&mut rng),
+        }
+        .expect("zoo model");
+        let cfg = DistillConfig {
+            temperature: 100.0,
+            epochs: 8,
+            learning_rate: 0.002,
+            batch_size: 32,
+        };
+        let d = distill(teacher, student, &train, &cfg, &mut rng).expect("distillation");
+        d.save(&distilled_path).expect("cache write");
+        d
+    });
+
+    // --- Correctly classified test indices (attack seed pool).
+    let preds = net.predict(test.images()).expect("predict");
+    let correct_test: Vec<usize> = (0..test.len())
+        .filter(|&i| preds[i] == test.labels()[i])
+        .collect();
+
+    // --- Detector, trained the paper's way on CW-L2 adversarial logits of
+    // *training-set* seeds (test seeds stay held out for Table 2).
+    let det_path = cache_path(cache_dir, task, "detector");
+    let detector = fs::read_to_string(&det_path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| {
+            let n_seeds = Scale::Quick.detector_seeds(task);
+            let seeds: Vec<Tensor> = (0..n_seeds)
+                .map(|i| train.example(i).expect("train example"))
+                .collect();
+            let det = Detector::train_against(
+                &net,
+                &seeds,
+                &experiment_cw_l2(),
+                &DetectorConfig::default(),
+                &mut rng,
+            )
+            .expect("detector training");
+            fs::write(&det_path, serde_json::to_string(&det).expect("encode"))
+                .expect("cache write");
+            det
+        });
+
+    TaskContext {
+        task,
+        train,
+        test,
+        net,
+        detector,
+        distilled,
+        correct_test,
+    }
+}
+
+/// Default results directory (`results/` at the workspace root).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    root.join("results")
+}

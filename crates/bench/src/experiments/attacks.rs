@@ -1,0 +1,381 @@
+//! Attack-vs-defense experiments: Table 1 (taxonomy), Tables 4/5 (CW
+//! success rates per defense), and the §6 "other evasion attacks"
+//! experiment (FGSM / IGSM / JSMA / DeepFool).
+
+use std::fs;
+use std::path::Path;
+
+use dcn_attacks::{
+    evaluate_native_untargeted, evaluate_targeted, AdversarialExample, CwL0, CwL2, CwLinf,
+    DeepFool, DistanceMetric, Fgsm, Igsm, Jsma, Lbfgs, TargetedAttack, UntargetedAttack,
+};
+use dcn_core::{
+    attack_success_against, Corrector, Dcn, Defense, RegionClassifier, StandardDefense,
+};
+use dcn_nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::context::{experiment_cw_l2, TaskContext};
+use crate::experiments::untargeted_from_pool;
+use crate::table::{pct, TextTable};
+use crate::{Scale, Task};
+
+/// Table 1: which metric each implemented attack minimizes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// `(attack name, metric name, targeted?)` rows.
+    pub rows: Vec<(String, String, bool)>,
+}
+
+impl Table1 {
+    /// Renders the taxonomy table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["attack", "metric", "targeted"]);
+        for (a, m, tg) in &self.rows {
+            t.row(vec![a.clone(), m.clone(), if *tg { "yes" } else { "no" }.into()]);
+        }
+        t.render()
+    }
+}
+
+/// Regenerates Table 1 from the attack implementations' own declarations
+/// (so the table cannot drift from the code).
+pub fn table1() -> Table1 {
+    let targeted: Vec<Box<dyn TargetedAttack>> = vec![
+        Box::new(Lbfgs::new()),
+        Box::new(Fgsm::new(0.3)),
+        Box::new(Igsm::with_epsilon(0.3)),
+        Box::new(Jsma::default()),
+        Box::new(CwL0::new(0.0)),
+        Box::new(CwL2::new(0.0)),
+        Box::new(CwLinf::new(0.0)),
+    ];
+    let mut rows: Vec<(String, String, bool)> = targeted
+        .iter()
+        .map(|a| (a.name().to_string(), a.metric().to_string(), true))
+        .collect();
+    let df = DeepFool::default();
+    rows.push((
+        UntargetedAttack::name(&df).to_string(),
+        UntargetedAttack::metric(&df).to_string(),
+        false,
+    ));
+    Table1 { rows }
+}
+
+/// The CW attack trio at the experiment budget for a task (CIFAR gets a
+/// slightly tighter budget; the networks are ~6× slower per forward pass).
+pub fn cw_suite(task: Task) -> (CwL0, CwL2, CwLinf) {
+    let l2 = experiment_cw_l2();
+    let mut l0 = CwL0::new(0.0);
+    l0.inner = l2;
+    l0.inner.binary_search_steps = 3;
+    // Masked rounds need more loss pressure than the unrestricted attack:
+    // with few modifiable pixels, small c values never succeed and the
+    // freezing loop aborts with far too many changed pixels.
+    l0.inner.initial_c = 1.0;
+    l0.freeze_fraction = 0.3;
+    l0.max_rounds = if task == Task::Mnist { 12 } else { 8 };
+    let mut linf = CwLinf::new(0.0);
+    linf.max_stages = if task == Task::Mnist { 15 } else { 10 };
+    (l0, l2, linf)
+}
+
+/// One defense row of Table 4/5: success rates of the six CW variants.
+#[derive(Debug, Clone, Serialize)]
+pub struct DefenseRow {
+    /// Defense display name.
+    pub defense: String,
+    /// Targeted success under `[L0, L2, L∞]`.
+    pub targeted: [f32; 3],
+    /// Untargeted success under `[L0, L2, L∞]`.
+    pub untargeted: [f32; 3],
+}
+
+/// Tables 4 (MNIST) / 5 (CIFAR): success rate of CW attacks against each
+/// defense.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table45 {
+    /// Task name.
+    pub task: String,
+    /// Seeds attacked.
+    pub seeds: usize,
+    /// Per-defense success rates.
+    pub rows: Vec<DefenseRow>,
+    /// Mean distortion of the targeted pools under their own metric
+    /// `[L0 pixels, L2, L∞]` — context for interpreting the rates.
+    pub mean_distortion: [f32; 3],
+}
+
+impl Table45 {
+    /// Renders in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "defense", "tgt L0", "tgt L2", "tgt Linf", "untgt L0", "untgt L2", "untgt Linf",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.defense.clone(),
+                pct(r.targeted[0]),
+                pct(r.targeted[1]),
+                pct(r.targeted[2]),
+                pct(r.untargeted[0]),
+                pct(r.untargeted[1]),
+                pct(r.untargeted[2]),
+            ]);
+        }
+        format!(
+            "{} ({} seeds; mean distortion L0 {:.1} px, L2 {:.2}, Linf {:.3})\n{}",
+            self.task, self.seeds, self.mean_distortion[0], self.mean_distortion[1],
+            self.mean_distortion[2], t.render()
+        )
+    }
+}
+
+fn pool_for_net(
+    net: &Network,
+    net_tag: &str,
+    task: Task,
+    attack: &dyn TargetedAttack,
+    seeds: &[dcn_tensor::Tensor],
+    cache_dir: &Path,
+) -> Vec<AdversarialExample> {
+    let path = cache_dir.join(format!(
+        "{}_{net_tag}_pool_{}_{}.json",
+        task.name(),
+        attack.name().to_lowercase().replace('-', "_"),
+        seeds.len()
+    ));
+    if let Some(pool) = fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+    {
+        return pool;
+    }
+    let (_, pool) = evaluate_targeted(attack, net, seeds).expect("attack execution");
+    fs::create_dir_all(cache_dir).expect("cache dir");
+    fs::write(&path, serde_json::to_string(&pool).expect("encode")).expect("cache write");
+    pool
+}
+
+/// The paper-default DCN and RC for a task.
+pub fn paper_defenses(ctx: &TaskContext) -> (Dcn, RegionClassifier<Network>) {
+    let corrector = match ctx.task {
+        Task::Mnist => Corrector::mnist_default(),
+        Task::Cifar => Corrector::cifar_default(),
+    };
+    let dcn = Dcn::new(ctx.net.clone(), ctx.detector.clone(), corrector);
+    let rc = match ctx.task {
+        Task::Mnist => RegionClassifier::mnist_paper(ctx.net.clone()),
+        Task::Cifar => RegionClassifier::cifar_paper(ctx.net.clone()),
+    }
+    .expect("paper constants");
+    (dcn, rc)
+}
+
+/// Regenerates Table 4 (MNIST context) or Table 5 (CIFAR context).
+///
+/// Pools are generated against the network under attack — the standard net
+/// for the Standard/RC/DCN rows, the distilled net for the Distillation row
+/// (as in the paper, where each network is attacked directly).
+///
+/// # Panics
+///
+/// Panics on substrate failure.
+pub fn table45(ctx: &TaskContext, scale: Scale, cache_dir: &Path) -> Table45 {
+    let n = scale.attack_seeds(ctx.task).min(ctx.correct_test.len());
+    let seeds = ctx.correct_examples(0, n);
+    let (l0, l2, linf) = cw_suite(ctx.task);
+    let attacks: [(&dyn TargetedAttack, DistanceMetric); 3] = [
+        (&l0, DistanceMetric::L0),
+        (&l2, DistanceMetric::L2),
+        (&linf, DistanceMetric::Linf),
+    ];
+
+    // Pools against the standard network.
+    let std_pools: Vec<Vec<AdversarialExample>> = attacks
+        .iter()
+        .map(|(a, _)| pool_for_net(&ctx.net, "std", ctx.task, *a, &seeds, cache_dir))
+        .collect();
+    let std_untgt: Vec<Vec<AdversarialExample>> = attacks
+        .iter()
+        .zip(&std_pools)
+        .map(|((_, m), p)| untargeted_from_pool(p, *m))
+        .collect();
+    // Pools against the distilled network.
+    let dist_pools: Vec<Vec<AdversarialExample>> = attacks
+        .iter()
+        .map(|(a, _)| pool_for_net(&ctx.distilled, "dist", ctx.task, *a, &seeds, cache_dir))
+        .collect();
+    let dist_untgt: Vec<Vec<AdversarialExample>> = attacks
+        .iter()
+        .zip(&dist_pools)
+        .map(|((_, m), p)| untargeted_from_pool(p, *m))
+        .collect();
+
+    let standard = StandardDefense::new(ctx.net.clone());
+    let distilled = StandardDefense::named(ctx.distilled.clone(), "Distillation");
+    let (dcn, rc) = paper_defenses(ctx);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    // Success relative to the *attempted* attacks: failed searches count as
+    // failures, like the paper's success-rate denominators.
+    let attempts_t = (n * (ctx.net.num_classes().expect("classes") - 1)) as f32;
+    let attempts_u = n as f32;
+    let mut rate = |d: &dyn Defense, pool: &[AdversarialExample], attempts: f32| -> f32 {
+        if attempts == 0.0 {
+            return 0.0;
+        }
+        let hit = attack_success_against(d, pool, &mut rng).expect("defense eval");
+        hit * pool.len() as f32 / attempts
+    };
+
+    let mut rows = Vec::new();
+    for (name, pools, untgt) in [
+        ("Standard", &std_pools, &std_untgt),
+        ("Distillation", &dist_pools, &dist_untgt),
+    ] {
+        let d: &dyn Defense = if name == "Standard" { &standard } else { &distilled };
+        rows.push(DefenseRow {
+            defense: name.to_string(),
+            targeted: [
+                rate(d, &pools[0], attempts_t),
+                rate(d, &pools[1], attempts_t),
+                rate(d, &pools[2], attempts_t),
+            ],
+            untargeted: [
+                rate(d, &untgt[0], attempts_u),
+                rate(d, &untgt[1], attempts_u),
+                rate(d, &untgt[2], attempts_u),
+            ],
+        });
+    }
+    for (name, d) in [("RC", &rc as &dyn Defense), ("DCN", &dcn as &dyn Defense)] {
+        rows.push(DefenseRow {
+            defense: name.to_string(),
+            targeted: [
+                rate(d, &std_pools[0], attempts_t),
+                rate(d, &std_pools[1], attempts_t),
+                rate(d, &std_pools[2], attempts_t),
+            ],
+            untargeted: [
+                rate(d, &std_untgt[0], attempts_u),
+                rate(d, &std_untgt[1], attempts_u),
+                rate(d, &std_untgt[2], attempts_u),
+            ],
+        });
+    }
+
+    let mean_under = |pool: &[AdversarialExample], m: DistanceMetric| -> f32 {
+        if pool.is_empty() {
+            return 0.0;
+        }
+        pool.iter().map(|e| e.distance(m)).sum::<f32>() / pool.len() as f32
+    };
+    Table45 {
+        task: ctx.task.name().to_string(),
+        seeds: n,
+        rows,
+        mean_distortion: [
+            mean_under(&std_pools[0], DistanceMetric::L0),
+            mean_under(&std_pools[1], DistanceMetric::L2),
+            mean_under(&std_pools[2], DistanceMetric::Linf),
+        ],
+    }
+}
+
+/// §6 experiment: the non-CW attacks against each defense.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExtraAttacks {
+    /// Task name.
+    pub task: String,
+    /// `(attack, success vs Standard, vs Distillation, vs RC, vs DCN)`.
+    pub rows: Vec<(String, f32, f32, f32, f32)>,
+}
+
+impl ExtraAttacks {
+    /// Renders the §6 comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["attack", "Standard", "Distillation", "RC", "DCN"]);
+        for (a, s, d, r, c) in &self.rows {
+            t.row(vec![a.clone(), pct(*s), pct(*d), pct(*r), pct(*c)]);
+        }
+        format!("{}\n{}", self.task, t.render())
+    }
+}
+
+/// Runs FGSM / IGSM / JSMA (targeted, via the untargeted reduction) and
+/// DeepFool against every defense. Each network is attacked directly (these
+/// attacks are cheap enough to run twice).
+///
+/// # Panics
+///
+/// Panics on substrate failure.
+pub fn extra_attacks(ctx: &TaskContext, scale: Scale, _cache_dir: &Path) -> ExtraAttacks {
+    let n = scale.attack_seeds(ctx.task).min(ctx.correct_test.len());
+    let seeds = ctx.correct_examples(0, n);
+    // L∞ budgets in the paper's normalization: generous on digits, tight on
+    // the color task (as in the literature).
+    let eps = match ctx.task {
+        Task::Mnist => 0.3,
+        Task::Cifar => 0.1,
+    };
+    let fgsm = Fgsm::new(eps);
+    let igsm = Igsm::new(eps, eps / 10.0, 25);
+    // JSMA's per-iteration cost is a full logit Jacobian; on the 3072-pixel
+    // color task the budget is tightened so the experiment stays tractable.
+    let jsma = match ctx.task {
+        Task::Mnist => Jsma::new(1.0, 0.1),
+        Task::Cifar => Jsma::new(1.0, 0.03),
+    };
+    let deepfool = DeepFool::default();
+
+    let standard = StandardDefense::new(ctx.net.clone());
+    let distilled = StandardDefense::named(ctx.distilled.clone(), "Distillation");
+    let (dcn, rc) = paper_defenses(ctx);
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let mut rows = Vec::new();
+    let mut push = |name: String,
+                    std_pool: Vec<AdversarialExample>,
+                    dist_pool: Vec<AdversarialExample>,
+                    rng: &mut StdRng| {
+        let attempts = n as f32;
+        let r = |d: &dyn Defense, p: &[AdversarialExample], rng: &mut StdRng| {
+            if p.is_empty() {
+                return 0.0;
+            }
+            attack_success_against(d, p, rng).expect("defense eval") * p.len() as f32 / attempts
+        };
+        rows.push((
+            name,
+            r(&standard, &std_pool, rng),
+            r(&distilled, &dist_pool, rng),
+            r(&rc, &std_pool, rng),
+            r(&dcn, &std_pool, rng),
+        ));
+    };
+
+    for (name, attack) in [
+        ("FGSM", &fgsm as &dyn TargetedAttack),
+        ("IGSM", &igsm as &dyn TargetedAttack),
+        ("JSMA", &jsma as &dyn TargetedAttack),
+    ] {
+        let (_, std_pool) =
+            dcn_attacks::evaluate_untargeted(attack, &ctx.net, &seeds).expect("attack");
+        let (_, dist_pool) =
+            dcn_attacks::evaluate_untargeted(attack, &ctx.distilled, &seeds).expect("attack");
+        push(name.to_string(), std_pool, dist_pool, &mut rng);
+    }
+    let (_, df_std) = evaluate_native_untargeted(&deepfool, &ctx.net, &seeds).expect("attack");
+    let (_, df_dist) =
+        evaluate_native_untargeted(&deepfool, &ctx.distilled, &seeds).expect("attack");
+    push("DeepFool".to_string(), df_std, df_dist, &mut rng);
+
+    ExtraAttacks {
+        task: ctx.task.name().to_string(),
+        rows,
+    }
+}

@@ -1,0 +1,319 @@
+//! Accuracy/efficiency experiments: Table 3 (benign accuracy and time),
+//! Figure 4 (corrector m sweep), Table 6 and Figure 5 (runtime vs
+//! adversarial fraction).
+
+use std::path::Path;
+use std::time::Instant;
+
+use dcn_attacks::AdversarialExample;
+use dcn_core::{
+    defense_accuracy, Corrector, CountingClassifier, DcnVerdict, Defense, StandardDefense,
+};
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::context::{experiment_cw_l2, TaskContext};
+use crate::experiments::adv_pool;
+use crate::experiments::attacks::paper_defenses;
+use crate::table::{pct, TextTable};
+use crate::Scale;
+
+/// One defense row of Table 3.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Defense name.
+    pub defense: String,
+    /// Benign accuracy.
+    pub accuracy: f32,
+    /// Wall-clock seconds for the whole example set.
+    pub seconds: f64,
+}
+
+/// Table 3: classification accuracy and overall running time on benign
+/// examples.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3 {
+    /// Task name.
+    pub task: String,
+    /// Number of benign examples scored.
+    pub examples: usize,
+    /// Per-defense results in the paper's column order.
+    pub rows: Vec<Table3Row>,
+}
+
+impl Table3 {
+    /// Renders with accuracy and time per defense.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["defense", "accuracy", "time (s)"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.defense.clone(),
+                pct(r.accuracy),
+                format!("{:.2}", r.seconds),
+            ]);
+        }
+        format!("{} ({} examples)\n{}", self.task, self.examples, t.render())
+    }
+}
+
+/// Regenerates one task's Table 3.
+///
+/// # Panics
+///
+/// Panics on substrate failure.
+pub fn table3(ctx: &TaskContext, scale: Scale) -> Table3 {
+    let n = scale.benign_examples(ctx.task).min(ctx.test.len());
+    let examples: Vec<Tensor> = (0..n).map(|i| ctx.test.example(i).expect("example")).collect();
+    let labels = &ctx.test.labels()[..n];
+    let standard = StandardDefense::new(ctx.net.clone());
+    let distilled = StandardDefense::named(ctx.distilled.clone(), "Distillation");
+    let (dcn, rc) = paper_defenses(ctx);
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut rows = Vec::new();
+    for d in [
+        &standard as &dyn Defense,
+        &distilled,
+        &rc,
+        &dcn,
+    ] {
+        let t0 = Instant::now();
+        let acc = defense_accuracy(d, &examples, labels, &mut rng).expect("accuracy");
+        rows.push(Table3Row {
+            defense: d.name().to_string(),
+            accuracy: acc,
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+    Table3 {
+        task: ctx.task.name().to_string(),
+        examples: n,
+        rows,
+    }
+}
+
+/// One sweep point of Figure 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure4Point {
+    /// Corrector sample count `m`.
+    pub m: usize,
+    /// Recovery accuracy on adversarial examples.
+    pub adversarial_accuracy: f32,
+    /// Accuracy on benign examples routed through the corrector.
+    pub benign_accuracy: f32,
+    /// Wall-clock seconds for the whole sweep set.
+    pub seconds: f64,
+}
+
+/// Figure 4: corrector accuracy and running time as a function of `m`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure4 {
+    /// Task name.
+    pub task: String,
+    /// Sweep points in increasing `m`.
+    pub points: Vec<Figure4Point>,
+}
+
+impl Figure4 {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["m", "adv accuracy", "benign accuracy", "time (s)"]);
+        for p in &self.points {
+            t.row(vec![
+                p.m.to_string(),
+                pct(p.adversarial_accuracy),
+                pct(p.benign_accuracy),
+                format!("{:.2}", p.seconds),
+            ]);
+        }
+        format!("{}\n{}", self.task, t.render())
+    }
+}
+
+/// Regenerates Figure 4: sweep `m` over the paper's 10…1000 range with the
+/// task's paper radius.
+///
+/// # Panics
+///
+/// Panics on substrate failure.
+pub fn figure4(ctx: &TaskContext, scale: Scale, cache_dir: &Path) -> Figure4 {
+    let n = scale.attack_seeds(ctx.task).min(ctx.correct_test.len());
+    let pool = adv_pool(ctx, &experiment_cw_l2(), n, cache_dir);
+    let benign = ctx.correct_examples(0, n);
+    let benign_labels = ctx.correct_labels(0, n);
+    let radius = paper_defenses(ctx).0.corrector().radius();
+    let mut rng = StdRng::seed_from_u64(29);
+    let mut points = Vec::new();
+    for &m in &[10usize, 25, 50, 100, 200, 500, 1000] {
+        let corrector = Corrector::new(radius, m).expect("valid sweep point");
+        let t0 = Instant::now();
+        let mut adv_ok = 0usize;
+        for e in &pool {
+            if corrector
+                .correct(&ctx.net, &e.adversarial, &mut rng)
+                .expect("correction")
+                == e.original_label
+            {
+                adv_ok += 1;
+            }
+        }
+        let mut ben_ok = 0usize;
+        for (x, &y) in benign.iter().zip(benign_labels.iter()) {
+            if corrector.correct(&ctx.net, x, &mut rng).expect("correction") == y {
+                ben_ok += 1;
+            }
+        }
+        points.push(Figure4Point {
+            m,
+            adversarial_accuracy: adv_ok as f32 / pool.len().max(1) as f32,
+            benign_accuracy: ben_ok as f32 / benign.len().max(1) as f32,
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+    Figure4 {
+        task: ctx.task.name().to_string(),
+        points,
+    }
+}
+
+/// One fraction point of Table 6 / Figure 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostPoint {
+    /// Percentage of adversarial examples in the batch.
+    pub adversarial_pct: usize,
+    /// DCN wall-clock seconds for the batch.
+    pub dcn_seconds: f64,
+    /// RC wall-clock seconds for the batch.
+    pub rc_seconds: f64,
+    /// DCN base-network forward passes (count model).
+    pub dcn_forwards: u64,
+    /// RC base-network forward passes (count model).
+    pub rc_forwards: u64,
+}
+
+/// Table 6 / Figure 5: running time of DCN vs RC as the adversarial
+/// fraction grows.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table6 {
+    /// Task name.
+    pub task: String,
+    /// Batch size per point.
+    pub examples: usize,
+    /// Sweep points.
+    pub points: Vec<CostPoint>,
+}
+
+impl Table6 {
+    /// Renders both the wall-clock and the hardware-independent forward
+    /// counts.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "% adv", "DCN (s)", "RC (s)", "DCN fwd", "RC fwd", "RC/DCN time",
+        ]);
+        for p in &self.points {
+            let ratio = if p.dcn_seconds > 0.0 {
+                p.rc_seconds / p.dcn_seconds
+            } else {
+                f64::INFINITY
+            };
+            t.row(vec![
+                p.adversarial_pct.to_string(),
+                format!("{:.3}", p.dcn_seconds),
+                format!("{:.3}", p.rc_seconds),
+                p.dcn_forwards.to_string(),
+                p.rc_forwards.to_string(),
+                format!("{ratio:.1}x"),
+            ]);
+        }
+        format!("{} ({} examples per point)\n{}", self.task, self.examples, t.render())
+    }
+
+    /// The Figure 5 view: log10 of the two time series.
+    pub fn render_figure5(&self) -> String {
+        let mut t = TextTable::new(&["% adv", "log10 DCN(s)", "log10 RC(s)"]);
+        for p in &self.points {
+            t.row(vec![
+                p.adversarial_pct.to_string(),
+                format!("{:.2}", p.dcn_seconds.max(1e-6).log10()),
+                format!("{:.2}", p.rc_seconds.max(1e-6).log10()),
+            ]);
+        }
+        format!("{} (log scale, as in Fig. 5)\n{}", self.task, t.render())
+    }
+}
+
+/// Regenerates Table 6: mixed batches at adversarial fractions
+/// 0–100%, timed through DCN and through RC.
+///
+/// # Panics
+///
+/// Panics on substrate failure.
+pub fn table6(ctx: &TaskContext, scale: Scale, cache_dir: &Path) -> Table6 {
+    let batch = scale.cost_examples(ctx.task);
+    let n_seeds = scale.attack_seeds(ctx.task).min(ctx.correct_test.len());
+    let pool = adv_pool(ctx, &experiment_cw_l2(), n_seeds, cache_dir);
+    assert!(!pool.is_empty(), "need adversarial examples for the sweep");
+    let benign = ctx.correct_examples(0, batch.min(ctx.correct_test.len()));
+    let (dcn, _) = paper_defenses(ctx);
+    let rc_m = 1000usize;
+    let counting = CountingClassifier::new(ctx.net.clone());
+    let rc = dcn_core::RegionClassifier::new(&counting, dcn.corrector().radius(), rc_m)
+        .expect("rc params");
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut points = Vec::new();
+    for &pct_adv in &[0usize, 10, 30, 50, 80, 100] {
+        let n_adv = batch * pct_adv / 100;
+        // Assemble the mixed batch, cycling the pools if needed.
+        let mut batch_examples: Vec<&AdversarialExample> = Vec::new();
+        for i in 0..n_adv {
+            batch_examples.push(&pool[i % pool.len()]);
+        }
+        let inputs: Vec<Tensor> = batch_examples
+            .iter()
+            .map(|e| e.adversarial.clone())
+            .chain(
+                (0..batch - n_adv).map(|i| benign[i % benign.len()].clone()),
+            )
+            .collect();
+
+        // DCN pass: wall clock + verdict-model forwards.
+        let t0 = Instant::now();
+        let mut dcn_forwards = 0u64;
+        for x in &inputs {
+            let (_, verdict) = dcn.classify_with_verdict(x, &mut rng).expect("dcn");
+            dcn_forwards += dcn.cost_of(verdict) as u64;
+        }
+        let dcn_seconds = t0.elapsed().as_secs_f64();
+
+        // RC pass: wall clock + counted forwards.
+        counting.reset();
+        let t1 = Instant::now();
+        for x in &inputs {
+            rc.classify(x, &mut rng).expect("rc");
+        }
+        let rc_seconds = t1.elapsed().as_secs_f64();
+        let rc_forwards = counting.reset();
+
+        points.push(CostPoint {
+            adversarial_pct: pct_adv,
+            dcn_seconds,
+            rc_seconds,
+            dcn_forwards,
+            rc_forwards,
+        });
+    }
+    // The DCN verdict-model forwards ignore the (free) detector pass; the
+    // counted RC forwards are exact.
+    Table6 {
+        task: ctx.task.name().to_string(),
+        examples: batch,
+        points,
+    }
+}
+
+/// Sanity helper used by benches: forward passes one classification costs
+/// under the DCN verdict model.
+pub fn verdict_cost(dcn: &dcn_core::Dcn, verdict: DcnVerdict) -> usize {
+    dcn.cost_of(verdict)
+}

@@ -1,0 +1,150 @@
+//! Experiments centered on the detector: Figure 1 (logit measurement) and
+//! Table 2 (false rates).
+
+use std::path::Path;
+
+use dcn_tensor::Tensor;
+use serde::Serialize;
+
+use crate::context::{experiment_cw_l2, TaskContext};
+use crate::experiments::{adv_pool, ascii_image};
+use crate::table::{pct, TextTable};
+use crate::Scale;
+
+/// Figure 1 reproduction: the logit vectors of one benign example and its
+/// nine targeted CW-L2 adversarial variants.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure1 {
+    /// The true (and predicted) label of the benign seed.
+    pub benign_label: usize,
+    /// Benign logit vector.
+    pub benign_logits: Vec<f32>,
+    /// `(predicted label, logits, l2 distortion)` for each adversarial.
+    pub adversarial_rows: Vec<(usize, Vec<f32>, f32)>,
+    /// ASCII rendering of the benign image.
+    pub image: String,
+}
+
+impl Figure1 {
+    /// Formats the figure as the paper lays it out: label column, then the
+    /// logit vector with the maximum starred.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["label", "max", "logits (max starred)"]);
+        let fmt = |label: usize, logits: &[f32], d: Option<f32>| {
+            let maxi = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let cells = logits
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    if i == maxi {
+                        format!("*{v:.2}")
+                    } else {
+                        format!("{v:.2}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            let head = match d {
+                None => format!("benign {label}"),
+                Some(d) => format!("adv→{label} (L2 {d:.2})"),
+            };
+            vec![head, maxi.to_string(), cells]
+        };
+        t.row(fmt(self.benign_label, &self.benign_logits, None));
+        for (label, logits, d) in &self.adversarial_rows {
+            t.row(fmt(*label, logits, Some(*d)));
+        }
+        format!("{}\n{}", self.image, t.render())
+    }
+}
+
+/// Regenerates Figure 1.
+///
+/// # Panics
+///
+/// Panics on substrate failure (model inference errors).
+pub fn figure1(ctx: &TaskContext, cache_dir: &Path) -> Figure1 {
+    // One seed, all nine targets — exactly the paper's figure.
+    let pool = adv_pool(ctx, &experiment_cw_l2(), 1, cache_dir);
+    let seed = ctx.correct_examples(0, 1).remove(0);
+    let benign_logits = ctx.net.logits_one(&seed).expect("inference");
+    let mut rows = Vec::new();
+    for ex in &pool {
+        let logits = ctx.net.logits_one(&ex.adversarial).expect("inference");
+        rows.push((ex.adversarial_label, logits.data().to_vec(), ex.dist_l2));
+    }
+    Figure1 {
+        benign_label: ctx.correct_labels(0, 1)[0],
+        benign_logits: benign_logits.data().to_vec(),
+        adversarial_rows: rows,
+        image: ascii_image(&seed, 28),
+    }
+}
+
+/// Table 2 reproduction: detector false-negative / false-positive rates on
+/// held-out benign and adversarial logits.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Task name.
+    pub task: String,
+    /// Benign flagged as adversarial (paper: 3.7% MNIST / 4.2% CIFAR).
+    pub false_negative: f32,
+    /// Adversarial passed as benign (paper: 0.31% / 0.91%).
+    pub false_positive: f32,
+    /// Held-out benign logits evaluated.
+    pub benign_count: usize,
+    /// Held-out adversarial logits evaluated.
+    pub adversarial_count: usize,
+}
+
+/// Renders one or more Table 2 rows.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut t = TextTable::new(&["task", "false negative", "false positive", "benign", "adv"]);
+    for r in rows {
+        t.row(vec![
+            r.task.clone(),
+            pct(r.false_negative),
+            pct(r.false_positive),
+            r.benign_count.to_string(),
+            r.adversarial_count.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Regenerates one task's Table 2 row. The detector was trained on
+/// *training-set* seeds (see `context`); evaluation here uses disjoint
+/// held-out test seeds, matching the paper's protocol of fresh examples.
+///
+/// # Panics
+///
+/// Panics on substrate failure.
+pub fn table2(ctx: &TaskContext, scale: Scale, cache_dir: &Path) -> Table2Row {
+    let n = scale.detector_eval_seeds(ctx.task).min(ctx.correct_test.len());
+    let pool = adv_pool(ctx, &experiment_cw_l2(), n, cache_dir);
+    let benign: Vec<Tensor> = ctx
+        .correct_examples(0, n)
+        .iter()
+        .map(|x| ctx.net.logits_one(x).expect("inference"))
+        .collect();
+    let adversarial: Vec<Tensor> = pool
+        .iter()
+        .map(|e| ctx.net.logits_one(&e.adversarial).expect("inference"))
+        .collect();
+    let report = ctx
+        .detector
+        .evaluate(&benign, &adversarial)
+        .expect("detector evaluation");
+    Table2Row {
+        task: ctx.task.name().to_string(),
+        false_negative: report.false_negative,
+        false_positive: report.false_positive,
+        benign_count: report.benign_count,
+        adversarial_count: report.adversarial_count,
+    }
+}

@@ -1,0 +1,137 @@
+//! One module per paper experiment. Every function prints nothing; it
+//! returns a result struct with a `render()` method and is persisted by the
+//! `repro` binary.
+
+pub mod ablate;
+pub mod attacks;
+pub mod cost;
+pub mod detector;
+pub mod related;
+
+use std::fs;
+use std::path::Path;
+
+use dcn_attacks::{evaluate_targeted, AdversarialExample, TargetedAttack};
+use dcn_tensor::Tensor;
+
+use crate::context::TaskContext;
+
+/// Generates (or loads from cache) the pool of *targeted* adversarial
+/// examples for one attack over the first `n_seeds` correctly-classified
+/// test examples. The untargeted pools of the paper's §2.2 reduction are
+/// derived from these (min distortion per seed), so one expensive generation
+/// serves both table halves.
+///
+/// # Panics
+///
+/// Panics if attack execution fails (a substrate bug, not a search failure).
+pub fn adv_pool(
+    ctx: &TaskContext,
+    attack: &dyn TargetedAttack,
+    n_seeds: usize,
+    cache_dir: &Path,
+) -> Vec<AdversarialExample> {
+    let path = cache_dir.join(format!(
+        "{}_pool_{}_{n_seeds}.json",
+        ctx.task.name(),
+        attack.name().to_lowercase().replace('-', "_")
+    ));
+    if let Some(pool) = fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+    {
+        return pool;
+    }
+    let seeds = ctx.correct_examples(0, n_seeds);
+    let (_, pool) = evaluate_targeted(attack, &ctx.net, &seeds).expect("attack execution");
+    fs::create_dir_all(cache_dir).expect("cache dir");
+    fs::write(&path, serde_json::to_string(&pool).expect("encode")).expect("cache write");
+    pool
+}
+
+/// The paper's untargeted reduction over a targeted pool: for each distinct
+/// original example, keep the success with the smallest distortion under
+/// `metric`.
+pub fn untargeted_from_pool(
+    pool: &[AdversarialExample],
+    metric: dcn_attacks::DistanceMetric,
+) -> Vec<AdversarialExample> {
+    let mut best: Vec<AdversarialExample> = Vec::new();
+    for ex in pool {
+        match best
+            .iter_mut()
+            .find(|b| b.original == ex.original)
+        {
+            Some(b) => {
+                if ex.distance(metric) < b.distance(metric) {
+                    *b = ex.clone();
+                }
+            }
+            None => best.push(ex.clone()),
+        }
+    }
+    for b in &mut best {
+        b.target = None;
+    }
+    best
+}
+
+/// Renders a tiny ASCII heat-map of a grayscale image row (used by the
+/// Figure 1 reproduction and the `attack_gallery` example).
+pub fn ascii_image(img: &Tensor, width: usize) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let dims = img.shape();
+    let (h, w) = (dims[dims.len() - 2], dims[dims.len() - 1]);
+    let step = (w / width).max(1);
+    let mut out = String::new();
+    for y in (0..h).step_by(step) {
+        for x in (0..w).step_by(step) {
+            // First channel only — enough for the digit task.
+            let v = img.data()[y * w + x] + 0.5;
+            let idx = ((v * (SHADES.len() - 1) as f32).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_attacks::DistanceMetric;
+
+    fn fake_example(orig: f32, adv: f32, l2: f32) -> AdversarialExample {
+        AdversarialExample {
+            original: Tensor::from_slice(&[orig]),
+            adversarial: Tensor::from_slice(&[adv]),
+            original_label: 0,
+            adversarial_label: 1,
+            target: Some(1),
+            dist_l0: 1.0,
+            dist_l2: l2,
+            dist_linf: l2,
+        }
+    }
+
+    #[test]
+    fn untargeted_reduction_keeps_min_distortion_per_seed() {
+        let pool = vec![
+            fake_example(0.0, 0.3, 0.3),
+            fake_example(0.0, 0.1, 0.1),
+            fake_example(1.0, 0.9, 0.2),
+        ];
+        let u = untargeted_from_pool(&pool, DistanceMetric::L2);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].dist_l2, 0.1);
+        assert!(u.iter().all(|e| e.target.is_none()));
+    }
+
+    #[test]
+    fn ascii_image_has_expected_dimensions() {
+        let img = Tensor::zeros(&[1, 8, 8]);
+        let s = ascii_image(&img, 8);
+        assert_eq!(s.lines().count(), 8);
+        assert!(s.lines().all(|l| l.len() == 8));
+    }
+}

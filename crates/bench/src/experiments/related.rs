@@ -1,0 +1,218 @@
+//! Extension experiments beyond the paper's tables:
+//!
+//! * `related` — head-to-head detection comparison of the paper's §2.3
+//!   related defenses (feature squeezing, MagNet) against DCN's logit
+//!   detector, on the same CW-L2 pools.
+//! * `adaptive` — the §6 adaptive attack: CW-L2 with a detector-evasion
+//!   term, swept over the evasion weight λ.
+
+use std::path::Path;
+
+use dcn_core::{AdaptiveCwL2, FeatureSqueezer, MagNet, MagNetConfig, Squeezer};
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::context::{experiment_cw_l2, TaskContext};
+use crate::experiments::adv_pool;
+use crate::table::{pct, TextTable};
+use crate::Scale;
+
+/// Detection rates of the three detector families on shared pools.
+#[derive(Debug, Clone, Serialize)]
+pub struct RelatedDefenses {
+    /// Task name.
+    pub task: String,
+    /// `(defense, benign flagged, adversarial caught)`.
+    pub rows: Vec<(String, f32, f32)>,
+}
+
+impl RelatedDefenses {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["detector", "benign flagged", "adversarial caught"]);
+        for (d, b, a) in &self.rows {
+            t.row(vec![d.clone(), pct(*b), pct(*a)]);
+        }
+        format!("{}\n{}", self.task, t.render())
+    }
+}
+
+/// Compares DCN's logit detector with feature squeezing and MagNet on the
+/// same benign set and CW-L2 adversarial pool.
+///
+/// # Panics
+///
+/// Panics on substrate failure.
+pub fn related_defenses(ctx: &TaskContext, scale: Scale, cache_dir: &Path) -> RelatedDefenses {
+    let mut rng = StdRng::seed_from_u64(53);
+    let n = scale.detector_eval_seeds(ctx.task).min(ctx.correct_test.len());
+    let pool = adv_pool(ctx, &experiment_cw_l2(), n, cache_dir);
+    let benign = ctx.correct_examples(0, n);
+
+    // Feature squeezing, calibrated to a ~2% benign false-alarm budget on
+    // disjoint training images.
+    let calib: Vec<Tensor> = (0..120.min(ctx.train.len()))
+        .map(|i| ctx.train.example(i).expect("train example"))
+        .collect();
+    let mut fs = FeatureSqueezer::new(
+        ctx.net.clone(),
+        vec![
+            Squeezer::BitDepth { bits: 2 },
+            Squeezer::MedianSmooth { k: 3 },
+        ],
+        1.0,
+    )
+    .expect("squeezer config");
+    fs.calibrate_threshold(&calib, 0.98).expect("calibration");
+
+    // MagNet autoencoder trained on benign training images.
+    let magnet_train: Vec<Tensor> = (0..400.min(ctx.train.len()))
+        .map(|i| ctx.train.example(i).expect("train example"))
+        .collect();
+    let magnet = MagNet::train(
+        &magnet_train,
+        &MagNetConfig {
+            bottleneck: 64,
+            epochs: 20,
+            learning_rate: 0.002,
+            threshold_percentile: 0.98,
+        },
+        &mut rng,
+    )
+    .expect("magnet training");
+
+    let mut rows = Vec::new();
+    // DCN's logit detector.
+    let mut flagged = 0usize;
+    let mut caught = 0usize;
+    for x in &benign {
+        let l = ctx.net.logits_one(x).expect("inference");
+        if ctx.detector.is_adversarial(&l).expect("detector") {
+            flagged += 1;
+        }
+    }
+    for e in &pool {
+        let l = ctx.net.logits_one(&e.adversarial).expect("inference");
+        if ctx.detector.is_adversarial(&l).expect("detector") {
+            caught += 1;
+        }
+    }
+    rows.push((
+        "DCN logit detector".to_string(),
+        flagged as f32 / benign.len() as f32,
+        caught as f32 / pool.len().max(1) as f32,
+    ));
+
+    // Feature squeezing.
+    let mut flagged = 0usize;
+    let mut caught = 0usize;
+    for x in &benign {
+        if fs.is_adversarial(x).expect("squeezing") {
+            flagged += 1;
+        }
+    }
+    for e in &pool {
+        if fs.is_adversarial(&e.adversarial).expect("squeezing") {
+            caught += 1;
+        }
+    }
+    rows.push((
+        "Feature squeezing".to_string(),
+        flagged as f32 / benign.len() as f32,
+        caught as f32 / pool.len().max(1) as f32,
+    ));
+
+    // MagNet reconstruction-error detector.
+    let mut flagged = 0usize;
+    let mut caught = 0usize;
+    for x in &benign {
+        if magnet.is_adversarial(x).expect("magnet") {
+            flagged += 1;
+        }
+    }
+    for e in &pool {
+        if magnet.is_adversarial(&e.adversarial).expect("magnet") {
+            caught += 1;
+        }
+    }
+    rows.push((
+        "MagNet (recon error)".to_string(),
+        flagged as f32 / benign.len() as f32,
+        caught as f32 / pool.len().max(1) as f32,
+    ));
+
+    RelatedDefenses {
+        task: ctx.task.name().to_string(),
+        rows,
+    }
+}
+
+/// The adaptive-attack sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdaptiveSweep {
+    /// Task name.
+    pub task: String,
+    /// `(λ, success vs DCN detector+classifier, mean L2 of successes)`.
+    pub rows: Vec<(f32, f32, f32)>,
+}
+
+impl AdaptiveSweep {
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["lambda", "evades classifier+detector", "mean L2"]);
+        for (l, s, d) in &self.rows {
+            t.row(vec![format!("{l:.0}"), pct(*s), format!("{d:.2}")]);
+        }
+        format!("{}\n{}", self.task, t.render())
+    }
+}
+
+/// Sweeps the detector-evasion weight λ of [`AdaptiveCwL2`]: at λ = 0 the
+/// attack is plain CW (the detector catches it); with λ > 0 it learns to
+/// evade the detector too — the §6 attack the paper anticipates.
+///
+/// # Panics
+///
+/// Panics on substrate failure.
+pub fn adaptive_sweep(ctx: &TaskContext, scale: Scale, _cache_dir: &Path) -> AdaptiveSweep {
+    let n = (scale.attack_seeds(ctx.task) / 2).max(2).min(ctx.correct_test.len());
+    let seeds = ctx.correct_examples(0, n);
+    let k = ctx.net.num_classes().expect("classes");
+    let mut rows = Vec::new();
+    for lambda in [0.0f32, 1.0, 5.0, 20.0] {
+        let attack = AdaptiveCwL2::new(lambda);
+        let mut attempts = 0usize;
+        let mut wins = 0usize;
+        let mut dist = 0.0f32;
+        for x in &seeds {
+            let label = ctx.net.predict_one(x).expect("inference");
+            // One representative target per seed keeps the sweep tractable.
+            let target = (label + 1) % k;
+            attempts += 1;
+            if let Some(adv) = attack
+                .run(&ctx.net, &ctx.detector, x, target)
+                .expect("adaptive attack")
+            {
+                // Success = misclassified AND passes the detector.
+                let logits = ctx.net.logits_one(&adv).expect("inference");
+                if ctx.net.predict_one(&adv).expect("inference") == target
+                    && !ctx.detector.is_adversarial(&logits).expect("detector")
+                {
+                    wins += 1;
+                    dist += adv.dist_l2(x).expect("distance");
+                }
+            }
+        }
+        rows.push((
+            lambda,
+            wins as f32 / attempts.max(1) as f32,
+            if wins > 0 { dist / wins as f32 } else { 0.0 },
+        ));
+    }
+    AdaptiveSweep {
+        task: ctx.task.name().to_string(),
+        rows,
+    }
+}

@@ -1,0 +1,153 @@
+//! # dcn-bench
+//!
+//! Experiment harness regenerating every table and figure of the DCN paper
+//! (see `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured results).
+//!
+//! The entry point is the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p dcn-bench --bin repro -- table4 --scale quick
+//! cargo run --release -p dcn-bench --bin repro -- all
+//! ```
+//!
+//! Each experiment returns a serializable result struct, prints a formatted
+//! table, and writes JSON into `results/`. Trained models are cached under
+//! `results/cache/` so successive experiments reuse them.
+
+#![deny(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod table;
+
+/// Experiment scale.
+///
+/// `Quick` is calibrated to finish the full suite in tens of minutes on one
+/// CPU core; `Full` matches the paper's example counts (hours on one core).
+/// Both run the identical code paths — only seed counts and sample sizes
+/// change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced example counts for a single-core machine.
+    Quick,
+    /// The paper's example counts.
+    Full,
+}
+
+impl Scale {
+    /// Parses `"quick"` or `"full"`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Number of benign seeds attacked in Tables 4/5 (the paper uses 100).
+    pub fn attack_seeds(&self, task: Task) -> usize {
+        match (self, task) {
+            (Scale::Quick, Task::Mnist) => 10,
+            (Scale::Quick, Task::Cifar) => 5,
+            (Scale::Full, _) => 100,
+        }
+    }
+
+    /// Benign examples scored in Table 3 (paper: 1000 MNIST / 500 CIFAR).
+    pub fn benign_examples(&self, task: Task) -> usize {
+        match (self, task) {
+            (Scale::Quick, Task::Mnist) => 300,
+            (Scale::Quick, Task::Cifar) => 120,
+            (Scale::Full, Task::Mnist) => 1000,
+            (Scale::Full, Task::Cifar) => 500,
+        }
+    }
+
+    /// Seeds used to train the detector (paper: 1000 MNIST / 500 CIFAR).
+    pub fn detector_seeds(&self, task: Task) -> usize {
+        match (self, task) {
+            (Scale::Quick, Task::Mnist) => 60,
+            (Scale::Quick, Task::Cifar) => 25,
+            (Scale::Full, Task::Mnist) => 1000,
+            (Scale::Full, Task::Cifar) => 500,
+        }
+    }
+
+    /// Seeds used to evaluate the detector in Table 2 (paper: 1000).
+    pub fn detector_eval_seeds(&self, task: Task) -> usize {
+        match (self, task) {
+            (Scale::Quick, Task::Mnist) => 30,
+            (Scale::Quick, Task::Cifar) => 12,
+            (Scale::Full, _) => 1000,
+        }
+    }
+
+    /// Examples per batch in the Table 6 / Fig. 5 cost sweep (paper: 100).
+    pub fn cost_examples(&self, task: Task) -> usize {
+        match (self, task) {
+            (Scale::Quick, Task::Mnist) => 60,
+            (Scale::Quick, Task::Cifar) => 30,
+            (Scale::Full, _) => 100,
+        }
+    }
+}
+
+/// Which benchmark task an experiment targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// The synthetic MNIST stand-in (28×28×1).
+    Mnist,
+    /// The synthetic CIFAR-10 stand-in (32×32×3).
+    Cifar,
+}
+
+impl Task {
+    /// Lower-case task name used in file paths and table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Task::Mnist => "mnist",
+            Task::Cifar => "cifar",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_known_names_only() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn full_scale_matches_the_paper_counts() {
+        assert_eq!(Scale::Full.attack_seeds(Task::Mnist), 100);
+        assert_eq!(Scale::Full.benign_examples(Task::Mnist), 1000);
+        assert_eq!(Scale::Full.benign_examples(Task::Cifar), 500);
+        assert_eq!(Scale::Full.detector_seeds(Task::Mnist), 1000);
+        assert_eq!(Scale::Full.cost_examples(Task::Cifar), 100);
+    }
+
+    #[test]
+    fn quick_scale_is_strictly_smaller() {
+        for task in [Task::Mnist, Task::Cifar] {
+            assert!(Scale::Quick.attack_seeds(task) < Scale::Full.attack_seeds(task));
+            assert!(Scale::Quick.benign_examples(task) < Scale::Full.benign_examples(task));
+            assert!(Scale::Quick.detector_seeds(task) < Scale::Full.detector_seeds(task));
+            assert!(
+                Scale::Quick.detector_eval_seeds(task) < Scale::Full.detector_eval_seeds(task)
+            );
+            assert!(Scale::Quick.cost_examples(task) < Scale::Full.cost_examples(task));
+        }
+    }
+
+    #[test]
+    fn task_names_are_stable_cache_keys() {
+        assert_eq!(Task::Mnist.name(), "mnist");
+        assert_eq!(Task::Cifar.name(), "cifar");
+    }
+}

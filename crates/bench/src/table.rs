@@ -1,0 +1,114 @@
+//! Minimal table rendering and result persistence.
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A rendered experiment table: header row plus data rows.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |row: &[String]| {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a rate as a percentage with two decimals, e.g. `56.11%`.
+pub fn pct(rate: f32) -> String {
+    format!("{:.2}%", rate * 100.0)
+}
+
+/// Writes a serializable result as pretty JSON under `dir/name.json`.
+///
+/// # Panics
+///
+/// Panics on I/O or serialization failure — experiment results must not be
+/// silently dropped.
+pub fn save_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("encode"))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a     "));
+    }
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(0.5611), "56.11%");
+        assert_eq!(pct(1.0), "100.00%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        let dir = std::env::temp_dir().join("dcn_bench_table_test");
+        save_json(&dir, "probe", &vec![1, 2, 3]);
+        let s = fs::read_to_string(dir.join("probe.json")).unwrap();
+        assert!(s.contains('1'));
+        let _ = fs::remove_dir_all(dir);
+    }
+}

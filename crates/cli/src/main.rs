@@ -1,0 +1,371 @@
+//! `dcn` — command-line workflow for the DCN reproduction.
+//!
+//! ```text
+//! dcn train    --task mnist|cifar [--n 2000] [--epochs 8] [--seed 42] --out model.json
+//! dcn eval     --model model.json --task mnist [--n 500] [--seed 42]
+//! dcn attack   --model model.json --task mnist --attack cw-l2 [--seeds 5]
+//!              [--kappa 0] [--eps 0.3] [--out pool.json] [--seed 42]
+//! dcn build    --model model.json --task mnist [--det-seeds 40] --out dcn.json
+//! dcn defend   --dcn dcn.json --pool pool.json [--seed 42]
+//! dcn info     --model model.json | --dcn dcn.json
+//! ```
+//!
+//! Every artifact is plain JSON, interchangeable with the library's
+//! `serde` representations, so models trained here load in user code and
+//! vice versa.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use dcn_attacks::{
+    evaluate_targeted, AdversarialExample, CwL0, CwL2, CwLinf, DeepFool, Fgsm, Igsm, Jsma,
+    Lbfgs, TargetedAttack,
+};
+use dcn_core::{
+    attack_success_against, models, Corrector, Dcn, Detector, DetectorConfig, StandardDefense,
+};
+use dcn_data::{synth_cifar, synth_mnist, Dataset, SynthConfig};
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USAGE: &str = "usage: dcn <train|eval|attack|build|defend|info> [flags]
+run `dcn help` for the full flag reference";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        "attack" => cmd_attack(&flags),
+        "build" => cmd_build(&flags),
+        "defend" => cmd_defend(&flags),
+        "info" => cmd_info(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", long_help());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn long_help() -> String {
+    "dcn — train, attack and defend image classifiers (DCN reproduction)
+
+commands:
+  train   train a CNN on a synthetic task and save it as JSON
+  eval    report a model's accuracy on a fresh test set
+  attack  generate targeted adversarial examples against a model
+  build   assemble a full DCN (detector + corrector) around a model
+  defend  replay an adversarial pool against a saved DCN
+  info    describe a saved model or DCN
+
+common flags:
+  --task mnist|cifar   synthetic benchmark (default mnist)
+  --seed N             RNG seed (default 42)
+  --out PATH           output artifact path
+
+train:  --n EXAMPLES (2000)  --epochs E (8)
+eval:   --model PATH  --n EXAMPLES (500)
+attack: --model PATH  --attack l-bfgs|fgsm|igsm|jsma|deepfool|cw-l0|cw-l2|cw-linf
+        --seeds S (5)  --kappa K (0)  --eps E (0.3)
+build:  --model PATH  --det-seeds S (40)
+defend: --dcn PATH  --pool PATH"
+        .to_string()
+}
+
+/// Parses `--key value` pairs; rejects unknown shapes early.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let Some(key) = k.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {k:?}"));
+        };
+        let Some(v) = it.next() else {
+            return Err(format!("flag --{key} needs a value"));
+        };
+        flags.insert(key.to_string(), v.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn flag_or<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("cannot parse {what} from {s:?}"))
+}
+
+fn dataset(task: &str, n: usize, rng: &mut StdRng) -> Result<Dataset, String> {
+    match task {
+        "mnist" => Ok(synth_mnist(n, &SynthConfig::default(), rng)),
+        "cifar" => Ok(synth_cifar(n, &SynthConfig::default(), rng)),
+        other => Err(format!("unknown task {other:?} (mnist or cifar)")),
+    }
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let task = flag_or(flags, "task", "mnist");
+    let n: usize = parse_num(flag_or(flags, "n", "2000"), "--n")?;
+    let epochs: usize = parse_num(flag_or(flags, "epochs", "8"), "--epochs")?;
+    let seed: u64 = parse_num(flag_or(flags, "seed", "42"), "--seed")?;
+    let out = flag(flags, "out")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = dataset(task, n, &mut rng)?;
+    let test = dataset(task, n / 4 + 50, &mut rng)?;
+    eprintln!("training {task} CNN on {n} examples, {epochs} epochs…");
+    let fresh = match task {
+        "mnist" => models::mnist_cnn(&mut rng),
+        _ => models::cifar_cnn(&mut rng),
+    }
+    .map_err(|e| e.to_string())?;
+    let net = models::train_classifier(fresh, &train, epochs, 0.002, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let acc = models::accuracy_on(&net, &test).map_err(|e| e.to_string())?;
+    net.save(out).map_err(|e| e.to_string())?;
+    println!("saved {out}; held-out accuracy {:.2}%", acc * 100.0);
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let task = flag_or(flags, "task", "mnist");
+    let n: usize = parse_num(flag_or(flags, "n", "500"), "--n")?;
+    let seed: u64 = parse_num(flag_or(flags, "seed", "42"), "--seed")?;
+    let net = Network::load(flag(flags, "model")?).map_err(|e| e.to_string())?;
+    // Offset the stream so eval data differs from the training default.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let test = dataset(task, n, &mut rng)?;
+    let acc = models::accuracy_on(&net, &test).map_err(|e| e.to_string())?;
+    println!("accuracy on {n} fresh {task} examples: {:.2}%", acc * 100.0);
+    Ok(())
+}
+
+fn make_attack(name: &str, kappa: f32, eps: f32) -> Result<Box<dyn TargetedAttack>, String> {
+    Ok(match name {
+        "l-bfgs" => Box::new(Lbfgs::new()),
+        "fgsm" => Box::new(Fgsm::new(eps)),
+        "igsm" => Box::new(Igsm::with_epsilon(eps)),
+        "jsma" => Box::new(Jsma::default()),
+        "cw-l0" => Box::new(CwL0::new(kappa)),
+        "cw-l2" => Box::new(CwL2::new(kappa)),
+        "cw-linf" => Box::new(CwLinf::new(kappa)),
+        other => return Err(format!("unknown attack {other:?}")),
+    })
+}
+
+fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
+    let task = flag_or(flags, "task", "mnist");
+    let seeds_n: usize = parse_num(flag_or(flags, "seeds", "5"), "--seeds")?;
+    let kappa: f32 = parse_num(flag_or(flags, "kappa", "0"), "--kappa")?;
+    let eps: f32 = parse_num(flag_or(flags, "eps", "0.3"), "--eps")?;
+    let seed: u64 = parse_num(flag_or(flags, "seed", "42"), "--seed")?;
+    let attack_name = flag_or(flags, "attack", "cw-l2");
+    let net = Network::load(flag(flags, "model")?).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    let test = dataset(task, seeds_n * 3 + 30, &mut rng)?;
+    let seeds: Vec<Tensor> = (0..test.len())
+        .filter_map(|i| {
+            let x = test.example(i).ok()?;
+            (net.predict_one(&x).ok()? == test.labels()[i]).then_some(x)
+        })
+        .take(seeds_n)
+        .collect();
+    if seeds.len() < seeds_n {
+        return Err(format!(
+            "model only classifies {} of the requested {seeds_n} seeds correctly",
+            seeds.len()
+        ));
+    }
+    eprintln!("running {attack_name} on {seeds_n} seeds × all targets…");
+    let (stats, pool) = if attack_name == "deepfool" {
+        dcn_attacks::evaluate_native_untargeted(&DeepFool::default(), &net, &seeds)
+            .map_err(|e| e.to_string())?
+    } else {
+        let attack = make_attack(attack_name, kappa, eps)?;
+        evaluate_targeted(attack.as_ref(), &net, &seeds).map_err(|e| e.to_string())?
+    };
+    println!(
+        "{}: {}/{} succeeded ({:.1}%), mean L0 {:.1} px, L2 {:.3}, Linf {:.3}",
+        stats.attack,
+        stats.successes,
+        stats.attempts,
+        stats.success_rate() * 100.0,
+        stats.mean_l0,
+        stats.mean_l2,
+        stats.mean_linf
+    );
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, serde_json::to_string(&pool).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {} adversarial examples to {out}", pool.len());
+    }
+    Ok(())
+}
+
+fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
+    let task = flag_or(flags, "task", "mnist");
+    let det_seeds: usize = parse_num(flag_or(flags, "det-seeds", "40"), "--det-seeds")?;
+    let seed: u64 = parse_num(flag_or(flags, "seed", "42"), "--seed")?;
+    let out = flag(flags, "out")?;
+    let net = Network::load(flag(flags, "model")?).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+    let data = dataset(task, det_seeds + 20, &mut rng)?;
+    let seeds: Vec<Tensor> = (0..det_seeds)
+        .map(|i| data.example(i).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    eprintln!("training the detector against CW-L2 on {det_seeds} seeds (slow)…");
+    let detector = Detector::train_against(
+        &net,
+        &seeds,
+        &CwL2::new(0.0),
+        &DetectorConfig::default(),
+        &mut rng,
+    )
+    .map_err(|e| e.to_string())?;
+    let corrector = match task {
+        "mnist" => Corrector::mnist_default(),
+        _ => Corrector::cifar_default(),
+    };
+    let dcn = Dcn::new(net, detector, corrector);
+    std::fs::write(out, serde_json::to_string(&dcn).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "saved DCN to {out} (corrector r = {}, m = {})",
+        dcn.corrector().radius(),
+        dcn.corrector().samples()
+    );
+    Ok(())
+}
+
+fn cmd_defend(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = parse_num(flag_or(flags, "seed", "42"), "--seed")?;
+    let dcn: Dcn = serde_json::from_str(
+        &std::fs::read_to_string(flag(flags, "dcn")?).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let pool: Vec<AdversarialExample> = serde_json::from_str(
+        &std::fs::read_to_string(flag(flags, "pool")?).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(4));
+    let standard = StandardDefense::new(dcn.base().clone());
+    let s_std =
+        attack_success_against(&standard, &pool, &mut rng).map_err(|e| e.to_string())?;
+    let s_dcn = attack_success_against(&dcn, &pool, &mut rng).map_err(|e| e.to_string())?;
+    println!(
+        "pool of {}: success {:.1}% against the bare network, {:.1}% against the DCN",
+        pool.len(),
+        s_std * 100.0,
+        s_dcn * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("model") {
+        let net = Network::load(path).map_err(|e| e.to_string())?;
+        println!(
+            "model {path}: input {:?}, {} classes, {} parameters, {} layers",
+            net.input_shape(),
+            net.num_classes().map_err(|e| e.to_string())?,
+            net.num_params(),
+            net.layers().len()
+        );
+        return Ok(());
+    }
+    if let Some(path) = flags.get("dcn") {
+        let dcn: Dcn = serde_json::from_str(
+            &std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "dcn {path}: base input {:?}, corrector r = {}, m = {}, detector {} params",
+            dcn.base().input_shape(),
+            dcn.corrector().radius(),
+            dcn.corrector().samples(),
+            dcn.detector().network().num_params()
+        );
+        return Ok(());
+    }
+    Err("info needs --model or --dcn".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_accepts_pairs_and_rejects_bare_words() {
+        let f = parse_flags(&["--task".into(), "mnist".into(), "--n".into(), "5".into()])
+            .unwrap();
+        assert_eq!(f.get("task").map(String::as_str), Some("mnist"));
+        assert!(parse_flags(&["task".into()]).is_err());
+        assert!(parse_flags(&["--task".into()]).is_err());
+    }
+
+    #[test]
+    fn flag_helpers_report_missing_keys() {
+        let f = flags_of(&[("a", "1")]);
+        assert_eq!(flag(&f, "a").unwrap(), "1");
+        assert!(flag(&f, "b").is_err());
+        assert_eq!(flag_or(&f, "b", "x"), "x");
+    }
+
+    #[test]
+    fn parse_num_validates() {
+        assert_eq!(parse_num::<usize>("12", "n").unwrap(), 12);
+        assert!(parse_num::<usize>("abc", "n").is_err());
+        assert!(parse_num::<f32>("0.25", "eps").unwrap() - 0.25 < 1e-6);
+    }
+
+    #[test]
+    fn dataset_rejects_unknown_task() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(dataset("imagenet", 10, &mut rng).is_err());
+        assert_eq!(dataset("mnist", 10, &mut rng).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn make_attack_covers_the_table() {
+        for a in ["l-bfgs", "fgsm", "igsm", "jsma", "cw-l0", "cw-l2", "cw-linf"] {
+            assert!(make_attack(a, 0.0, 0.3).is_ok(), "attack {a}");
+        }
+        assert!(make_attack("pgd", 0.0, 0.3).is_err());
+    }
+}

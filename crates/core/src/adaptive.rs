@@ -1,0 +1,298 @@
+//! The adaptive attack the paper's §6 anticipates: a CW-style optimizer
+//! whose loss jointly targets the base network *and* the DCN's detector.
+//!
+//! The objective in tanh space is
+//!
+//! ```text
+//! ‖x'−x‖² + c·f_cw(Z(x')) + λ·max(s(Z(x')) + γ, 0)
+//! ```
+//!
+//! where `f_cw` is the usual CW margin toward the target class and `s` is
+//! the detector's differentiable score ([`crate::Detector::score_gradient`];
+//! positive ⇔ flagged). The hinge pushes the detector score below `−γ`, so
+//! a successful example is misclassified *and* sails through the detector —
+//! exactly the "construct new loss function to bypass the detection
+//! network" attack the paper describes, and the reason logit-space
+//! detection is not a robustness guarantee.
+
+use dcn_attacks::{BOX_MAX, BOX_MIN};
+use dcn_nn::{cw_loss, Network};
+use dcn_tensor::Tensor;
+
+use crate::{Detector, DefenseError, Result};
+
+/// CW-L2 extended with a detector-evasion term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveCwL2 {
+    /// Classification confidence margin κ (as in CW).
+    pub kappa: f32,
+    /// Weight λ of the detector-evasion hinge.
+    pub lambda: f32,
+    /// Detector margin γ the attack must clear (score pushed below −γ).
+    pub detector_margin: f32,
+    /// Binary-search steps over the trade-off constant `c`.
+    pub binary_search_steps: usize,
+    /// Adam iterations per search step.
+    pub max_iterations: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Initial trade-off constant.
+    pub initial_c: f32,
+}
+
+impl AdaptiveCwL2 {
+    /// Creates the adaptive attack with detector weight `lambda`.
+    pub fn new(lambda: f32) -> Self {
+        AdaptiveCwL2 {
+            kappa: 0.0,
+            lambda,
+            detector_margin: 0.5,
+            binary_search_steps: 4,
+            max_iterations: 150,
+            learning_rate: 0.05,
+            initial_c: 1.0,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.lambda < 0.0
+            || self.kappa < 0.0
+            || self.detector_margin < 0.0
+            || self.binary_search_steps == 0
+            || self.max_iterations == 0
+            || self.learning_rate <= 0.0
+            || self.initial_c <= 0.0
+        {
+            return Err(DefenseError::BadConfig(
+                "adaptive attack parameters out of range".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Searches for an input classified as `target` by `net` that the
+    /// `detector` also passes as benign. Returns the least-distorted such
+    /// input, or `None` when the search fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::BadConfig`] for invalid parameters or
+    /// targets and propagates network errors.
+    pub fn run(
+        &self,
+        net: &Network,
+        detector: &Detector,
+        x: &Tensor,
+        target: usize,
+    ) -> Result<Option<Tensor>> {
+        self.validate()?;
+        let k = net.num_classes()?;
+        if target >= k {
+            return Err(DefenseError::BadConfig(format!(
+                "target {target} out of range 0..{k}"
+            )));
+        }
+        let n = x.len();
+        let atanh = |v: f32| {
+            let v = (v * 2.0).clamp(-0.999_99, 0.999_99);
+            0.5 * ((1.0 + v) / (1.0 - v)).ln()
+        };
+        let w0: Vec<f32> = x.data().iter().map(|&v| atanh(v)).collect();
+        let mut lo = 0.0f32;
+        let mut hi: Option<f32> = None;
+        let mut c = self.initial_c;
+        let mut best: Option<(f32, Tensor)> = None;
+        for _ in 0..self.binary_search_steps {
+            let mut w = w0.clone();
+            // Inline Adam state.
+            let (mut m, mut v) = (vec![0.0f32; n], vec![0.0f32; n]);
+            let mut t = 0u32;
+            let mut succeeded = false;
+            for _ in 0..self.max_iterations {
+                let mut xp = Tensor::zeros(x.shape());
+                let mut dxdw = vec![0.0f32; n];
+                for i in 0..n {
+                    let th = w[i].tanh();
+                    xp.data_mut()[i] = (0.5 * th).clamp(BOX_MIN, BOX_MAX);
+                    dxdw[i] = 0.5 * (1.0 - th * th);
+                }
+                // One forward pass; combined logit gradient from both terms.
+                let batched = Tensor::stack(std::slice::from_ref(&xp))?;
+                let (logits, caches) = net.forward_train(&batched)?;
+                let row = logits.row(0)?;
+                let (_, g_cw) = cw_loss(&row, target, self.kappa)?;
+                let (score, g_det) = detector.score_gradient(&row)?;
+                let is_target = row.argmax()? == target;
+                if is_target && score < 0.0 {
+                    succeeded = true;
+                    let d = xp.dist_l2(x)?;
+                    if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                        best = Some((d, xp.clone()));
+                    }
+                }
+                let mut dlogits = g_cw.scale(c);
+                if score + self.detector_margin > 0.0 {
+                    dlogits.add_scaled(&g_det, self.lambda)?;
+                }
+                let gin = net
+                    .backward(&Tensor::stack(&[dlogits])?, &caches)?
+                    .0
+                    .unstack()?
+                    .swap_remove(0);
+                // Total gradient in w space: distortion + combined term.
+                t += 1;
+                let bc1 = 1.0 - 0.9f32.powi(t as i32);
+                let bc2 = 1.0 - 0.999f32.powi(t as i32);
+                for i in 0..n {
+                    let gx = 2.0 * (xp.data()[i] - x.data()[i]) + gin.data()[i];
+                    let gw = gx * dxdw[i];
+                    m[i] = 0.9 * m[i] + 0.1 * gw;
+                    v[i] = 0.999 * v[i] + 0.001 * gw * gw;
+                    w[i] -= self.learning_rate * (m[i] / bc1) / ((v[i] / bc2).sqrt() + 1e-8);
+                }
+            }
+            if succeeded {
+                hi = Some(c);
+                c = (lo + c) / 2.0;
+            } else {
+                lo = c;
+                c = match hi {
+                    Some(h) => (lo + h) / 2.0,
+                    None => c * 10.0,
+                };
+            }
+        }
+        Ok(best.map(|(_, adv)| adv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Detector, DetectorConfig};
+    use dcn_attacks::{CwL2, TargetedAttack};
+    use dcn_nn::{Adam, Dense, Layer, Relu, TrainConfig, Trainer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_net(rng: &mut StdRng) -> Network {
+        let mut net = Network::new(vec![2]);
+        net.push(Layer::Dense(Dense::new(2, 12, rng).unwrap()));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::Dense(Dense::new(12, 3, rng).unwrap()));
+        let centers = [(-0.3f32, -0.3f32), (0.3, -0.3), (0.0, 0.35)];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..150 {
+            let c = i % 3;
+            xs.push(
+                Tensor::randn(&[2], 0.0, 0.06, rng)
+                    .add(&Tensor::from_slice(&[centers[c].0, centers[c].1]))
+                    .unwrap(),
+            );
+            ys.push(c);
+        }
+        let x = Tensor::stack(&xs).unwrap();
+        let mut tr = Trainer::new(TrainConfig {
+            epochs: 60,
+            batch_size: 30,
+            ..Default::default()
+        });
+        tr.fit(&mut net, &x, &ys, &mut Adam::new(0.03), rng).unwrap();
+        net
+    }
+
+    fn trained_detector(net: &Network, rng: &mut StdRng) -> Detector {
+        let seeds: Vec<Tensor> = (0..20)
+            .map(|i| {
+                let c = i % 3;
+                let centers = [(-0.3f32, -0.3f32), (0.3, -0.3), (0.0, 0.35)];
+                Tensor::randn(&[2], 0.0, 0.05, rng)
+                    .add(&Tensor::from_slice(&[centers[c].0, centers[c].1]))
+                    .unwrap()
+            })
+            .collect();
+        Detector::train_against(net, &seeds, &CwL2::new(0.0), &DetectorConfig::default(), rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn score_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = trained_net(&mut rng);
+        let detector = trained_detector(&net, &mut rng);
+        let logits = Tensor::from_slice(&[2.0, 1.8, -3.0]);
+        let (s0, g) = detector.score_gradient(&logits).unwrap();
+        let h = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += h;
+            let (sp, _) = detector.score_gradient(&lp).unwrap();
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= h;
+            let (sm, _) = detector.score_gradient(&lm).unwrap();
+            let numeric = (sp - sm) / (2.0 * h);
+            let scale = numeric.abs().max(g.data()[i].abs()).max(1.0);
+            assert!(
+                (numeric - g.data()[i]).abs() / scale < 0.05,
+                "coord {i}: numeric {numeric} vs analytic {}",
+                g.data()[i]
+            );
+        }
+        let _ = s0;
+    }
+
+    #[test]
+    fn adaptive_attack_evades_both_classifier_and_detector() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let net = trained_net(&mut rng);
+        let detector = trained_detector(&net, &mut rng);
+        let x = Tensor::from_slice(&[-0.3, -0.3]);
+        let label = net.predict_one(&x).unwrap();
+        let target = (label + 1) % 3;
+
+        // The plain CW example is (usually) detected…
+        let plain = CwL2::new(0.0).run_targeted(&net, &x, target).unwrap();
+        // …the adaptive example must be classified as the target AND pass
+        // the detector.
+        let adaptive = AdaptiveCwL2::new(5.0)
+            .run(&net, &detector, &x, target)
+            .unwrap();
+        if let Some(adv) = &adaptive {
+            assert_eq!(net.predict_one(adv).unwrap(), target);
+            let logits = net.logits_one(adv).unwrap();
+            assert!(!detector.is_adversarial(&logits).unwrap());
+            // Evasion costs distortion relative to plain CW.
+            if let Some(p) = &plain {
+                let d_plain = p.dist_l2(&x).unwrap();
+                let d_adaptive = adv.dist_l2(&x).unwrap();
+                assert!(
+                    d_adaptive >= d_plain - 0.05,
+                    "adaptive {d_adaptive} cheaper than plain {d_plain}?"
+                );
+            }
+        } else {
+            panic!("adaptive attack should succeed on a small MLP");
+        }
+    }
+
+    #[test]
+    fn adaptive_attack_validates_parameters() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let net = trained_net(&mut rng);
+        let detector = trained_detector(&net, &mut rng);
+        let x = Tensor::zeros(&[2]);
+        let mut bad = AdaptiveCwL2::new(1.0);
+        bad.lambda = -1.0;
+        assert!(bad.run(&net, &detector, &x, 1).is_err());
+        assert!(AdaptiveCwL2::new(1.0).run(&net, &detector, &x, 9).is_err());
+    }
+
+    #[test]
+    fn score_gradient_validates_width() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let net = trained_net(&mut rng);
+        let detector = trained_detector(&net, &mut rng);
+        assert!(detector.score_gradient(&Tensor::zeros(&[5])).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The composed Detector-Corrector Network (§4).
+
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Corrector, Detector, Result};
+
+/// How the DCN arrived at a label — useful for cost accounting and the
+/// paper's workflow figures (Figs. 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DcnVerdict {
+    /// The detector judged the input benign; the base network's label was
+    /// returned directly (one forward pass — Fig. 2).
+    PassedThrough,
+    /// The detector flagged the input; the corrector's majority vote was
+    /// returned (1 + m forward passes — Fig. 3).
+    Corrected,
+}
+
+/// The Detector-Corrector Network: an unmodified base classifier guarded by
+/// a logit detector, with region-vote correction only when the detector
+/// fires.
+///
+/// The base network is stored as a concrete [`Network`] (the detector needs
+/// its logits; attacks need its gradients elsewhere), but correction runs
+/// through the [`dcn_nn::Classifier`] abstraction so the voting path is shared with
+/// [`crate::RegionClassifier`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dcn {
+    base: Network,
+    detector: Detector,
+    corrector: Corrector,
+}
+
+impl Dcn {
+    /// Assembles a DCN from its three parts.
+    pub fn new(base: Network, detector: Detector, corrector: Corrector) -> Self {
+        Dcn {
+            base,
+            detector,
+            corrector,
+        }
+    }
+
+    /// Classifies `x`, reporting which path was taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-network and detector errors.
+    pub fn classify_with_verdict<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+    ) -> Result<(usize, DcnVerdict)> {
+        let logits = self.base.logits_one(x)?;
+        if self.detector.is_adversarial(&logits)? {
+            let label = self.corrector.correct(&self.base, x, rng)?;
+            Ok((label, DcnVerdict::Corrected))
+        } else {
+            Ok((logits.argmax().map_err(dcn_nn::NnError::from)?, DcnVerdict::PassedThrough))
+        }
+    }
+
+    /// Classifies `x`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-network and detector errors.
+    pub fn classify<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> Result<usize> {
+        Ok(self.classify_with_verdict(x, rng)?.0)
+    }
+
+    /// Base-network forward passes consumed by one classification that took
+    /// the given path (the paper's efficiency model: detection is free,
+    /// correction costs `m` extra passes).
+    pub fn cost_of(&self, verdict: DcnVerdict) -> usize {
+        match verdict {
+            DcnVerdict::PassedThrough => 1,
+            DcnVerdict::Corrected => 1 + self.corrector.samples(),
+        }
+    }
+
+    /// The unmodified base network.
+    pub fn base(&self) -> &Network {
+        &self.base
+    }
+
+    /// The detector component.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// The corrector component.
+    pub fn corrector(&self) -> &Corrector {
+        &self.corrector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DetectorConfig};
+    use dcn_nn::{Dense, Layer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// 1-D threshold net and a detector trained on synthetic logits where
+    /// "adversarial" means low-margin.
+    fn setup() -> (Dcn, StdRng) {
+        let mut rng = StdRng::seed_from_u64(12);
+        let w = Tensor::from_vec(vec![1, 2], vec![-10.0, 10.0]).unwrap();
+        let b = Tensor::from_slice(&[0.0, 0.0]);
+        let mut net = Network::new(vec![1]);
+        net.push(Layer::Dense(Dense::from_params(w, b).unwrap()));
+        // Benign logits: |x₀| large → margin ≈ 20·|x₀| ≥ 6. Adversarial:
+        // margin < 1 (x within 0.05 of the boundary).
+        let benign: Vec<Tensor> = (0..200)
+            .map(|i| {
+                let v = 0.3 + 0.2 * ((i % 10) as f32 / 10.0);
+                let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+                Tensor::from_slice(&[-10.0 * s * v, 10.0 * s * v])
+            })
+            .collect();
+        let adversarial: Vec<Tensor> = (0..200)
+            .map(|i| {
+                let v = 0.002 + 0.004 * ((i % 10) as f32 / 10.0);
+                let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+                Tensor::from_slice(&[-10.0 * s * v, 10.0 * s * v])
+            })
+            .collect();
+        let detector = Detector::train_from_logits(
+            &benign,
+            &adversarial,
+            &DetectorConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let dcn = Dcn::new(net, detector, Corrector::new(0.3, 200).unwrap());
+        (dcn, rng)
+    }
+
+    #[test]
+    fn benign_inputs_pass_through_at_base_cost() {
+        let (dcn, mut rng) = setup();
+        let x = Tensor::from_slice(&[-0.4]);
+        let (label, verdict) = dcn.classify_with_verdict(&x, &mut rng).unwrap();
+        assert_eq!(label, 0);
+        assert_eq!(verdict, DcnVerdict::PassedThrough);
+        assert_eq!(dcn.cost_of(verdict), 1);
+    }
+
+    #[test]
+    fn near_boundary_inputs_activate_the_corrector() {
+        let (dcn, mut rng) = setup();
+        // An "adversarial" input: just across the boundary (original was
+        // deep in class 0, attacker nudged it to +0.004 → class 1).
+        let adv = Tensor::from_slice(&[0.004]);
+        assert_eq!(dcn.base().predict_one(&adv).unwrap(), 1);
+        let (label, verdict) = dcn.classify_with_verdict(&adv, &mut rng).unwrap();
+        assert_eq!(verdict, DcnVerdict::Corrected);
+        assert_eq!(dcn.cost_of(verdict), 201);
+        // The hypercube around +0.004 is ~50/50; run the decisive case too.
+        let _ = label;
+        let adv2 = Tensor::from_slice(&[0.002]);
+        let (label2, v2) = dcn.classify_with_verdict(&adv2, &mut rng).unwrap();
+        assert_eq!(v2, DcnVerdict::Corrected);
+        // Vote can go either way this close to the boundary, but must be a
+        // valid class.
+        assert!(label2 < 2);
+    }
+
+    #[test]
+    fn dcn_serializes_as_a_unit() {
+        let (dcn, mut rng) = setup();
+        let json = serde_json::to_string(&dcn).unwrap();
+        let back: Dcn = serde_json::from_str(&json).unwrap();
+        assert_eq!(dcn, back);
+        let x = Tensor::from_slice(&[-0.45]);
+        assert_eq!(
+            dcn.classify(&x, &mut rng).unwrap(),
+            back.classify(&x, &mut rng).unwrap()
+        );
+    }
+
+    #[test]
+    fn accessors_expose_components() {
+        let (dcn, _) = setup();
+        assert_eq!(dcn.corrector().samples(), 200);
+        assert_eq!(dcn.base().num_classes().unwrap(), 2);
+        let logits = Tensor::from_slice(&[-5.0, 5.0]);
+        let _ = dcn.detector().is_adversarial(&logits).unwrap();
+    }
+}

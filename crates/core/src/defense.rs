@@ -1,0 +1,201 @@
+//! The [`Defense`] trait unifying everything the paper's Tables 3–5 compare:
+//! the standard DNN, defensive distillation, RC, and DCN.
+
+use dcn_attacks::AdversarialExample;
+use dcn_nn::{Classifier, Network};
+use dcn_tensor::Tensor;
+use rand::RngCore;
+
+use crate::{Dcn, RegionClassifier, Result};
+
+/// A deployed classification pipeline under evaluation.
+///
+/// Randomness is threaded explicitly because the region-vote defenses are
+/// stochastic; deterministic defenses ignore `rng`.
+pub trait Defense {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Final label assigned to `x`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classifier errors.
+    fn classify(&self, x: &Tensor, rng: &mut dyn RngCore) -> Result<usize>;
+}
+
+/// The undefended baseline: the base network's argmax, nothing else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardDefense {
+    net: Network,
+    name: &'static str,
+}
+
+impl StandardDefense {
+    /// Wraps a plain network (the paper's "Standard DNN" row).
+    pub fn new(net: Network) -> Self {
+        StandardDefense {
+            net,
+            name: "Standard",
+        }
+    }
+
+    /// Same wrapper with a custom display name — used for the distilled
+    /// network, which is deployed exactly like a standard network.
+    pub fn named(net: Network, name: &'static str) -> Self {
+        StandardDefense { net, name }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+}
+
+impl Defense for StandardDefense {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn classify(&self, x: &Tensor, _rng: &mut dyn RngCore) -> Result<usize> {
+        Ok(self.net.predict_one(x)?)
+    }
+}
+
+impl Defense for Dcn {
+    fn name(&self) -> &str {
+        "DCN"
+    }
+
+    fn classify(&self, x: &Tensor, rng: &mut dyn RngCore) -> Result<usize> {
+        Dcn::classify(self, x, rng)
+    }
+}
+
+impl<C: Classifier> Defense for RegionClassifier<C> {
+    fn name(&self) -> &str {
+        "RC"
+    }
+
+    fn classify(&self, x: &Tensor, rng: &mut dyn RngCore) -> Result<usize> {
+        RegionClassifier::classify(self, x, rng)
+    }
+}
+
+/// Accuracy of a defense over labeled examples (the paper's Table 3).
+///
+/// # Errors
+///
+/// Propagates defense errors.
+pub fn defense_accuracy<D: Defense + ?Sized>(
+    defense: &D,
+    examples: &[Tensor],
+    labels: &[usize],
+    rng: &mut dyn RngCore,
+) -> Result<f32> {
+    if examples.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (x, &y) in examples.iter().zip(labels.iter()) {
+        if defense.classify(x, rng)? == y {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / examples.len() as f32)
+}
+
+/// Success rate of pre-generated adversarial examples against a defense
+/// (the paper's Tables 4 and 5 convention): an attack *fails* if the defense
+/// recovers the example's original label.
+///
+/// # Errors
+///
+/// Propagates defense errors.
+pub fn attack_success_against<D: Defense + ?Sized>(
+    defense: &D,
+    examples: &[AdversarialExample],
+    rng: &mut dyn RngCore,
+) -> Result<f32> {
+    if examples.is_empty() {
+        return Ok(0.0);
+    }
+    let mut successes = 0usize;
+    for ex in examples {
+        if defense.classify(&ex.adversarial, rng)? != ex.original_label {
+            successes += 1;
+        }
+    }
+    Ok(successes as f32 / examples.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_nn::{Dense, Layer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn threshold_net() -> Network {
+        let w = dcn_tensor::Tensor::from_vec(vec![1, 2], vec![-10.0, 10.0]).unwrap();
+        let b = dcn_tensor::Tensor::from_slice(&[0.0, 0.0]);
+        let mut net = Network::new(vec![1]);
+        net.push(Layer::Dense(Dense::from_params(w, b).unwrap()));
+        net
+    }
+
+    #[test]
+    fn standard_defense_is_the_bare_network() {
+        let d = StandardDefense::new(threshold_net());
+        let mut rng = StdRng::seed_from_u64(18);
+        assert_eq!(d.name(), "Standard");
+        assert_eq!(d.classify(&Tensor::from_slice(&[0.3]), &mut rng).unwrap(), 1);
+        assert_eq!(
+            d.classify(&Tensor::from_slice(&[-0.3]), &mut rng).unwrap(),
+            0
+        );
+        let named = StandardDefense::named(threshold_net(), "Distillation");
+        assert_eq!(named.name(), "Distillation");
+    }
+
+    #[test]
+    fn defense_accuracy_counts_matches() {
+        let d = StandardDefense::new(threshold_net());
+        let mut rng = StdRng::seed_from_u64(19);
+        let xs = vec![
+            Tensor::from_slice(&[-0.3]),
+            Tensor::from_slice(&[0.3]),
+            Tensor::from_slice(&[0.1]),
+        ];
+        let acc = defense_accuracy(&d, &xs, &[0, 1, 0], &mut rng).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(defense_accuracy(&d, &[], &[], &mut rng).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn attack_success_uses_original_label_recovery() {
+        let net = threshold_net();
+        let d = StandardDefense::new(net.clone());
+        let mut rng = StdRng::seed_from_u64(20);
+        // "Adversarial" example that flipped the label: success against the
+        // bare network.
+        let orig = Tensor::from_slice(&[-0.2]);
+        let adv = Tensor::from_slice(&[0.2]);
+        let ex = AdversarialExample::measure(&net, &orig, &adv, Some(1)).unwrap();
+        let rate = attack_success_against(&d, std::slice::from_ref(&ex), &mut rng).unwrap();
+        assert_eq!(rate, 1.0);
+        // Against an RC with a big radius, the vote recovers label 0 often
+        // enough to matter; just check the API contract with an RC.
+        let rc = RegionClassifier::new(net, 0.5, 500).unwrap();
+        let r = attack_success_against(&rc, &[ex], &mut rng).unwrap();
+        assert!((0.0..=1.0).contains(&r));
+        assert_eq!(rc.name(), "RC");
+    }
+
+    #[test]
+    fn empty_example_set_is_zero_rate() {
+        let d = StandardDefense::new(threshold_net());
+        let mut rng = StdRng::seed_from_u64(21);
+        assert_eq!(attack_success_against(&d, &[], &mut rng).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Model zoo: the paper's base-classifier architectures, scaled for CPU.
+//!
+//! The paper trains the Carlini & Wagner MNIST/CIFAR CNNs in Keras. On a
+//! single CPU core we use the same *kind* of model — stacked convolutions
+//! followed by fully-connected layers — with strided convolutions standing
+//! in for conv+pool pairs, which keeps training tractable while preserving
+//! the accuracy bands the paper reports (≈99% MNIST-like, ≈78% CIFAR-like).
+
+use dcn_data::Dataset;
+use dcn_nn::{
+    metrics, Adam, Conv2d, Dense, Flatten, Layer, Network, Relu, TrainConfig, Trainer,
+};
+use dcn_tensor::Conv2dGeometry;
+use rand::Rng;
+
+use crate::{DefenseError, Result};
+
+/// The MNIST-task CNN: two strided 5×5 convolutions, then two dense layers.
+///
+/// Input `[1, 28, 28]`, ~58k parameters.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Nn`] only if layer construction fails (it cannot
+/// for these fixed shapes, but the signature stays honest).
+pub fn mnist_cnn<R: Rng + ?Sized>(rng: &mut R) -> Result<Network> {
+    let mut net = Network::new(vec![1, 28, 28]);
+    let g1 = Conv2dGeometry::new(1, 28, 28, 5, 2, 2).map_err(dcn_nn::NnError::from)?;
+    net.push(Layer::Conv2d(Conv2d::new(g1, 8, rng)?));
+    net.push(Layer::Relu(Relu::new()));
+    let g2 = Conv2dGeometry::new(8, 14, 14, 5, 2, 2).map_err(dcn_nn::NnError::from)?;
+    net.push(Layer::Conv2d(Conv2d::new(g2, 16, rng)?));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Flatten(Flatten::new()));
+    net.push(Layer::Dense(Dense::new(16 * 7 * 7, 64, rng)?));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Dense(Dense::new(64, 10, rng)?));
+    Ok(net)
+}
+
+/// The CIFAR-task CNN: same shape family at 32×32×3.
+///
+/// Input `[3, 32, 32]`, ~110k parameters.
+///
+/// # Errors
+///
+/// As [`mnist_cnn`].
+pub fn cifar_cnn<R: Rng + ?Sized>(rng: &mut R) -> Result<Network> {
+    let mut net = Network::new(vec![3, 32, 32]);
+    let g1 = Conv2dGeometry::new(3, 32, 32, 5, 2, 2).map_err(dcn_nn::NnError::from)?;
+    net.push(Layer::Conv2d(Conv2d::new(g1, 12, rng)?));
+    net.push(Layer::Relu(Relu::new()));
+    let g2 = Conv2dGeometry::new(12, 16, 16, 5, 2, 2).map_err(dcn_nn::NnError::from)?;
+    net.push(Layer::Conv2d(Conv2d::new(g2, 24, rng)?));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Flatten(Flatten::new()));
+    net.push(Layer::Dense(Dense::new(24 * 8 * 8, 64, rng)?));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Dense(Dense::new(64, 10, rng)?));
+    Ok(net)
+}
+
+/// A small MLP, used by fast unit tests and as the detector backbone.
+///
+/// # Errors
+///
+/// Returns [`DefenseError::Nn`] for zero-sized dimensions.
+pub fn mlp<R: Rng + ?Sized>(
+    in_dim: usize,
+    hidden: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Result<Network> {
+    let mut net = Network::new(vec![in_dim]);
+    net.push(Layer::Dense(Dense::new(in_dim, hidden, rng)?));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Dense(Dense::new(hidden, classes, rng)?));
+    Ok(net)
+}
+
+/// Trains a classifier on a dataset with Adam and returns it.
+///
+/// A convenience wrapper over [`dcn_nn::Trainer`] used across examples,
+/// tests and benches (the paper's "standard DNN" training).
+///
+/// # Errors
+///
+/// Returns [`DefenseError::BadData`] for an empty dataset and propagates
+/// training errors.
+pub fn train_classifier<R: Rng + ?Sized>(
+    mut net: Network,
+    data: &Dataset,
+    epochs: usize,
+    learning_rate: f32,
+    rng: &mut R,
+) -> Result<Network> {
+    if data.is_empty() {
+        return Err(DefenseError::BadData("empty training set".into()));
+    }
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 32,
+        ..Default::default()
+    });
+    trainer.fit(
+        &mut net,
+        data.images(),
+        data.labels(),
+        &mut Adam::new(learning_rate),
+        rng,
+    )?;
+    Ok(net)
+}
+
+/// Test-set accuracy of a network on a dataset.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors.
+pub fn accuracy_on(net: &Network, data: &Dataset) -> Result<f32> {
+    let preds = net.predict(data.images())?;
+    Ok(metrics::accuracy(&preds, data.labels()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_data::{synth_mnist, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zoo_architectures_have_expected_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = mnist_cnn(&mut rng).unwrap();
+        assert_eq!(m.input_shape(), &[1, 28, 28]);
+        assert_eq!(m.num_classes().unwrap(), 10);
+        let c = cifar_cnn(&mut rng).unwrap();
+        assert_eq!(c.input_shape(), &[3, 32, 32]);
+        assert_eq!(c.num_classes().unwrap(), 10);
+        assert!(c.num_params() > m.num_params());
+    }
+
+    #[test]
+    fn training_learns_the_digit_task_quickly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let train = synth_mnist(300, &SynthConfig::default(), &mut rng);
+        let test = synth_mnist(100, &SynthConfig::default(), &mut rng);
+        let net = train_classifier(mnist_cnn(&mut rng).unwrap(), &train, 3, 0.002, &mut rng)
+            .unwrap();
+        let acc = accuracy_on(&net, &test).unwrap();
+        assert!(acc > 0.8, "MNIST-like accuracy only {acc}");
+    }
+
+    #[test]
+    fn train_classifier_rejects_empty_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty = synth_mnist(0, &SynthConfig::default(), &mut rng);
+        let net = mnist_cnn(&mut rng).unwrap();
+        assert!(matches!(
+            train_classifier(net, &empty, 1, 0.01, &mut rng),
+            Err(DefenseError::BadData(_))
+        ));
+    }
+
+    #[test]
+    fn mlp_validates_dims() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(mlp(0, 4, 2, &mut rng).is_err());
+        let net = mlp(6, 4, 2, &mut rng).unwrap();
+        assert_eq!(net.num_classes().unwrap(), 2);
+    }
+}

@@ -1,0 +1,330 @@
+//! Feature squeezing (Xu, Evans & Qi, 2017) — one of the two related-work
+//! defenses the paper discusses in §2.3.
+//!
+//! A *squeezer* coalesces many inputs onto a smaller feature space (bit-depth
+//! reduction, spatial smoothing). The detector compares the model's softmax
+//! prediction on the original input with its prediction on the squeezed
+//! input: benign inputs barely move, adversarial perturbations — which live
+//! in the squeezed-away detail — move a lot. As the paper notes, feature
+//! squeezing *detects but cannot correct*: it has no mechanism to recover
+//! the right label, which is exactly the gap DCN's corrector fills.
+
+use dcn_nn::{softmax, Classifier};
+use dcn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{DefenseError, Result};
+
+/// An input-coalescing transform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Squeezer {
+    /// Quantize each pixel to `bits` of depth over `[-0.5, 0.5]`.
+    BitDepth {
+        /// Bit depth (1–8).
+        bits: u8,
+    },
+    /// `k×k` median filter over each channel (odd `k`).
+    MedianSmooth {
+        /// Window extent.
+        k: usize,
+    },
+}
+
+impl Squeezer {
+    /// Applies the squeezer to an unbatched image tensor.
+    ///
+    /// Bit-depth reduction works on any shape; median smoothing requires a
+    /// `[C, H, W]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::BadConfig`] for invalid parameters or
+    /// incompatible shapes.
+    pub fn apply(&self, x: &Tensor) -> Result<Tensor> {
+        match *self {
+            Squeezer::BitDepth { bits } => {
+                if bits == 0 || bits > 8 {
+                    return Err(DefenseError::BadConfig(format!(
+                        "bit depth must be 1–8, got {bits}"
+                    )));
+                }
+                let levels = (1u32 << bits) as f32 - 1.0;
+                Ok(x.map(|v| ((v + 0.5) * levels).round() / levels - 0.5))
+            }
+            Squeezer::MedianSmooth { k } => {
+                if k % 2 == 0 || k == 0 {
+                    return Err(DefenseError::BadConfig(format!(
+                        "median window must be odd and positive, got {k}"
+                    )));
+                }
+                if x.rank() != 3 {
+                    return Err(DefenseError::BadConfig(format!(
+                        "median smoothing expects [C, H, W], got {:?}",
+                        x.shape()
+                    )));
+                }
+                let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+                let r = (k / 2) as isize;
+                let mut out = x.clone();
+                let mut window = Vec::with_capacity(k * k);
+                for ch in 0..c {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            window.clear();
+                            for dy in -r..=r {
+                                for dx in -r..=r {
+                                    let yy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                                    let xc = (xx as isize + dx).clamp(0, w as isize - 1) as usize;
+                                    window.push(x.data()[ch * h * w + yy * w + xc]);
+                                }
+                            }
+                            window.sort_by(f32::total_cmp);
+                            out.data_mut()[ch * h * w + y * w + xx] = window[window.len() / 2];
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// The feature-squeezing detector: flags an input when any squeezer moves
+/// the model's softmax by more than `threshold` in L1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSqueezer<C> {
+    base: C,
+    squeezers: Vec<Squeezer>,
+    threshold: f32,
+}
+
+impl<C: Classifier> FeatureSqueezer<C> {
+    /// Wraps a classifier with the given squeezers and detection threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::BadConfig`] for an empty squeezer list or a
+    /// non-positive threshold.
+    pub fn new(base: C, squeezers: Vec<Squeezer>, threshold: f32) -> Result<Self> {
+        if squeezers.is_empty() {
+            return Err(DefenseError::BadConfig("no squeezers configured".into()));
+        }
+        if threshold <= 0.0 || !threshold.is_finite() {
+            return Err(DefenseError::BadConfig(format!(
+                "threshold must be positive, got {threshold}"
+            )));
+        }
+        Ok(FeatureSqueezer {
+            base,
+            squeezers,
+            threshold,
+        })
+    }
+
+    /// The original paper's MNIST-style configuration: 1-bit depth plus
+    /// 3×3 median smoothing.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for these constants; kept fallible for uniformity.
+    pub fn paper_default(base: C, threshold: f32) -> Result<Self> {
+        FeatureSqueezer::new(
+            base,
+            vec![
+                Squeezer::BitDepth { bits: 1 },
+                Squeezer::MedianSmooth { k: 3 },
+            ],
+            threshold,
+        )
+    }
+
+    /// Maximum L1 softmax displacement over the squeezers — the detection
+    /// score (higher = more adversarial).
+    ///
+    /// # Errors
+    ///
+    /// Propagates classifier and squeezer errors.
+    pub fn score(&self, x: &Tensor) -> Result<f32> {
+        let base_probs = self.probs(x)?;
+        let mut worst = 0.0f32;
+        for s in &self.squeezers {
+            let squeezed = s.apply(x)?;
+            let p = self.probs(&squeezed)?;
+            let l1: f32 = base_probs
+                .data()
+                .iter()
+                .zip(p.data().iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            worst = worst.max(l1);
+        }
+        Ok(worst)
+    }
+
+    fn probs(&self, x: &Tensor) -> Result<Tensor> {
+        let logits = self.base.logits(x)?;
+        let batched = Tensor::stack(&[logits])?;
+        Ok(softmax(&batched, 1.0)?.row(0)?)
+    }
+
+    /// Whether the input is flagged as adversarial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classifier and squeezer errors.
+    pub fn is_adversarial(&self, x: &Tensor) -> Result<bool> {
+        Ok(self.score(x)? > self.threshold)
+    }
+
+    /// The wrapped classifier.
+    pub fn base(&self) -> &C {
+        &self.base
+    }
+
+    /// The detection threshold in use.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Calibrates a threshold as the given percentile of benign scores
+    /// (e.g. 0.95 → 5% benign false-alarm budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::BadData`] for an empty benign set or an
+    /// out-of-range percentile.
+    pub fn calibrate_threshold(&mut self, benign: &[Tensor], percentile: f32) -> Result<f32> {
+        if benign.is_empty() {
+            return Err(DefenseError::BadData("no benign calibration data".into()));
+        }
+        if !(0.0..=1.0).contains(&percentile) {
+            return Err(DefenseError::BadData(format!(
+                "percentile {percentile} not in [0, 1]"
+            )));
+        }
+        let mut scores: Vec<f32> = benign
+            .iter()
+            .map(|x| self.score(x))
+            .collect::<Result<_>>()?;
+        scores.sort_by(f32::total_cmp);
+        let idx = ((scores.len() as f32 - 1.0) * percentile).round() as usize;
+        // Nudge above the percentile so exactly-at-threshold benigns pass.
+        self.threshold = scores[idx] + 1e-6;
+        Ok(self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_nn::{Dense, Layer, Network};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bit_depth_quantizes_to_expected_levels() {
+        let s = Squeezer::BitDepth { bits: 1 };
+        let x = Tensor::from_slice(&[-0.5, -0.1, 0.1, 0.5]);
+        let y = s.apply(&x).unwrap();
+        // 1 bit → only {-0.5, 0.5}.
+        assert_eq!(y.data(), &[-0.5, -0.5, 0.5, 0.5]);
+        let s8 = Squeezer::BitDepth { bits: 8 };
+        let y8 = s8.apply(&x).unwrap();
+        for (a, b) in x.data().iter().zip(y8.data().iter()) {
+            assert!((a - b).abs() < 1.0 / 255.0);
+        }
+    }
+
+    #[test]
+    fn bit_depth_validates_bits() {
+        assert!(Squeezer::BitDepth { bits: 0 }.apply(&Tensor::zeros(&[2])).is_err());
+        assert!(Squeezer::BitDepth { bits: 9 }.apply(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn median_smoothing_removes_salt_noise() {
+        // A flat image with one hot pixel: the median filter erases it.
+        let mut img = Tensor::full(&[1, 5, 5], 0.1);
+        img.set(&[0, 2, 2], 0.5).unwrap();
+        let s = Squeezer::MedianSmooth { k: 3 };
+        let y = s.apply(&img).unwrap();
+        assert!((y.get(&[0, 2, 2]).unwrap() - 0.1).abs() < 1e-6);
+        // And it leaves a flat image untouched.
+        let flat = Tensor::full(&[1, 4, 4], -0.2);
+        assert_eq!(s.apply(&flat).unwrap(), flat);
+    }
+
+    #[test]
+    fn median_validates_window_and_shape() {
+        assert!(Squeezer::MedianSmooth { k: 2 }
+            .apply(&Tensor::zeros(&[1, 4, 4]))
+            .is_err());
+        assert!(Squeezer::MedianSmooth { k: 3 }
+            .apply(&Tensor::zeros(&[4, 4]))
+            .is_err());
+    }
+
+    /// A 1-D net whose prediction flips across x₀ = 0.
+    fn threshold_net() -> Network {
+        let w = Tensor::from_vec(vec![1, 2], vec![-6.0, 6.0]).unwrap();
+        let b = Tensor::from_slice(&[0.0, 0.0]);
+        let mut net = Network::new(vec![1]);
+        net.push(Layer::Dense(Dense::from_params(w, b).unwrap()));
+        net
+    }
+
+    #[test]
+    fn squeezing_score_is_high_near_the_boundary() {
+        // 1-bit squeezing maps x to ±0.5, so a near-boundary input (an
+        // adversarial's signature) moves a lot while a deep input agrees.
+        let fs = FeatureSqueezer::new(
+            threshold_net(),
+            vec![Squeezer::BitDepth { bits: 1 }],
+            0.5,
+        )
+        .unwrap();
+        let deep = Tensor::from_slice(&[0.45]);
+        let boundary = Tensor::from_slice(&[0.02]);
+        assert!(fs.score(&boundary).unwrap() > fs.score(&deep).unwrap());
+        assert!(!fs.is_adversarial(&deep).unwrap());
+    }
+
+    #[test]
+    fn threshold_calibration_controls_false_alarms() {
+        let mut fs = FeatureSqueezer::new(
+            threshold_net(),
+            vec![Squeezer::BitDepth { bits: 1 }],
+            0.01,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let benign: Vec<Tensor> = (0..50)
+            .map(|i| {
+                let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+                Tensor::from_slice(&[s * (0.2 + 0.2 * rng.gen::<f32>())])
+            })
+            .collect();
+        let t = fs.calibrate_threshold(&benign, 1.0).unwrap();
+        assert!(t > 0.0);
+        // With the max-percentile threshold no benign input is flagged.
+        for x in &benign {
+            assert!(!fs.is_adversarial(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(FeatureSqueezer::new(threshold_net(), vec![], 0.1).is_err());
+        assert!(FeatureSqueezer::new(
+            threshold_net(),
+            vec![Squeezer::BitDepth { bits: 1 }],
+            0.0
+        )
+        .is_err());
+        let mut fs =
+            FeatureSqueezer::paper_default(threshold_net(), 0.5).unwrap();
+        assert!(fs.calibrate_threshold(&[], 0.9).is_err());
+        let x = Tensor::from_slice(&[0.1]);
+        assert!(fs.calibrate_threshold(&[x], 1.5).is_err());
+    }
+}

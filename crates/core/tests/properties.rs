@@ -1,0 +1,112 @@
+//! Property-based tests for the defense components.
+
+use dcn_core::{Corrector, CountingClassifier, Detector, DetectorConfig};
+use dcn_nn::{Classifier, Dense, Layer, Network};
+use dcn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn linear_net(weights: &[f32]) -> Network {
+    let w = Tensor::from_vec(vec![2, 3], weights[..6].to_vec()).unwrap();
+    let b = Tensor::from_slice(&weights[6..9]);
+    let mut net = Network::new(vec![2]);
+    net.push(Layer::Dense(Dense::from_params(w, b).unwrap()));
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn corrector_votes_sum_to_m_and_label_is_modal(
+        ws in prop::collection::vec(-3.0f32..3.0, 9),
+        xs in prop::collection::vec(-0.5f32..0.5, 2),
+        m in 1usize..200,
+        seed in 0u64..500,
+    ) {
+        let net = linear_net(&ws);
+        let corrector = Corrector::new(0.2, m).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::from_slice(&xs);
+        let (label, counts) = corrector.vote_counts(&net, &x, &mut rng).unwrap();
+        prop_assert_eq!(counts.iter().sum::<usize>(), m);
+        let max = counts.iter().copied().max().unwrap();
+        prop_assert_eq!(counts[label], max);
+    }
+
+    #[test]
+    fn corrector_is_deterministic_given_the_rng_stream(
+        ws in prop::collection::vec(-3.0f32..3.0, 9),
+        xs in prop::collection::vec(-0.5f32..0.5, 2),
+        seed in 0u64..500,
+    ) {
+        let net = linear_net(&ws);
+        let corrector = Corrector::new(0.3, 64).unwrap();
+        let x = Tensor::from_slice(&xs);
+        let a = corrector.correct(&net, &x, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = corrector.correct(&net, &x, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrector_with_tiny_radius_agrees_with_base_on_confident_inputs(
+        xs in prop::collection::vec(-0.4f32..0.4, 2),
+        seed in 0u64..500,
+    ) {
+        // A fixed, well-conditioned net: class by sign of x0 with margin.
+        let net = linear_net(&[10.0, -10.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, -2.0]);
+        let x = Tensor::from_slice(&xs);
+        let base = net.predict_one(&x).unwrap();
+        // Skip inputs too close to a decision boundary for a clean claim.
+        let logits = net.logits_one(&x).unwrap();
+        let mut sorted = logits.data().to_vec();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        prop_assume!(sorted[0] - sorted[1] > 1.0);
+        let corrector = Corrector::new(0.01, 32).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(corrector.correct(&net, &x, &mut rng).unwrap(), base);
+    }
+
+    #[test]
+    fn counting_classifier_is_exact_under_mixed_batches(
+        sizes in prop::collection::vec(1usize..7, 1..6),
+    ) {
+        let net = linear_net(&[1.0, 0.0, -1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        let counted = CountingClassifier::new(net);
+        let mut expected = 0u64;
+        for n in sizes {
+            counted.logits_batch(&Tensor::zeros(&[n, 2])).unwrap();
+            expected += n as u64;
+        }
+        prop_assert_eq!(counted.count(), expected);
+        prop_assert_eq!(counted.reset(), expected);
+        prop_assert_eq!(counted.count(), 0);
+    }
+
+    #[test]
+    fn detector_never_panics_on_finite_logits(
+        v in prop::collection::vec(-100.0f32..100.0, 10),
+        seed in 0u64..100,
+    ) {
+        // Train a small detector once per case on synthetic shapes, then
+        // probe it with arbitrary finite logits: must return a bool, never
+        // panic or error.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let benign: Vec<Tensor> = (0..30).map(|i| {
+            let mut z = vec![-2.0f32; 10];
+            z[i % 10] = 9.0;
+            Tensor::from_slice(&z)
+        }).collect();
+        let adv: Vec<Tensor> = (0..30).map(|i| {
+            let mut z = vec![-1.0f32; 10];
+            z[i % 10] = 1.1;
+            z[(i + 4) % 10] = 1.0;
+            Tensor::from_slice(&z)
+        }).collect();
+        let config = DetectorConfig { epochs: 5, ..Default::default() };
+        let det = Detector::train_from_logits(&benign, &adv, &config, &mut rng).unwrap();
+        let probe = Tensor::from_slice(&v);
+        prop_assert!(det.is_adversarial(&probe).is_ok());
+    }
+}

@@ -1,0 +1,236 @@
+use dcn_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{DataError, Result};
+
+/// A labeled image dataset: a batched image tensor `[N, C, H, W]` plus one
+/// integer label per image.
+///
+/// `Dataset` is deliberately passive — generation lives in
+/// [`crate::synth_mnist`] / [`crate::synth_cifar`], training in `dcn-nn`,
+/// and attack bookkeeping in `dcn-attacks`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Bundles images and labels into a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Misaligned`] if counts disagree and
+    /// [`DataError::OutOfRange`] if a label is `>= num_classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        let n = images.shape().first().copied().unwrap_or(0);
+        if n != labels.len() {
+            return Err(DataError::Misaligned {
+                images: n,
+                labels: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::OutOfRange(format!(
+                "label {bad} >= num_classes {num_classes}"
+            )));
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The batched image tensor `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, aligned with the leading image dimension.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes in the task.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The `i`-th image as an unbatched tensor `[C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::OutOfRange`] if `i >= len()`.
+    pub fn example(&self, i: usize) -> Result<Tensor> {
+        if i >= self.len() {
+            return Err(DataError::OutOfRange(format!(
+                "example {i} of {}",
+                self.len()
+            )));
+        }
+        let mut parts = self.images.unstack()?;
+        Ok(parts.swap_remove(i))
+    }
+
+    /// A new dataset containing the chosen indices, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::OutOfRange`] for any invalid index.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        let parts = self.images.unstack()?;
+        let mut imgs = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::OutOfRange(format!(
+                    "index {i} of {}",
+                    self.len()
+                )));
+            }
+            imgs.push(parts[i].clone());
+            labels.push(self.labels[i]);
+        }
+        let images = if imgs.is_empty() {
+            let mut dims = vec![0usize];
+            dims.extend_from_slice(&self.images.shape()[1..]);
+            Tensor::zeros(&dims)
+        } else {
+            Tensor::stack(&imgs)?
+        };
+        Dataset::new(images, labels, self.num_classes)
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of examples (after
+    /// shuffling) in the training half.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::OutOfRange`] if `train_fraction` is outside
+    /// `[0, 1]`.
+    pub fn split<R: Rng + ?Sized>(
+        &self,
+        train_fraction: f32,
+        rng: &mut R,
+    ) -> Result<(Dataset, Dataset)> {
+        if !(0.0..=1.0).contains(&train_fraction) {
+            return Err(DataError::OutOfRange(format!(
+                "train_fraction {train_fraction} not in [0, 1]"
+            )));
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let cut = ((self.len() as f32) * train_fraction).round() as usize;
+        Ok((self.subset(&order[..cut])?, self.subset(&order[cut..])?))
+    }
+
+    /// Draws `n` example indices uniformly without replacement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::OutOfRange`] if `n > len()`.
+    pub fn sample_indices<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Vec<usize>> {
+        if n > self.len() {
+            return Err(DataError::OutOfRange(format!(
+                "cannot sample {n} of {}",
+                self.len()
+            )));
+        }
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        order.truncate(n);
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let images = Tensor::from_vec(
+            vec![4, 1, 2, 2],
+            (0..16).map(|x| x as f32).collect(),
+        )
+        .unwrap();
+        Dataset::new(images, vec![0, 1, 2, 0], 3).unwrap()
+    }
+
+    #[test]
+    fn new_validates_alignment_and_labels() {
+        let images = Tensor::zeros(&[3, 1, 2, 2]);
+        assert!(matches!(
+            Dataset::new(images.clone(), vec![0, 1], 2),
+            Err(DataError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(images, vec![0, 1, 5], 3),
+            Err(DataError::OutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn example_extracts_the_right_image() {
+        let ds = toy();
+        let e = ds.example(2).unwrap();
+        assert_eq!(e.shape(), &[1, 2, 2]);
+        assert_eq!(e.data(), &[8.0, 9.0, 10.0, 11.0]);
+        assert!(ds.example(4).is_err());
+    }
+
+    #[test]
+    fn subset_preserves_order_and_labels() {
+        let ds = toy();
+        let s = ds.subset(&[3, 1]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[0, 1]);
+        assert_eq!(s.example(0).unwrap(), ds.example(3).unwrap());
+        assert!(ds.subset(&[9]).is_err());
+    }
+
+    #[test]
+    fn empty_subset_keeps_image_dims() {
+        let ds = toy();
+        let s = ds.subset(&[]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.images().shape(), &[0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (tr, te) = ds.split(0.5, &mut rng).unwrap();
+        assert_eq!(tr.len() + te.len(), ds.len());
+        assert_eq!(tr.len(), 2);
+        assert!(ds.split(1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_indices_are_unique_and_bounded() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = ds.sample_indices(3, &mut rng).unwrap();
+        assert_eq!(idx.len(), 3);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+        assert!(ds.sample_indices(5, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+use std::fmt;
+
+use dcn_tensor::TensorError;
+
+/// Error type for dataset construction and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Image count and label count disagree.
+    Misaligned {
+        /// Number of images supplied.
+        images: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// An index or split parameter is out of range.
+    OutOfRange(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::Misaligned { images, labels } => {
+                write!(f, "{images} images but {labels} labels")
+            }
+            DataError::OutOfRange(msg) => write!(f, "out of range: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the synthetic datasets and the `Dataset`
+//! container invariants.
+
+use dcn_data::{render_digit, render_texture, synth_cifar, synth_mnist, Dataset, SynthConfig};
+use dcn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mnist_generator_is_bounded_balanced_reproducible(n in 0usize..60, seed in 0u64..1000) {
+        let cfg = SynthConfig::default();
+        let a = synth_mnist(n, &cfg, &mut StdRng::seed_from_u64(seed));
+        let b = synth_mnist(n, &cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.images().data().iter().all(|&p| (-0.5..=0.5).contains(&p)));
+        // Balanced up to rounding: class counts differ by at most one.
+        if n > 0 {
+            let counts: Vec<usize> =
+                (0..10).map(|c| a.labels().iter().filter(|&&l| l == c).count()).collect();
+            let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            prop_assert!(hi - lo <= 1);
+        }
+    }
+
+    #[test]
+    fn cifar_generator_is_bounded_and_reproducible(n in 0usize..40, seed in 0u64..1000) {
+        let cfg = SynthConfig::default();
+        let a = synth_cifar(n, &cfg, &mut StdRng::seed_from_u64(seed));
+        let b = synth_cifar(n, &cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.images().data().iter().all(|&p| (-0.5..=0.5).contains(&p)));
+        if n > 0 {
+            prop_assert_eq!(a.images().shape(), &[n, 3, 32, 32]);
+        }
+    }
+
+    #[test]
+    fn digit_rendering_is_translation_equivariant_in_ink(
+        digit in 0usize..10,
+        dx in -3.0f32..3.0,
+        dy in -3.0f32..3.0,
+    ) {
+        // Moving the glyph (within the frame) preserves total ink up to
+        // anti-aliasing differences against the new pixel grid, which scale
+        // with the glyph's ink mass (background is -0.5, so ink mass is the
+        // sum shifted by 392 = 784 · 0.5).
+        let a = render_digit(digit, (0.0, 0.0), 0.0, 1.0, 0.06);
+        let b = render_digit(digit, (dx, dy), 0.0, 1.0, 0.06);
+        let ink = a.sum() + 392.0;
+        prop_assert!((a.sum() - b.sum()).abs() < 0.15 * ink + 1.0);
+    }
+
+    #[test]
+    fn texture_rendering_varies_with_class_not_just_noise(c1 in 0usize..10, c2 in 0usize..10) {
+        prop_assume!(c1 != c2);
+        let j = dcn_data::TextureJitter::default();
+        let a = render_texture(c1, &j);
+        let b = render_texture(c2, &j);
+        prop_assert!(a.dist_l2(&b).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn subset_then_subset_composes(indices in prop::collection::vec(0usize..20, 1..10)) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = synth_mnist(20, &SynthConfig::clean(), &mut rng);
+        let sub = ds.subset(&indices).unwrap();
+        // Taking everything from the subset reproduces it.
+        let all: Vec<usize> = (0..sub.len()).collect();
+        prop_assert_eq!(sub.subset(&all).unwrap(), sub);
+    }
+
+    #[test]
+    fn split_partitions_exactly(frac in 0.0f32..1.0, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds = synth_mnist(30, &SynthConfig::clean(), &mut rng);
+        let (tr, te) = ds.split(frac, &mut rng).unwrap();
+        prop_assert_eq!(tr.len() + te.len(), ds.len());
+        // Every example lands in exactly one side: total label histogram is
+        // preserved.
+        let hist = |d: &Dataset| {
+            let mut h = [0usize; 10];
+            for &l in d.labels() { h[l] += 1; }
+            h
+        };
+        let mut combined = [0usize; 10];
+        for (i, v) in hist(&tr).iter().enumerate() { combined[i] += v; }
+        for (i, v) in hist(&te).iter().enumerate() { combined[i] += v; }
+        prop_assert_eq!(combined, hist(&ds));
+    }
+
+    #[test]
+    fn examples_round_trip_through_stack(i in 0usize..10) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = synth_mnist(10, &SynthConfig::default(), &mut rng);
+        let ex = ds.example(i).unwrap();
+        prop_assert_eq!(ex.shape(), &[1, 28, 28]);
+        let restacked = Tensor::stack(std::slice::from_ref(&ex)).unwrap();
+        prop_assert_eq!(restacked.unstack().unwrap().remove(0), ex);
+    }
+}

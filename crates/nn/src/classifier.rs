@@ -1,0 +1,115 @@
+//! The [`Classifier`] abstraction shared by attacks and defenses.
+
+use dcn_tensor::Tensor;
+
+use crate::{Network, Result};
+
+/// Anything that maps batched inputs to batched logits.
+///
+/// Defenses in `dcn-core` are written against this trait rather than
+/// [`Network`] directly, so that wrappers (forward-pass counters, distilled
+/// models, region-based ensembles) compose: the corrector of a DCN can vote
+/// with any `Classifier`.
+///
+/// Implementors only provide [`Classifier::logits_batch`],
+/// [`Classifier::class_count`] and [`Classifier::example_shape`]; label
+/// prediction helpers are derived.
+pub trait Classifier {
+    /// Logits for a batch: input `[N, …]` → `[N, K]`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the input does not match
+    /// [`Classifier::example_shape`] plus a batch dimension.
+    fn logits_batch(&self, x: &Tensor) -> Result<Tensor>;
+
+    /// Number of classes `K`.
+    fn class_count(&self) -> usize;
+
+    /// Per-example input shape (excluding batch).
+    fn example_shape(&self) -> &[usize];
+
+    /// Logits of a single (unbatched) example.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Classifier::logits_batch`] errors.
+    fn logits(&self, x: &Tensor) -> Result<Tensor> {
+        let batched = Tensor::stack(std::slice::from_ref(x))?;
+        Ok(self.logits_batch(&batched)?.row(0)?)
+    }
+
+    /// Predicted labels for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Classifier::logits_batch`] errors.
+    fn predict_batch(&self, x: &Tensor) -> Result<Vec<usize>> {
+        Ok(self.logits_batch(x)?.argmax_rows()?)
+    }
+
+    /// Predicted label of a single example.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Classifier::logits_batch`] errors.
+    fn predict(&self, x: &Tensor) -> Result<usize> {
+        Ok(self.logits(x)?.argmax()?)
+    }
+}
+
+impl Classifier for Network {
+    fn logits_batch(&self, x: &Tensor) -> Result<Tensor> {
+        self.forward(x)
+    }
+
+    fn class_count(&self) -> usize {
+        // A Network used as a Classifier must have a vector output; this is
+        // checked when models are built in this workspace.
+        self.num_classes().unwrap_or(0)
+    }
+
+    fn example_shape(&self) -> &[usize] {
+        self.input_shape()
+    }
+}
+
+impl<C: Classifier + ?Sized> Classifier for &C {
+    fn logits_batch(&self, x: &Tensor) -> Result<Tensor> {
+        (**self).logits_batch(x)
+    }
+
+    fn class_count(&self) -> usize {
+        (**self).class_count()
+    }
+
+    fn example_shape(&self) -> &[usize] {
+        (**self).example_shape()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Layer, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn network_implements_classifier_consistently() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Network::new(vec![3]);
+        net.push(Layer::Dense(Dense::new(3, 6, &mut rng).unwrap()));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::Dense(Dense::new(6, 4, &mut rng).unwrap()));
+
+        let c: &dyn Classifier = &net;
+        assert_eq!(c.class_count(), 4);
+        assert_eq!(c.example_shape(), &[3]);
+        let x = Tensor::randn(&[3], 0.0, 1.0, &mut rng);
+        assert_eq!(c.predict(&x).unwrap(), net.predict_one(&x).unwrap());
+        let batch = Tensor::stack(&[x.clone(), x]).unwrap();
+        let preds = c.predict_batch(&batch).unwrap();
+        assert_eq!(preds[0], preds[1]);
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt;
+
+use dcn_tensor::TensorError;
+
+/// Error type for network construction, training and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape mismatch, bad index, …).
+    Tensor(TensorError),
+    /// The network's declared input shape does not match the data fed to it.
+    InputShape {
+        /// Shape the network expects (excluding the batch dimension).
+        expected: Vec<usize>,
+        /// Shape actually supplied (excluding the batch dimension).
+        actual: Vec<usize>,
+    },
+    /// A layer received an input incompatible with its configuration.
+    LayerInput(String),
+    /// Labels passed to a loss or trainer disagree with the batch.
+    Labels(String),
+    /// Model (de)serialization failed.
+    Serialization(String),
+    /// The network has no layers or a configuration that cannot run.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::InputShape { expected, actual } => write!(
+                f,
+                "network expects per-example input shape {expected:?}, got {actual:?}"
+            ),
+            NnError::LayerInput(msg) => write!(f, "layer input error: {msg}"),
+            NnError::Labels(msg) => write!(f, "label error: {msg}"),
+            NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}

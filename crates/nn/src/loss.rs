@@ -1,0 +1,391 @@
+//! Losses and logit transforms.
+//!
+//! Two details matter for fidelity to the paper:
+//!
+//! * **Temperature.** Defensive distillation (§2.3) trains with
+//!   `softmax(z / T)`; both hard- and soft-label cross-entropies here take a
+//!   temperature parameter.
+//! * **The CW objective.** The Carlini–Wagner attacks optimize
+//!   `f(x') = max(max{Z(x')ᵢ : i ≠ t} − Z(x')ₜ, −κ)` over *logits*, not
+//!   probabilities; [`cw_loss`] implements it with its subgradient.
+
+use dcn_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Value and logit-gradient of a scalar loss over a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits, `[N, K]`.
+    pub grad: Tensor,
+}
+
+/// Row-wise, numerically stable softmax with temperature.
+///
+/// `softmax(z, T)ᵢ = exp(zᵢ/T) / Σⱼ exp(zⱼ/T)`. `T = 1` is the ordinary
+/// softmax; larger `T` produces the "soft labels" of defensive distillation.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if `temperature <= 0` or `logits` is
+/// not rank-2.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_nn::softmax;
+/// use dcn_tensor::Tensor;
+/// # fn main() -> Result<(), dcn_nn::NnError> {
+/// let z = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0])?;
+/// let p = softmax(&z, 1.0)?;
+/// assert!((p.sum() - 1.0).abs() < 1e-6);
+/// assert_eq!(p.argmax()?, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax(logits: &Tensor, temperature: f32) -> Result<Tensor> {
+    if temperature <= 0.0 || !temperature.is_finite() {
+        return Err(NnError::InvalidConfig(format!(
+            "temperature must be positive and finite, got {temperature}"
+        )));
+    }
+    if logits.rank() != 2 {
+        return Err(NnError::InvalidConfig(format!(
+            "softmax expects [N, K] logits, got rank {}",
+            logits.rank()
+        )));
+    }
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = vec![0.0f32; n * k];
+    for (row_in, row_out) in logits
+        .data()
+        .chunks_exact(k)
+        .zip(out.chunks_exact_mut(k))
+    {
+        let m = row_in.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0;
+        for (o, &z) in row_out.iter_mut().zip(row_in) {
+            let e = ((z - m) / temperature).exp();
+            *o = e;
+            sum += e;
+        }
+        for o in row_out.iter_mut() {
+            *o /= sum;
+        }
+    }
+    Ok(Tensor::from_vec(vec![n, k], out)?)
+}
+
+/// Softmax cross-entropy against integer labels, with distillation
+/// temperature, returning both the mean loss and its logit gradient.
+///
+/// The gradient of the mean loss is `(softmax(z/T) − onehot(y)) / (N·T)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Labels`] if `labels.len()` differs from the batch or a
+/// label is out of range, and propagates [`softmax`] errors.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+    temperature: f32,
+) -> Result<LossOutput> {
+    let probs = softmax(logits, temperature)?;
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != n {
+        return Err(NnError::Labels(format!(
+            "{} labels for batch of {n}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(NnError::Labels(format!("label {bad} out of range 0..{k}")));
+    }
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    let gd = grad.data_mut();
+    let scale = 1.0 / (n as f32 * temperature);
+    for (i, &y) in labels.iter().enumerate() {
+        let p = probs.data()[i * k + y].max(1e-12);
+        loss -= p.ln();
+        for j in 0..k {
+            gd[i * k + j] *= scale;
+        }
+        gd[i * k + y] -= scale;
+    }
+    Ok(LossOutput {
+        loss: loss / n as f32,
+        grad,
+    })
+}
+
+/// Cross-entropy against *soft* target distributions — the distilled-network
+/// training objective (§2.3 of the paper).
+///
+/// `targets` is `[N, K]` of probabilities (each row summing to 1).
+///
+/// # Errors
+///
+/// Returns [`NnError::Labels`] on shape disagreement and propagates
+/// [`softmax`] errors.
+pub fn cross_entropy_soft(
+    logits: &Tensor,
+    targets: &Tensor,
+    temperature: f32,
+) -> Result<LossOutput> {
+    if logits.shape() != targets.shape() {
+        return Err(NnError::Labels(format!(
+            "targets shape {:?} != logits shape {:?}",
+            targets.shape(),
+            logits.shape()
+        )));
+    }
+    let probs = softmax(logits, temperature)?;
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut loss = 0.0;
+    for (p, t) in probs.data().iter().zip(targets.data().iter()) {
+        if *t > 0.0 {
+            loss -= t * p.max(1e-12).ln();
+        }
+    }
+    let scale = 1.0 / (n as f32 * temperature);
+    let mut grad = vec![0.0f32; n * k];
+    for ((g, &p), &t) in grad
+        .iter_mut()
+        .zip(probs.data().iter())
+        .zip(targets.data().iter())
+    {
+        *g = (p - t) * scale;
+    }
+    Ok(LossOutput {
+        loss: loss / n as f32,
+        grad: Tensor::from_vec(vec![n, k], grad)?,
+    })
+}
+
+/// Mean-squared-error loss against a target tensor of the same shape,
+/// with its output gradient.
+///
+/// `L = mean((y − t)²)`, `dL/dy = 2(y − t)/N` where `N` is the total
+/// element count. This is the reconstruction objective used by the MagNet
+/// autoencoder baseline.
+///
+/// # Errors
+///
+/// Returns [`NnError::Labels`] on shape disagreement or empty tensors.
+pub fn mse_loss(output: &Tensor, target: &Tensor) -> Result<LossOutput> {
+    if output.shape() != target.shape() {
+        return Err(NnError::Labels(format!(
+            "mse target shape {:?} != output shape {:?}",
+            target.shape(),
+            output.shape()
+        )));
+    }
+    if output.is_empty() {
+        return Err(NnError::Labels("mse over an empty tensor".into()));
+    }
+    let n = output.len() as f32;
+    let mut loss = 0.0;
+    let mut grad = Tensor::zeros(output.shape());
+    for ((g, &y), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(output.data().iter())
+        .zip(target.data().iter())
+    {
+        let d = y - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    Ok(LossOutput {
+        loss: loss / n,
+        grad,
+    })
+}
+
+/// The Carlini–Wagner margin objective on a single logit vector:
+/// `f(z) = max(max{zᵢ : i ≠ target} − z_target, −κ)`.
+///
+/// Returns `(f, df/dz)`. `f ≤ 0` (with κ = 0) means the example is already
+/// classified as `target` with the requested confidence margin.
+///
+/// # Errors
+///
+/// Returns [`NnError::Labels`] if `target` is out of range or the logits are
+/// not rank-1 with at least two classes.
+pub fn cw_loss(logits: &Tensor, target: usize, kappa: f32) -> Result<(f32, Tensor)> {
+    if logits.rank() != 1 || logits.len() < 2 {
+        return Err(NnError::Labels(format!(
+            "cw loss expects a rank-1 logit vector with K >= 2, got {:?}",
+            logits.shape()
+        )));
+    }
+    let k = logits.len();
+    if target >= k {
+        return Err(NnError::Labels(format!(
+            "target {target} out of range 0..{k}"
+        )));
+    }
+    let z = logits.data();
+    let mut best_other = usize::MAX;
+    for i in 0..k {
+        if i != target && (best_other == usize::MAX || z[i] > z[best_other]) {
+            best_other = i;
+        }
+    }
+    let margin = z[best_other] - z[target];
+    let mut grad = Tensor::zeros(&[k]);
+    if margin > -kappa {
+        grad.data_mut()[best_other] = 1.0;
+        grad.data_mut()[target] = -1.0;
+        Ok((margin, grad))
+    } else {
+        Ok((-kappa, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(rows: &[&[f32]]) -> Tensor {
+        let k = rows[0].len();
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(vec![rows.len(), k], data).unwrap()
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_preserve_argmax() {
+        let z = logits(&[&[0.0, 1.0, -2.0], &[5.0, 5.0, 5.0]]);
+        let p = softmax(&z, 1.0).unwrap();
+        for row in p.data().chunks_exact(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(p.argmax_rows().unwrap(), z.argmax_rows().unwrap());
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let z = logits(&[&[1000.0, 999.0]]);
+        let p = softmax(&z, 1.0).unwrap();
+        assert!(p.all_finite());
+        assert!(p.data()[0] > p.data()[1]);
+    }
+
+    #[test]
+    fn high_temperature_flattens_distribution() {
+        let z = logits(&[&[4.0, 0.0]]);
+        let sharp = softmax(&z, 1.0).unwrap();
+        let soft = softmax(&z, 100.0).unwrap();
+        assert!(sharp.data()[0] > soft.data()[0]);
+        assert!(soft.data()[0] > 0.5); // still ordered
+    }
+
+    #[test]
+    fn softmax_rejects_bad_temperature() {
+        let z = logits(&[&[0.0, 1.0]]);
+        assert!(softmax(&z, 0.0).is_err());
+        assert!(softmax(&z, -1.0).is_err());
+        assert!(softmax(&z, f32::NAN).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_is_low_for_correct_confident_logits() {
+        let z = logits(&[&[10.0, -10.0]]);
+        let good = softmax_cross_entropy(&z, &[0], 1.0).unwrap();
+        let bad = softmax_cross_entropy(&z, &[1], 1.0).unwrap();
+        assert!(good.loss < 1e-3);
+        assert!(bad.loss > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_softmax_minus_onehot() {
+        let z = logits(&[&[1.0, 2.0, 0.5]]);
+        let out = softmax_cross_entropy(&z, &[1], 1.0).unwrap();
+        let p = softmax(&z, 1.0).unwrap();
+        let expect = [p.data()[0], p.data()[1] - 1.0, p.data()[2]];
+        for (g, e) in out.grad.data().iter().zip(expect.iter()) {
+            assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_labels() {
+        let z = logits(&[&[0.0, 1.0]]);
+        assert!(softmax_cross_entropy(&z, &[2], 1.0).is_err());
+        assert!(softmax_cross_entropy(&z, &[0, 1], 1.0).is_err());
+    }
+
+    #[test]
+    fn soft_targets_reduce_to_hard_for_onehot() {
+        let z = logits(&[&[1.0, -1.0, 0.0]]);
+        let hard = softmax_cross_entropy(&z, &[2], 1.0).unwrap();
+        let onehot = logits(&[&[0.0, 0.0, 1.0]]);
+        let soft = cross_entropy_soft(&z, &onehot, 1.0).unwrap();
+        assert!((hard.loss - soft.loss).abs() < 1e-6);
+        assert_eq!(hard.grad, soft.grad);
+    }
+
+    #[test]
+    fn soft_targets_validate_shape() {
+        let z = logits(&[&[0.0, 1.0]]);
+        let t = logits(&[&[0.0, 1.0, 0.0]]);
+        assert!(cross_entropy_soft(&z, &t, 1.0).is_err());
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let y = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let t = Tensor::from_vec(vec![1, 4], vec![1.0, 0.0, 3.0, 0.0]).unwrap();
+        let out = mse_loss(&y, &t).unwrap();
+        assert!((out.loss - (4.0 + 16.0) / 4.0).abs() < 1e-6);
+        assert_eq!(out.grad.data(), &[0.0, 1.0, 0.0, 2.0]); // 2d/N
+    }
+
+    #[test]
+    fn mse_loss_validates_shapes() {
+        let y = Tensor::zeros(&[1, 4]);
+        assert!(mse_loss(&y, &Tensor::zeros(&[1, 3])).is_err());
+        assert!(mse_loss(&Tensor::zeros(&[0]), &Tensor::zeros(&[0])).is_err());
+    }
+
+    #[test]
+    fn mse_is_zero_iff_exact() {
+        let y = Tensor::from_slice(&[0.3, -0.2]).reshape(&[1, 2]).unwrap();
+        let out = mse_loss(&y, &y).unwrap();
+        assert_eq!(out.loss, 0.0);
+        assert!(out.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn cw_loss_margin_and_gradient() {
+        let z = Tensor::from_slice(&[1.0, 5.0, 3.0]);
+        // Target class 0: best other is 1, margin = 5 - 1 = 4.
+        let (f, g) = cw_loss(&z, 0, 0.0).unwrap();
+        assert_eq!(f, 4.0);
+        assert_eq!(g.data(), &[-1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn cw_loss_saturates_at_minus_kappa() {
+        let z = Tensor::from_slice(&[10.0, 0.0, 0.0]);
+        // Already classified 0 with margin 10 > kappa 5 → clamped, zero grad.
+        let (f, g) = cw_loss(&z, 0, 5.0).unwrap();
+        assert_eq!(f, -5.0);
+        assert!(g.data().iter().all(|&x| x == 0.0));
+        // With kappa 20 the margin constraint is still active.
+        let (f2, _) = cw_loss(&z, 0, 20.0).unwrap();
+        assert_eq!(f2, -10.0);
+    }
+
+    #[test]
+    fn cw_loss_validates_input() {
+        let z = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(cw_loss(&z, 2, 0.0).is_err());
+        let scalar = Tensor::from_slice(&[1.0]);
+        assert!(cw_loss(&scalar, 0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Classification metrics.
+
+/// Fraction of positions where `predicted == actual`.
+///
+/// Returns 0.0 for empty inputs and truncates to the shorter slice if the
+/// lengths disagree (callers should pass aligned slices).
+///
+/// # Examples
+///
+/// ```
+/// let acc = dcn_nn::metrics::accuracy(&[1, 2, 3], &[1, 0, 3]);
+/// assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f32 {
+    let n = predicted.len().min(actual.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let correct = predicted
+        .iter()
+        .zip(actual.iter())
+        .filter(|(p, a)| p == a)
+        .count();
+    correct as f32 / n as f32
+}
+
+/// `k × k` confusion matrix: `m[actual][predicted]` counts.
+///
+/// Labels `>= k` are ignored.
+///
+/// # Examples
+///
+/// ```
+/// let m = dcn_nn::metrics::confusion_matrix(&[0, 1, 1], &[0, 1, 0], 2);
+/// assert_eq!(m[0][0], 1); // actual 0 predicted 0
+/// assert_eq!(m[0][1], 1); // actual 0 predicted 1
+/// assert_eq!(m[1][1], 1);
+/// ```
+pub fn confusion_matrix(predicted: &[usize], actual: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; k]; k];
+    for (&p, &a) in predicted.iter().zip(actual.iter()) {
+        if p < k && a < k {
+            m[a][p] += 1;
+        }
+    }
+    m
+}
+
+/// False-positive and false-negative *rates* of a binary classifier, given
+/// predictions and ground truth where `true` is the positive class.
+///
+/// Returns `(false_positive_rate, false_negative_rate)`; each rate is 0.0
+/// when its denominator (negatives resp. positives) is empty.
+///
+/// # Examples
+///
+/// ```
+/// let (fpr, fnr) = dcn_nn::metrics::binary_error_rates(
+///     &[true, false, true, true],
+///     &[true, true, false, true],
+/// );
+/// assert!((fpr - 1.0).abs() < 1e-6); // one negative, predicted positive
+/// assert!((fnr - 1.0 / 3.0).abs() < 1e-6); // three positives, one missed
+/// ```
+pub fn binary_error_rates(predicted: &[bool], actual: &[bool]) -> (f32, f32) {
+    let mut fp = 0usize;
+    let mut fng = 0usize;
+    let mut pos = 0usize;
+    let mut neg = 0usize;
+    for (&p, &a) in predicted.iter().zip(actual.iter()) {
+        if a {
+            pos += 1;
+            if !p {
+                fng += 1;
+            }
+        } else {
+            neg += 1;
+            if p {
+                fp += 1;
+            }
+        }
+    }
+    let fpr = if neg == 0 { 0.0 } else { fp as f32 / neg as f32 };
+    let fnr = if pos == 0 { 0.0 } else { fng as f32 / pos as f32 };
+    (fpr, fnr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_handles_edges() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+        assert_eq!(accuracy(&[1, 2], &[2, 1]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_totals_match() {
+        let pred = [0, 1, 2, 2, 0];
+        let act = [0, 1, 1, 2, 2];
+        let m = confusion_matrix(&pred, &act, 3);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 5);
+        assert_eq!(m[1][2], 1);
+        assert_eq!(m[2][0], 1);
+    }
+
+    #[test]
+    fn binary_rates_with_empty_classes() {
+        let (fpr, fnr) = binary_error_rates(&[true, true], &[true, true]);
+        assert_eq!((fpr, fnr), (0.0, 0.0));
+        let (fpr, fnr) = binary_error_rates(&[false, false], &[false, false]);
+        assert_eq!((fpr, fnr), (0.0, 0.0));
+    }
+
+    #[test]
+    fn binary_rates_mixed() {
+        // actual: P P N N ; predicted: P N P N
+        let (fpr, fnr) = binary_error_rates(
+            &[true, false, true, false],
+            &[true, true, false, false],
+        );
+        assert_eq!(fpr, 0.5);
+        assert_eq!(fnr, 0.5);
+    }
+}

@@ -1,0 +1,408 @@
+//! Sequential feed-forward networks with exact reverse-mode gradients.
+
+use std::fs;
+use std::path::Path;
+
+use dcn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, LayerCache, NnError, Result};
+
+/// A sequential feed-forward network `C(x) = softmax(H(x))`, following the
+/// paper's notation: the network computes *logits* `H(x)`; the softmax is a
+/// separate, monotone normalization applied by losses and callers.
+///
+/// Inputs are always batched: an image batch is `[N, C, H, W]`, a feature
+/// batch `[N, D]`. Use [`Tensor::stack`] to batch single examples.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_nn::{Dense, Layer, Network, Relu};
+/// use dcn_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), dcn_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Network::new(vec![4]);
+/// net.push(Layer::Dense(Dense::new(4, 16, &mut rng)?));
+/// net.push(Layer::Relu(Relu::new()));
+/// net.push(Layer::Dense(Dense::new(16, 3, &mut rng)?));
+/// assert_eq!(net.num_classes()?, 3);
+///
+/// let x = Tensor::zeros(&[5, 4]);
+/// let logits = net.forward(&x)?;
+/// assert_eq!(logits.shape(), &[5, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    input_shape: Vec<usize>,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates an empty network that will accept per-example inputs of
+    /// `input_shape` (excluding the batch dimension).
+    pub fn new(input_shape: Vec<usize>) -> Self {
+        Network {
+            input_shape,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer, checking shape compatibility against the current
+    /// output shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer cannot accept the current output shape. Network
+    /// topology is fixed at construction time, so an incompatible push is a
+    /// programmer error, reported eagerly with the offending shapes.
+    pub fn push(&mut self, layer: Layer) -> &mut Self {
+        let cur = self
+            .output_shape()
+            .expect("existing layers must already chain");
+        layer
+            .out_shape(&cur)
+            .unwrap_or_else(|e| panic!("layer does not fit network output {cur:?}: {e}"));
+        self.layers.push(layer);
+        self
+    }
+
+    /// Per-example input shape (excluding batch).
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Per-example output shape (excluding batch), derived by chaining all
+    /// layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerInput`] if the layers do not chain (possible
+    /// only for hand-deserialized models).
+    pub fn output_shape(&self) -> Result<Vec<usize>> {
+        let mut shape = self.input_shape.clone();
+        for layer in &self.layers {
+            shape = layer.out_shape(&shape)?;
+        }
+        Ok(shape)
+    }
+
+    /// Number of classes, i.e. the width of the final logit vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the output is not rank-1.
+    pub fn num_classes(&self) -> Result<usize> {
+        let out = self.output_shape()?;
+        if out.len() != 1 {
+            return Err(NnError::InvalidConfig(format!(
+                "classifier output must be a vector, got {out:?}"
+            )));
+        }
+        Ok(out[0])
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    fn check_batch(&self, x: &Tensor) -> Result<()> {
+        if x.rank() != self.input_shape.len() + 1
+            || &x.shape()[1..] != self.input_shape.as_slice()
+        {
+            return Err(NnError::InputShape {
+                expected: self.input_shape.clone(),
+                actual: x.shape().get(1..).map(<[usize]>::to_vec).unwrap_or_default(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Inference forward pass: batched input → batched logits `[N, K]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] if `x` does not match
+    /// [`Network::input_shape`] (plus a leading batch dimension).
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        self.check_batch(x)?;
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.infer(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Training forward pass: returns logits plus per-layer caches for
+    /// [`Network::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward`].
+    pub fn forward_train(&self, x: &Tensor) -> Result<(Tensor, Vec<LayerCache>)> {
+        self.check_batch(x)?;
+        let mut cur = x.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (next, cache) = layer.forward(&cur)?;
+            caches.push(cache);
+            cur = next;
+        }
+        Ok((cur, caches))
+    }
+
+    /// Backward pass from a logit gradient.
+    ///
+    /// Given `dL/dlogits` and the caches from [`Network::forward_train`],
+    /// returns `dL/dinput` and the parameter gradients in the same order as
+    /// [`Network::params`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerInput`] if `caches` does not belong to this
+    /// network topology.
+    pub fn backward(
+        &self,
+        grad_logits: &Tensor,
+        caches: &[LayerCache],
+    ) -> Result<(Tensor, Vec<Tensor>)> {
+        if caches.len() != self.layers.len() {
+            return Err(NnError::LayerInput(format!(
+                "{} caches for {} layers",
+                caches.len(),
+                self.layers.len()
+            )));
+        }
+        let mut grad = grad_logits.clone();
+        let mut param_grads_rev: Vec<Tensor> = Vec::new();
+        for (layer, cache) in self.layers.iter().zip(caches.iter()).rev() {
+            let (gin, pg) = layer.backward(&grad, cache)?;
+            if let Some((dw, db)) = pg {
+                // Reverse order within the layer too; undone below.
+                param_grads_rev.push(db);
+                param_grads_rev.push(dw);
+            }
+            grad = gin;
+        }
+        param_grads_rev.reverse();
+        Ok((grad, param_grads_rev))
+    }
+
+    /// Gradient of a scalar loss with respect to the *input*, given the
+    /// loss gradient at the logits. This is the primitive every white-box
+    /// evasion attack is built on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward/backward errors.
+    pub fn input_gradient(&self, x: &Tensor, grad_logits: &Tensor) -> Result<Tensor> {
+        let (_, caches) = self.forward_train(x)?;
+        let (gin, _) = self.backward(grad_logits, &caches)?;
+        Ok(gin)
+    }
+
+    /// Predicted labels for a batch: row-wise argmax of the logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn predict(&self, x: &Tensor) -> Result<Vec<usize>> {
+        Ok(self.forward(x)?.argmax_rows()?)
+    }
+
+    /// Logits of a single (unbatched) example.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn logits_one(&self, x: &Tensor) -> Result<Tensor> {
+        let batched = Tensor::stack(std::slice::from_ref(x)).map_err(NnError::from)?;
+        let out = self.forward(&batched)?;
+        out.row(0).map_err(NnError::from)
+    }
+
+    /// Predicted label of a single (unbatched) example.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn predict_one(&self, x: &Tensor) -> Result<usize> {
+        Ok(self.logits_one(x)?.argmax()?)
+    }
+
+    /// Immutable views of all parameter tensors, layer by layer.
+    pub fn params(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(Layer::params).collect()
+    }
+
+    /// Mutable views of all parameter tensors, layer by layer.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(Layer::params_mut).collect()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(|t| t.len()).sum()
+    }
+
+    /// Serializes the model to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] on encoder failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| NnError::Serialization(e.to_string()))
+    }
+
+    /// Deserializes a model from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| NnError::Serialization(e.to_string()))
+    }
+
+    /// Writes the model to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] on I/O or encoder failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        fs::write(path.as_ref(), self.to_json()?)
+            .map_err(|e| NnError::Serialization(e.to_string()))
+    }
+
+    /// Reads a model previously written by [`Network::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] on I/O or decoder failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let json =
+            fs::read_to_string(path.as_ref()).map_err(|e| NnError::Serialization(e.to_string()))?;
+        Network::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+    use dcn_tensor::Conv2dGeometry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(rng: &mut StdRng) -> Network {
+        let mut net = Network::new(vec![3]);
+        net.push(Layer::Dense(Dense::new(3, 5, rng).unwrap()));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::Dense(Dense::new(5, 4, rng).unwrap()));
+        net
+    }
+
+    #[test]
+    fn forward_produces_batched_logits() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = mlp(&mut rng);
+        let x = Tensor::zeros(&[7, 3]);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[7, 4]);
+        assert_eq!(net.num_classes().unwrap(), 4);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = mlp(&mut rng);
+        assert!(matches!(
+            net.forward(&Tensor::zeros(&[7, 4])),
+            Err(NnError::InputShape { .. })
+        ));
+        assert!(net.forward(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn push_panics_on_incompatible_layer() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Network::new(vec![3]);
+        net.push(Layer::Dense(Dense::new(4, 5, &mut rng).unwrap()));
+    }
+
+    #[test]
+    fn cnn_pipeline_shapes_chain() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Network::new(vec![1, 8, 8]);
+        let g = Conv2dGeometry::new(1, 8, 8, 3, 1, 0).unwrap();
+        net.push(Layer::Conv2d(Conv2d::new(g, 4, &mut rng).unwrap()));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::MaxPool2d(MaxPool2d::new(2).unwrap()));
+        net.push(Layer::Flatten(Flatten::new()));
+        net.push(Layer::Dense(Dense::new(36, 10, &mut rng).unwrap()));
+        let x = Tensor::zeros(&[2, 1, 8, 8]);
+        assert_eq!(net.forward(&x).unwrap().shape(), &[2, 10]);
+        assert_eq!(net.output_shape().unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn single_example_helpers_agree_with_batch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = mlp(&mut rng);
+        let x = Tensor::randn(&[3], 0.0, 1.0, &mut rng);
+        let batched = Tensor::stack(std::slice::from_ref(&x)).unwrap();
+        let from_batch = net.forward(&batched).unwrap().row(0).unwrap();
+        let single = net.logits_one(&x).unwrap();
+        assert_eq!(from_batch, single);
+        assert_eq!(net.predict_one(&x).unwrap(), single.argmax().unwrap());
+    }
+
+    #[test]
+    fn params_enumerate_all_tensors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = mlp(&mut rng);
+        assert_eq!(net.params().len(), 4); // two dense layers, (w, b) each
+        assert_eq!(net.num_params(), 3 * 5 + 5 + 5 * 4 + 4);
+    }
+
+    #[test]
+    fn backward_rejects_foreign_caches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = mlp(&mut rng);
+        let g = Tensor::zeros(&[1, 4]);
+        assert!(net.backward(&g, &[]).is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_behavior() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = mlp(&mut rng);
+        let x = Tensor::randn(&[2, 3], 0.0, 1.0, &mut rng);
+        let back = Network::from_json(&net.to_json().unwrap()).unwrap();
+        assert_eq!(net.forward(&x).unwrap(), back.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = mlp(&mut rng);
+        let dir = std::env::temp_dir().join("dcn_nn_test_model.json");
+        net.save(&dir).unwrap();
+        let back = Network::load(&dir).unwrap();
+        assert_eq!(net, back);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(matches!(
+            Network::from_json("not json"),
+            Err(NnError::Serialization(_))
+        ));
+    }
+}

@@ -1,0 +1,276 @@
+//! First-order optimizers.
+//!
+//! All optimizers consume gradients in the order produced by
+//! [`crate::Network::backward`], which matches [`crate::Network::params_mut`].
+//! Per-parameter state (momentum/Adam moments) is allocated lazily on the
+//! first step so optimizers can be constructed before the model.
+
+use dcn_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// A first-order optimizer updating parameters in place from gradients.
+///
+/// The `params`/`grads` slices must be index-aligned; implementations keep
+/// per-index state across calls, so an optimizer instance must not be shared
+/// between models.
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `params` and `grads` disagree in
+    /// count or shapes (including a count change between calls).
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) -> Result<()>;
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for simple schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+fn check_aligned(params: &[&mut Tensor], grads: &[Tensor]) -> Result<()> {
+    if params.len() != grads.len() {
+        return Err(NnError::InvalidConfig(format!(
+            "{} params but {} grads",
+            params.len(),
+            grads.len()
+        )));
+    }
+    for (p, g) in params.iter().zip(grads.iter()) {
+        if p.shape() != g.shape() {
+            return Err(NnError::InvalidConfig(format!(
+                "param shape {:?} != grad shape {:?}",
+                p.shape(),
+                g.shape()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Plain stochastic gradient descent: `p ← p − lr·g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) -> Result<()> {
+        check_aligned(params, grads)?;
+        for (p, g) in params.iter_mut().zip(grads.iter()) {
+            p.add_scaled(g, -self.lr)?;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// SGD with classical momentum: `v ← µ·v − lr·g; p ← p + v`.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f32,
+    mu: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD with learning rate `lr` and momentum `mu`
+    /// (typically 0.9).
+    pub fn new(lr: f32, mu: f32) -> Self {
+        Momentum {
+            lr,
+            mu,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) -> Result<()> {
+        check_aligned(params, grads)?;
+        if self.velocity.is_empty() {
+            self.velocity = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+        }
+        if self.velocity.len() != params.len() {
+            return Err(NnError::InvalidConfig(
+                "optimizer reused with a different model".into(),
+            ));
+        }
+        for ((p, g), v) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.velocity.iter_mut())
+        {
+            for (vi, gi) in v.data_mut().iter_mut().zip(g.data()) {
+                *vi = self.mu * *vi - self.lr * gi;
+            }
+            p.add_scaled(v, 1.0)?;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — also the inner optimizer of the
+/// CW attacks, as in the original implementation.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and the standard
+    /// `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates Adam with explicit hyper-parameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    #[allow(clippy::needless_range_loop)] // four arrays indexed in lockstep
+    fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) -> Result<()> {
+        check_aligned(params, grads)?;
+        if self.m.is_empty() {
+            self.m = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
+            self.v = self.m.clone();
+        }
+        if self.m.len() != params.len() {
+            return Err(NnError::InvalidConfig(
+                "optimizer reused with a different model".into(),
+            ));
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            let pd = p.data_mut();
+            for i in 0..pd.len() {
+                let gi = g.data()[i];
+                let mi = &mut m.data_mut()[i];
+                let vi = &mut v.data_mut()[i];
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                pd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(p) = (p - 3)² with each optimizer; all must converge.
+    fn drive(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = Tensor::from_slice(&[0.0]);
+        for _ in 0..steps {
+            let g = Tensor::from_slice(&[2.0 * (p.data()[0] - 3.0)]);
+            let mut refs = [&mut p];
+            opt.step(&mut refs, &[g]).unwrap();
+        }
+        p.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!((drive(&mut Sgd::new(0.1), 100) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        assert!((drive(&mut Momentum::new(0.05, 0.9), 200) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!((drive(&mut Adam::new(0.2), 300) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn step_validates_alignment() {
+        let mut p = Tensor::zeros(&[2]);
+        let g = Tensor::zeros(&[3]);
+        let mut refs = [&mut p];
+        assert!(Sgd::new(0.1).step(&mut refs, &[g]).is_err());
+        let mut refs = [&mut p];
+        assert!(Sgd::new(0.1).step(&mut refs, &[]).is_err());
+    }
+
+    #[test]
+    fn stateful_optimizers_reject_model_swap() {
+        let mut opt = Adam::new(0.1);
+        let mut a = Tensor::zeros(&[2]);
+        let g = Tensor::ones(&[2]);
+        let mut refs = [&mut a];
+        opt.step(&mut refs, std::slice::from_ref(&g)).unwrap();
+        let mut b = Tensor::zeros(&[2]);
+        let mut c = Tensor::zeros(&[2]);
+        let mut refs2 = [&mut b, &mut c];
+        assert!(opt.step(&mut refs2, &[g.clone(), g]).is_err());
+    }
+
+    #[test]
+    fn learning_rate_is_settable() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,180 @@
+//! Numerical gradient checks.
+//!
+//! Every layer's analytic backward pass, and the full network's parameter and
+//! input gradients, are verified against central finite differences. These
+//! are the load-bearing tests of the workspace: every attack in
+//! `dcn-attacks` trusts `Network::input_gradient`.
+
+use dcn_nn::{
+    softmax_cross_entropy, Conv2d, Dense, Flatten, Layer, MaxPool2d, Network, Relu,
+};
+use dcn_tensor::{Conv2dGeometry, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// Probe step: small enough that a ±H nudge of a shared conv weight rarely
+// crosses a ReLU/max-pool kink (which would poison the finite difference),
+// large enough to stay above f32 cancellation noise.
+const H: f32 = 1e-3;
+const TOL: f32 = 3e-2;
+
+/// Loss used for all checks: softmax cross-entropy against fixed labels.
+fn loss_of(net: &Network, x: &Tensor, labels: &[usize]) -> f32 {
+    let logits = net.forward(x).unwrap();
+    softmax_cross_entropy(&logits, labels, 1.0).unwrap().loss
+}
+
+/// Central difference at two step sizes. Returns `None` when the two
+/// estimates disagree, i.e. the probe crossed a ReLU / max-pool kink and the
+/// finite difference itself cannot be trusted at this coordinate.
+fn stable_numeric(mut eval: impl FnMut(f32) -> f32, orig: f32) -> Option<f32> {
+    let d1 = (eval(orig + H) - eval(orig - H)) / (2.0 * H);
+    let h2 = H / 4.0;
+    let d2 = (eval(orig + h2) - eval(orig - h2)) / (2.0 * h2);
+    let scale = d1.abs().max(d2.abs()).max(1.0);
+    if (d1 - d2).abs() / scale < 5e-3 {
+        Some(d2)
+    } else {
+        None
+    }
+}
+
+/// Asserts the analytic gradient of the loss w.r.t. every parameter matches
+/// central differences.
+#[allow(clippy::needless_range_loop)] // params and grads indexed in lockstep
+fn check_param_grads(net: &mut Network, x: &Tensor, labels: &[usize]) {
+    let (logits, caches) = net.forward_train(x).unwrap();
+    let lo = softmax_cross_entropy(&logits, labels, 1.0).unwrap();
+    let (_, grads) = net.backward(&lo.grad, &caches).unwrap();
+    let n_params = net.params().len();
+    assert_eq!(grads.len(), n_params);
+    let mut checked = 0usize;
+    for pi in 0..n_params {
+        let plen = net.params()[pi].len();
+        // Probe a handful of coordinates per tensor to keep runtime sane.
+        let probes: Vec<usize> = (0..plen).step_by((plen / 7).max(1)).collect();
+        for &ci in &probes {
+            let orig = net.params()[pi].data()[ci];
+            let numeric = stable_numeric(
+                |v| {
+                    net.params_mut()[pi].data_mut()[ci] = v;
+                    loss_of(net, x, labels)
+                },
+                orig,
+            );
+            net.params_mut()[pi].data_mut()[ci] = orig;
+            let Some(numeric) = numeric else { continue };
+            checked += 1;
+            let analytic = grads[pi].data()[ci];
+            let scale = numeric.abs().max(analytic.abs()).max(1.0);
+            assert!(
+                (numeric - analytic).abs() / scale < TOL,
+                "param {pi}[{ci}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+    assert!(checked > 10, "too few stable probes ({checked})");
+}
+
+/// Asserts the analytic input gradient matches central differences.
+fn check_input_grad(net: &Network, x: &Tensor, labels: &[usize]) {
+    let (logits, caches) = net.forward_train(x).unwrap();
+    let lo = softmax_cross_entropy(&logits, labels, 1.0).unwrap();
+    let (gin, _) = net.backward(&lo.grad, &caches).unwrap();
+    let mut xp = x.clone();
+    let probes: Vec<usize> = (0..x.len()).step_by((x.len() / 11).max(1)).collect();
+    let mut checked = 0usize;
+    for &ci in &probes {
+        let orig = xp.data()[ci];
+        let numeric = stable_numeric(
+            |v| {
+                xp.data_mut()[ci] = v;
+                loss_of(net, &xp, labels)
+            },
+            orig,
+        );
+        xp.data_mut()[ci] = orig;
+        let Some(numeric) = numeric else { continue };
+        checked += 1;
+        let analytic = gin.data()[ci];
+        let scale = numeric.abs().max(analytic.abs()).max(1.0);
+        assert!(
+            (numeric - analytic).abs() / scale < TOL,
+            "input[{ci}]: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+    assert!(checked > 5, "too few stable probes ({checked})");
+}
+
+#[test]
+fn dense_relu_network_gradients() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let mut net = Network::new(vec![6]);
+    net.push(Layer::Dense(Dense::new(6, 10, &mut rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Dense(Dense::new(10, 4, &mut rng).unwrap()));
+    let x = Tensor::randn(&[3, 6], 0.0, 1.0, &mut rng);
+    let labels = [0usize, 2, 3];
+    check_param_grads(&mut net, &x, &labels);
+    check_input_grad(&net, &x, &labels);
+}
+
+#[test]
+fn conv_network_gradients() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let mut net = Network::new(vec![2, 7, 7]);
+    let g = Conv2dGeometry::new(2, 7, 7, 3, 1, 1).unwrap();
+    net.push(Layer::Conv2d(Conv2d::new(g, 3, &mut rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Flatten(Flatten::new()));
+    net.push(Layer::Dense(Dense::new(3 * 7 * 7, 5, &mut rng).unwrap()));
+    let x = Tensor::randn(&[2, 2, 7, 7], 0.0, 1.0, &mut rng);
+    let labels = [1usize, 4];
+    check_param_grads(&mut net, &x, &labels);
+    check_input_grad(&net, &x, &labels);
+}
+
+#[test]
+fn conv_pool_network_gradients() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let mut net = Network::new(vec![1, 8, 8]);
+    let g = Conv2dGeometry::new(1, 8, 8, 3, 1, 0).unwrap();
+    net.push(Layer::Conv2d(Conv2d::new(g, 4, &mut rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::MaxPool2d(MaxPool2d::new(2).unwrap()));
+    net.push(Layer::Flatten(Flatten::new()));
+    net.push(Layer::Dense(Dense::new(4 * 3 * 3, 3, &mut rng).unwrap()));
+    let x = Tensor::randn(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+    let labels = [0usize, 2];
+    check_param_grads(&mut net, &x, &labels);
+    check_input_grad(&net, &x, &labels);
+}
+
+#[test]
+fn strided_padded_conv_gradients() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let mut net = Network::new(vec![1, 9, 9]);
+    let g = Conv2dGeometry::new(1, 9, 9, 3, 2, 1).unwrap();
+    net.push(Layer::Conv2d(Conv2d::new(g, 2, &mut rng).unwrap()));
+    net.push(Layer::Flatten(Flatten::new()));
+    net.push(Layer::Dense(Dense::new(2 * 5 * 5, 3, &mut rng).unwrap()));
+    let x = Tensor::randn(&[1, 1, 9, 9], 0.0, 1.0, &mut rng);
+    let labels = [2usize];
+    check_param_grads(&mut net, &x, &labels);
+    check_input_grad(&net, &x, &labels);
+}
+
+#[test]
+fn input_gradient_helper_agrees_with_manual_backward() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let mut net = Network::new(vec![4]);
+    net.push(Layer::Dense(Dense::new(4, 6, &mut rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Dense(Dense::new(6, 3, &mut rng).unwrap()));
+    let x = Tensor::randn(&[2, 4], 0.0, 1.0, &mut rng);
+    let (logits, caches) = net.forward_train(&x).unwrap();
+    let lo = softmax_cross_entropy(&logits, &[0, 1], 1.0).unwrap();
+    let (manual, _) = net.backward(&lo.grad, &caches).unwrap();
+    let helper = net.input_gradient(&x, &lo.grad).unwrap();
+    assert_eq!(manual, helper);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the NN substrate: softmax/loss identities,
+//! optimizer behavior, and model-persistence invariants.
+
+use dcn_nn::{
+    cross_entropy_soft, cw_loss, softmax, softmax_cross_entropy, Adam, Dense, Layer, Momentum,
+    Network, Optimizer, Relu, Sgd,
+};
+use dcn_tensor::Tensor;
+use proptest::prelude::*;
+
+fn logit_rows(n: usize, k: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-8.0f32..8.0, n * k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn softmax_is_invariant_to_per_row_shifts(v in logit_rows(2, 5), shift in -10.0f32..10.0) {
+        let z = Tensor::from_vec(vec![2, 5], v.clone()).unwrap();
+        let zs = z.shift(shift);
+        let p = softmax(&z, 1.0).unwrap();
+        let ps = softmax(&zs, 1.0).unwrap();
+        for (a, b) in p.data().iter().zip(ps.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(v in logit_rows(3, 4), t in 0.5f32..50.0) {
+        let z = Tensor::from_vec(vec![3, 4], v).unwrap();
+        let p = softmax(&z, t).unwrap();
+        prop_assert!(p.data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        for row in p.data().chunks_exact(4) {
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn higher_temperature_never_sharpens(v in logit_rows(1, 6)) {
+        let z = Tensor::from_vec(vec![1, 6], v).unwrap();
+        let sharp = softmax(&z, 1.0).unwrap();
+        let soft = softmax(&z, 10.0).unwrap();
+        prop_assert!(soft.max().unwrap() <= sharp.max().unwrap() + 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(v in logit_rows(2, 4), l0 in 0usize..4, l1 in 0usize..4) {
+        // softmax(z) − onehot sums to zero per row (both sum to one).
+        let z = Tensor::from_vec(vec![2, 4], v).unwrap();
+        let out = softmax_cross_entropy(&z, &[l0, l1], 1.0).unwrap();
+        for row in out.grad.data().chunks_exact(4) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+        prop_assert!(out.loss >= -1e-6);
+    }
+
+    #[test]
+    fn soft_and_hard_cross_entropy_agree_on_onehot(v in logit_rows(1, 5), label in 0usize..5) {
+        let z = Tensor::from_vec(vec![1, 5], v).unwrap();
+        let hard = softmax_cross_entropy(&z, &[label], 1.0).unwrap();
+        let mut onehot = Tensor::zeros(&[1, 5]);
+        onehot.data_mut()[label] = 1.0;
+        let soft = cross_entropy_soft(&z, &onehot, 1.0).unwrap();
+        prop_assert!((hard.loss - soft.loss).abs() < 1e-5);
+        for (a, b) in hard.grad.data().iter().zip(soft.grad.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cw_loss_sign_matches_classification(v in prop::collection::vec(-5.0f32..5.0, 4), t in 0usize..4) {
+        let z = Tensor::from_slice(&v);
+        let (f, _) = cw_loss(&z, t, 0.0).unwrap();
+        let argmax = z.argmax().unwrap();
+        if argmax == t {
+            // Classified as target → margin ≤ 0 (clamped to -0).
+            prop_assert!(f <= 0.0);
+        } else {
+            prop_assert!(f >= 0.0);
+        }
+    }
+
+    #[test]
+    fn every_optimizer_descends_a_separable_quadratic(
+        start in prop::collection::vec(-2.0f32..2.0, 3),
+        which in 0usize..3,
+    ) {
+        let mut p = Tensor::from_slice(&start);
+        let mut opt: Box<dyn Optimizer> = match which {
+            0 => Box::new(Sgd::new(0.1)),
+            1 => Box::new(Momentum::new(0.05, 0.9)),
+            _ => Box::new(Adam::new(0.1)),
+        };
+        let loss = |p: &Tensor| p.data().iter().map(|x| x * x).sum::<f32>();
+        let initial = loss(&p);
+        for _ in 0..150 {
+            let g = p.scale(2.0);
+            let mut refs = [&mut p];
+            opt.step(&mut refs, &[g]).unwrap();
+        }
+        prop_assert!(loss(&p) <= initial + 1e-4, "optimizer {which} diverged");
+        prop_assert!(loss(&p) < 0.1 * initial.max(0.05), "optimizer {which} too slow: {} → {}", initial, loss(&p));
+    }
+
+    #[test]
+    fn network_forward_is_deterministic_and_serde_stable(
+        seedish in 0u64..1000,
+        xs in prop::collection::vec(-0.5f32..0.5, 6),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seedish);
+        let mut net = Network::new(vec![3]);
+        net.push(Layer::Dense(Dense::new(3, 5, &mut rng).unwrap()));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::Dense(Dense::new(5, 2, &mut rng).unwrap()));
+        let x = Tensor::from_vec(vec![2, 3], xs).unwrap();
+        let y1 = net.forward(&x).unwrap();
+        let y2 = net.forward(&x).unwrap();
+        prop_assert_eq!(&y1, &y2);
+        let back = Network::from_json(&net.to_json().unwrap()).unwrap();
+        prop_assert_eq!(y1, back.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn input_gradient_vanishes_for_constant_logit_direction(
+        seedish in 0u64..1000,
+        xs in prop::collection::vec(-0.5f32..0.5, 4),
+    ) {
+        // Backprop of an all-zero logit gradient must be exactly zero.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seedish);
+        let mut net = Network::new(vec![4]);
+        net.push(Layer::Dense(Dense::new(4, 6, &mut rng).unwrap()));
+        net.push(Layer::Relu(Relu::new()));
+        net.push(Layer::Dense(Dense::new(6, 3, &mut rng).unwrap()));
+        let x = Tensor::from_vec(vec![1, 4], xs).unwrap();
+        let g = net.input_gradient(&x, &Tensor::zeros(&[1, 3])).unwrap();
+        prop_assert!(g.data().iter().all(|&v| v == 0.0));
+    }
+}

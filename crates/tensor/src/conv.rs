@@ -1,0 +1,324 @@
+//! `im2col`/`col2im` lowering used by the convolution layers in `dcn-nn`.
+//!
+//! A convolution over a batched image tensor `[N, C, H, W]` is lowered to a
+//! single matrix product: [`im2col`] gathers every receptive field into a row
+//! of a patch matrix `[N·OH·OW, C·KH·KW]`, which is then multiplied against
+//! the flattened kernel bank. [`col2im`] is the exact adjoint (scatter-add),
+//! which is what the backward pass needs to route gradients to inputs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Tensor, TensorError};
+
+/// Static geometry of a 2-D convolution: input extents, kernel size,
+/// stride and zero padding.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_tensor::Conv2dGeometry;
+/// # fn main() -> Result<(), dcn_tensor::TensorError> {
+/// let g = Conv2dGeometry::new(1, 28, 28, 3, 1, 0)?;
+/// assert_eq!((g.out_h(), g.out_w()), (26, 26));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2dGeometry {
+    in_channels: usize,
+    in_h: usize,
+    in_w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    out_h: usize,
+    out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Builds and validates a convolution geometry with a square kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] for zero-sized kernels or
+    /// strides, or when the (padded) input is smaller than the kernel.
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
+        if kernel == 0 || stride == 0 || in_channels == 0 {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel ({kernel}), stride ({stride}) and channels ({in_channels}) must be positive"
+            )));
+        }
+        let padded_h = in_h + 2 * padding;
+        let padded_w = in_w + 2 * padding;
+        if padded_h < kernel || padded_w < kernel {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {kernel} exceeds padded input {padded_h}x{padded_w}"
+            )));
+        }
+        Ok(Conv2dGeometry {
+            in_channels,
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            padding,
+            out_h: (padded_h - kernel) / stride + 1,
+            out_w: (padded_w - kernel) / stride + 1,
+        })
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+    /// Input height.
+    pub fn in_h(&self) -> usize {
+        self.in_h
+    }
+    /// Input width.
+    pub fn in_w(&self) -> usize {
+        self.in_w
+    }
+    /// Square kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+    /// Stride in both directions.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+    /// Zero padding on each border.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.out_h
+    }
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.out_w
+    }
+    /// Length of one flattened receptive field (`C·KH·KW`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Gathers receptive fields of a batched image tensor into a patch matrix.
+///
+/// `input` must have shape `[N, C, H, W]` matching `geom`; the result has
+/// shape `[N·OH·OW, C·KH·KW]`, rows ordered batch-major then row-major over
+/// output positions.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::ShapeMismatch`]
+/// when `input` does not match the geometry.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    let dims = input.shape();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if c != geom.in_channels || h != geom.in_h || w != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            left: dims.to_vec(),
+            right: vec![n, geom.in_channels, geom.in_h, geom.in_w],
+        });
+    }
+    let (oh, ow, k, s, p) = (
+        geom.out_h,
+        geom.out_w,
+        geom.kernel,
+        geom.stride as isize,
+        geom.padding as isize,
+    );
+    let patch = geom.patch_len();
+    let mut out = vec![0.0f32; n * oh * ow * patch];
+    let data = input.data();
+    let plane = h * w;
+    for img in 0..n {
+        let img_base = img * c * plane;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_base = ((img * oh + oy) * ow + ox) * patch;
+                let y0 = oy as isize * s - p;
+                let x0 = ox as isize * s - p;
+                let mut col = 0usize;
+                for ch in 0..c {
+                    let ch_base = img_base + ch * plane;
+                    for ky in 0..k {
+                        let y = y0 + ky as isize;
+                        for kx in 0..k {
+                            let x = x0 + kx as isize;
+                            if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
+                                out[row_base + col] =
+                                    data[ch_base + y as usize * w + x as usize];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n * oh * ow, patch], out)
+}
+
+/// Scatter-adds a patch matrix back into image space — the adjoint of
+/// [`im2col`].
+///
+/// `cols` must have shape `[N·OH·OW, C·KH·KW]` for the given `batch` size and
+/// `geom`; the result has shape `[N, C, H, W]`. Overlapping receptive fields
+/// accumulate, which is exactly the gradient flow of a convolution.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `cols` does not match the
+/// geometry and batch size.
+pub fn col2im(cols: &Tensor, batch: usize, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let (oh, ow, k, s, p) = (
+        geom.out_h,
+        geom.out_w,
+        geom.kernel,
+        geom.stride as isize,
+        geom.padding as isize,
+    );
+    let patch = geom.patch_len();
+    let expected = vec![batch * oh * ow, patch];
+    if cols.shape() != expected.as_slice() {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.shape().to_vec(),
+            right: expected,
+        });
+    }
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let plane = h * w;
+    let mut out = vec![0.0f32; batch * c * plane];
+    let data = cols.data();
+    for img in 0..batch {
+        let img_base = img * c * plane;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_base = ((img * oh + oy) * ow + ox) * patch;
+                let y0 = oy as isize * s - p;
+                let x0 = ox as isize * s - p;
+                let mut col = 0usize;
+                for ch in 0..c {
+                    let ch_base = img_base + ch * plane;
+                    for ky in 0..k {
+                        let y = y0 + ky as isize;
+                        for kx in 0..k {
+                            let x = x0 + kx as isize;
+                            if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
+                                out[ch_base + y as usize * w + x as usize] +=
+                                    data[row_base + col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![batch, c, h, w], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_computes_output_extents() {
+        let g = Conv2dGeometry::new(3, 32, 32, 3, 1, 1).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+        let g = Conv2dGeometry::new(1, 28, 28, 2, 2, 0).unwrap();
+        assert_eq!((g.out_h(), g.out_w()), (14, 14));
+    }
+
+    #[test]
+    fn geometry_rejects_impossible_configs() {
+        assert!(Conv2dGeometry::new(1, 2, 2, 3, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(1, 8, 8, 0, 1, 0).is_err());
+        assert!(Conv2dGeometry::new(1, 8, 8, 3, 0, 0).is_err());
+        assert!(Conv2dGeometry::new(0, 8, 8, 3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_extracts_expected_patches() {
+        // 1x1x3x3 image, 2x2 kernel, stride 1, no padding → 4 patches of 4.
+        let img = Tensor::from_vec(
+            vec![1, 1, 3, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        )
+        .unwrap();
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
+        let cols = im2col(&img, &g).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        assert_eq!(cols.row(0).unwrap().data(), &[1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(cols.row(3).unwrap().data(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_pads_with_zeros() {
+        let img = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let g = Conv2dGeometry::new(1, 2, 2, 2, 1, 1).unwrap();
+        let cols = im2col(&img, &g).unwrap();
+        assert_eq!(cols.shape(), &[9, 4]);
+        // Top-left patch sees only the (0,0) pixel in its bottom-right slot.
+        assert_eq!(cols.row(0).unwrap().data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn im2col_validates_input_shape() {
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
+        let bad_rank = Tensor::zeros(&[1, 3, 3]);
+        assert!(im2col(&bad_rank, &g).is_err());
+        let bad_dims = Tensor::zeros(&[1, 2, 3, 3]);
+        assert!(im2col(&bad_dims, &g).is_err());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint; checked with a fixed seed.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = Conv2dGeometry::new(2, 5, 4, 3, 2, 1).unwrap();
+        let x = Tensor::randn(&[2, 2, 5, 4], 0.0, 1.0, &mut rng);
+        let rows = 2 * g.out_h() * g.out_w();
+        let y = Tensor::randn(&[rows, g.patch_len()], 0.0, 1.0, &mut rng);
+        let lhs = im2col(&x, &g).unwrap().dot(&y).unwrap();
+        let rhs = x.dot(&col2im(&y, 2, &g).unwrap()).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_validates_cols_shape() {
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
+        let bad = Tensor::zeros(&[3, 4]);
+        assert!(col2im(&bad, 1, &g).is_err());
+    }
+
+    #[test]
+    fn overlapping_patches_accumulate() {
+        let g = Conv2dGeometry::new(1, 3, 3, 2, 1, 0).unwrap();
+        let cols = Tensor::ones(&[4, 4]);
+        let img = col2im(&cols, 1, &g).unwrap();
+        // Center pixel (1,1) is covered by all four 2x2 patches.
+        assert_eq!(img.get(&[0, 0, 1, 1]).unwrap(), 4.0);
+        assert_eq!(img.get(&[0, 0, 0, 0]).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// Every public function in `dcn-tensor` that can fail returns
+/// `Result<T, TensorError>`; the crate never panics on malformed user input
+/// (only on internal invariant violations via `debug_assert!`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the supplied
+    /// buffer length.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The tensor does not have the rank (number of dimensions) required by
+    /// the operation.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product disagree.
+    MatmulDimMismatch {
+        /// `k` dimension of the left operand (columns).
+        left_k: usize,
+        /// `k` dimension of the right operand (rows).
+        right_k: usize,
+    },
+    /// An index is out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape it was checked against.
+        shape: Vec<usize>,
+    },
+    /// The operation requires a non-empty tensor but got an empty one.
+    Empty,
+    /// Convolution geometry is impossible (kernel larger than padded input,
+    /// zero stride, and similar).
+    InvalidGeometry(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, found rank {actual}")
+            }
+            TensorError::MatmulDimMismatch { left_k, right_k } => write!(
+                f,
+                "matmul inner dimensions disagree: left k = {left_k}, right k = {right_k}"
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::Empty => write!(f, "operation requires a non-empty tensor"),
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,196 @@
+//! Matrix products on rank-2 tensors.
+//!
+//! Three variants are provided because the backward passes of dense and
+//! convolution layers need products against transposed operands; forming the
+//! transpose explicitly would double memory traffic on the hot path.
+
+use crate::{Result, Tensor, TensorError};
+
+fn as_matrix(t: &Tensor) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// Uses an i-k-j loop order so the inner loop streams both `B` and `C`
+/// rows contiguously — adequate for the small matrices in this workspace.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank-2 and
+/// [`TensorError::MatmulDimMismatch`] if the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_tensor::{matmul, Tensor};
+/// # fn main() -> Result<(), dcn_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0])?;
+/// let b = Tensor::from_vec(vec![2, 1], vec![3.0, 4.0])?;
+/// assert_eq!(matmul(&a, &b)?.data(), &[11.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = as_matrix(a)?;
+    let (kb, n) = as_matrix(b)?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left_k: ka,
+            right_k: kb,
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..(k + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — without materializing `Aᵀ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::MatmulDimMismatch`]
+/// exactly as [`matmul`].
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m) = as_matrix(a)?;
+    let (kb, n) = as_matrix(b)?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left_k: ka,
+            right_k: kb,
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for k in 0..ka {
+        let arow = &ad[k * m..(k + 1) * m];
+        let brow = &bd[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                *o += aki * bkj;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — without materializing `Bᵀ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::MatmulDimMismatch`]
+/// exactly as [`matmul`].
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = as_matrix(a)?;
+    let (n, kb) = as_matrix(b)?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left_k: ka,
+            right_k: kb,
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bd[j * ka..(j + 1) * ka];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let id = t(&[2, 2], &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+        assert_eq!(matmul(&id, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_dims() {
+        let a = t(&[2, 3], &[0.0; 6]);
+        let b = t(&[2, 3], &[0.0; 6]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { left_k: 3, right_k: 2 })
+        ));
+        let v = Tensor::from_slice(&[1.0]);
+        assert!(matmul(&v, &b).is_err());
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = t(&[3, 2], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // k=3, m=2
+        let b = t(&[3, 4], &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let at = t(&[2, 3], &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+        assert_eq!(matmul_tn(&a, &b).unwrap(), matmul(&at, &b).unwrap());
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[4, 3], &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        let bt = t(
+            &[3, 4],
+            &[0.0, 3.0, 6.0, 9.0, 1.0, 4.0, 7.0, 10.0, 2.0, 5.0, 8.0, 11.0],
+        );
+        assert_eq!(matmul_nt(&a, &b).unwrap(), matmul(&a, &bt).unwrap());
+    }
+
+    #[test]
+    fn degenerate_dims_produce_empty_outputs() {
+        let a = t(&[0, 3], &[]);
+        let b = t(&[3, 2], &[0.0; 6]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[0, 2]);
+    }
+}

@@ -1,0 +1,138 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TensorError};
+
+/// Row-major shape of a [`crate::Tensor`].
+///
+/// A `Shape` is an ordered list of dimension extents. The rightmost dimension
+/// varies fastest in memory. A rank-0 shape (no dimensions) denotes a scalar
+/// with exactly one element.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-dimensional index into a linear offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `index` has the wrong rank
+    /// or any coordinate exceeds its extent.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.0.len()
+            || index.iter().zip(self.0.iter()).any(|(i, d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.0.clone(),
+            });
+        }
+        let mut off = 0;
+        let mut stride = 1;
+        for (i, d) in index.iter().zip(self.0.iter()).rev() {
+            off += i * stride;
+            stride *= d;
+        }
+        Ok(off)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_is_one() {
+        assert_eq!(Shape::new(vec![]).volume(), 1);
+    }
+
+    #[test]
+    fn volume_with_zero_extent_is_zero() {
+        assert_eq!(Shape::new(vec![4, 0, 2]).volume(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+        assert!(Shape::new(vec![]).strides().is_empty());
+    }
+
+    #[test]
+    fn offset_round_trips_strides() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[1, 0, 2]).unwrap(), 14);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(vec![2, 3]);
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.offset(&[0]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,716 @@
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Shape, TensorError};
+
+/// A dense, row-major `f32` tensor.
+///
+/// `Tensor` is the single array type used throughout the DCN workspace:
+/// images are `[C, H, W]` or batched `[N, C, H, W]`, logits are `[N, K]`,
+/// dense weights are `[In, Out]`, and so on. Data is stored contiguously in
+/// row-major order.
+///
+/// Construction validates that buffer lengths match shape volumes; operations
+/// validate operand compatibility and return [`TensorError`] on misuse.
+///
+/// # Examples
+///
+/// ```
+/// use dcn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), dcn_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(t.get(&[1, 0])?, 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor from a shape and a data buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape volume.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let shape = Shape::from(shape);
+        let n = shape.volume();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let shape = Shape::from(shape);
+        let n = shape.volume();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::new(vec![data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a tensor of i.i.d. samples from `N(mean, std²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or not finite (programmer error).
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Self {
+        let dist = Normal::new(mean, std).expect("std must be finite and non-negative");
+        let shape = Shape::from(shape);
+        let data = (0..shape.volume()).map(|_| dist.sample(rng)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of i.i.d. samples from `U[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` (programmer error).
+    pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let dist = Uniform::new(lo, hi);
+        let shape = Shape::from(shape);
+        let data = (0..shape.volume()).map(|_| dist.sample(rng)).collect();
+        Tensor { shape, data }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Dimension extents.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Underlying buffer, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] on rank or bound violations.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] on rank or bound violations.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
+        Tensor::from_vec(shape.to_vec(), self.data.clone())
+    }
+
+    /// Consuming variant of [`Tensor::reshape`]; avoids copying the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn into_reshaped(self, shape: &[usize]) -> Result<Tensor> {
+        Tensor::from_vec(shape.to_vec(), self.data)
+    }
+
+    /// Extracts row `i` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::IndexOutOfBounds`] for bad row indices.
+    pub fn row(&self, i: usize) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        if i >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                shape: self.shape().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: Shape::new(vec![cols]),
+            data: self.data[i * cols..(i + 1) * cols].to_vec(),
+        })
+    }
+
+    /// Stacks rank-`r` tensors of identical shape into one rank-`r+1` tensor
+    /// whose leading dimension is the batch index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty input and
+    /// [`TensorError::ShapeMismatch`] if the items disagree in shape.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor> {
+        let first = items.first().ok_or(TensorError::Empty)?;
+        let mut data = Vec::with_capacity(first.len() * items.len());
+        for t in items {
+            if t.shape() != first.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape().to_vec(),
+                    right: t.shape().to_vec(),
+                });
+            }
+            data.extend_from_slice(t.data());
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.shape());
+        Tensor::from_vec(dims, data)
+    }
+
+    /// Splits the leading dimension, returning one tensor per batch entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn unstack(&self) -> Result<Vec<Tensor>> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let n = self.shape()[0];
+        let inner: Vec<usize> = self.shape()[1..].to_vec();
+        let chunk = inner.iter().product::<usize>().max(1);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(Tensor::from_vec(
+                inner.clone(),
+                self.data[i * chunk..(i + 1) * chunk].to_vec(),
+            )?);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise ops
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        self.check_same_shape(other)?;
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s`, producing a new tensor.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element, producing a new tensor.
+    pub fn shift(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Clamps every element into `[lo, hi]`, producing a new tensor.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Whether every element is finite (no NaN or infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions and statistics
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements (0 for empty tensors).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for empty tensors.
+    pub fn mean(&self) -> Result<f32> {
+        if self.is_empty() {
+            return Err(TensorError::Empty);
+        }
+        Ok(self.sum() / self.len() as f32)
+    }
+
+    /// Largest element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for empty tensors.
+    pub fn max(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, x| Some(m.map_or(x, |m| m.max(x))))
+            .ok_or(TensorError::Empty)
+    }
+
+    /// Smallest element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for empty tensors.
+    pub fn min(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, x| Some(m.map_or(x, |m| m.min(x))))
+            .ok_or(TensorError::Empty)
+    }
+
+    /// Linear index of the largest element (first one wins ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for empty tensors.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.is_empty() {
+            return Err(TensorError::Empty);
+        }
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-row argmax of a rank-2 tensor (e.g. batched logits → labels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices or
+    /// [`TensorError::Empty`] if rows have zero width.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        if cols == 0 {
+            return Err(TensorError::Empty);
+        }
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (i, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Norms and distances (the paper's three distortion metrics)
+    // ------------------------------------------------------------------
+
+    /// Euclidean (`L2`) norm of the whole tensor.
+    pub fn norm_l2(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// `L0` distance to `other`: number of coordinates that differ by more
+    /// than `tol` in absolute value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn dist_l0(&self, other: &Tensor, tol: f32) -> Result<usize> {
+        self.check_same_shape(other)?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .filter(|(a, b)| (*a - *b).abs() > tol)
+            .count())
+    }
+
+    /// `L2` (Euclidean) distance to `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn dist_l2(&self, other: &Tensor) -> Result<f32> {
+        self.check_same_shape(other)?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt())
+    }
+
+    /// `L∞` (max-abs) distance to `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn dist_linf(&self, other: &Tensor) -> Result<f32> {
+        self.check_same_shape(other)?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Dot product with `other` over flattened buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        self.check_same_shape(other)?;
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Matrix product; see [`crate::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates rank and inner-dimension mismatches.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        crate::matmul(self, other)
+    }
+
+    fn check_same_shape(&self, other: &Tensor) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().to_vec(),
+                right: other.shape().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{} [", self.shape)?;
+        for (i, x) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.4}")?;
+        }
+        if self.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![0.0; 4]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![2, 2], vec![0.0; 3]),
+            Err(TensorError::LengthMismatch { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(&[3, 4]);
+        t.set(&[2, 1], 7.5).unwrap();
+        assert_eq!(t.get(&[2, 1]).unwrap(), 7.5);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 0.0);
+        assert!(t.get(&[3, 0]).is_err());
+    }
+
+    #[test]
+    fn arithmetic_checks_shapes() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[3, 2]);
+        assert!(a.add(&b).is_err());
+        let c = a.add(&Tensor::full(&[2, 3], 2.0)).unwrap();
+        assert!(c.data().iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        a.add_scaled(&b, 0.5).unwrap();
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[3.0, -1.0, 4.0, -1.0]);
+        assert_eq!(t.sum(), 5.0);
+        assert_eq!(t.mean().unwrap(), 1.25);
+        assert_eq!(t.max().unwrap(), 4.0);
+        assert_eq!(t.min().unwrap(), -1.0);
+        assert_eq!(t.argmax().unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_reductions_error() {
+        let t = Tensor::zeros(&[0]);
+        assert!(t.mean().is_err());
+        assert!(t.max().is_err());
+        assert!(t.argmax().is_err());
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_tie() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 5.0, 5.0, 0.0, 0.0, -1.0]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let a = Tensor::from_slice(&[0.0, 0.0, 0.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0, 0.0]);
+        assert_eq!(a.dist_l2(&b).unwrap(), 5.0);
+        assert_eq!(a.dist_linf(&b).unwrap(), 4.0);
+        assert_eq!(a.dist_l0(&b, 1e-6).unwrap(), 2);
+    }
+
+    #[test]
+    fn stack_unstack_round_trip() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        let parts = s.unstack().unwrap();
+        assert_eq!(parts, vec![a, b]);
+    }
+
+    #[test]
+    fn stack_rejects_mixed_shapes() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(Tensor::stack(&[a, b]).is_err());
+        assert!(matches!(Tensor::stack(&[]), Err(TensorError::Empty)));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(r.get(&[1, 1]).unwrap(), 4.0);
+        assert!(t.reshape(&[3, 2]).is_err());
+    }
+
+    #[test]
+    fn randn_is_reproducible_and_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[1000], 0.0, 1.0, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let t2 = Tensor::randn(&[1000], 0.0, 1.0, &mut rng2);
+        assert_eq!(t, t2);
+        assert!(t.mean().unwrap().abs() < 0.15);
+    }
+
+    #[test]
+    fn rand_uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_uniform(&[500], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let t = Tensor::from_slice(&[-2.0, 0.2, 2.0]);
+        assert_eq!(t.clamp(-0.5, 0.5).data(), &[-0.5, 0.2, 0.5]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::ones(&[3]);
+        assert!(t.all_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1.0, -2.0, 3.5, 0.0]).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = Tensor::zeros(&[2]);
+        assert!(!format!("{t}").is_empty());
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! These pin down the algebraic invariants the rest of the workspace leans
+//! on: metric axioms for the three distortion distances, linearity of the
+//! elementwise ops, adjointness of `im2col`/`col2im`, and serialization
+//! round-trips.
+
+use dcn_tensor::{col2im, im2col, matmul, matmul_nt, matmul_tn, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+const EPS: f32 = 1e-3;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len)
+}
+
+fn tensor_pair(len: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (vec_f32(len), vec_f32(len)).prop_map(move |(a, b)| {
+        (
+            Tensor::from_vec(vec![len], a).unwrap(),
+            Tensor::from_vec(vec![len], b).unwrap(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn l2_distance_is_a_metric((a, b) in tensor_pair(16), c in vec_f32(16)) {
+        let c = Tensor::from_vec(vec![16], c).unwrap();
+        // Symmetry.
+        prop_assert!((a.dist_l2(&b).unwrap() - b.dist_l2(&a).unwrap()).abs() < EPS);
+        // Identity of indiscernibles (one direction).
+        prop_assert!(a.dist_l2(&a).unwrap() < EPS);
+        // Triangle inequality.
+        let lhs = a.dist_l2(&c).unwrap();
+        let rhs = a.dist_l2(&b).unwrap() + b.dist_l2(&c).unwrap();
+        prop_assert!(lhs <= rhs + EPS);
+    }
+
+    #[test]
+    fn linf_bounded_by_l2_bounded_by_scaled_linf((a, b) in tensor_pair(16)) {
+        let linf = a.dist_linf(&b).unwrap();
+        let l2 = a.dist_l2(&b).unwrap();
+        prop_assert!(linf <= l2 + EPS);
+        prop_assert!(l2 <= linf * 4.0 + EPS); // sqrt(16) = 4
+    }
+
+    #[test]
+    fn l0_counts_at_most_all_coordinates((a, b) in tensor_pair(16)) {
+        let d = a.dist_l0(&b, 1e-6).unwrap();
+        prop_assert!(d <= 16);
+        prop_assert_eq!(a.dist_l0(&a, 1e-6).unwrap(), 0);
+    }
+
+    #[test]
+    fn add_commutes_and_sub_inverts((a, b) in tensor_pair(12)) {
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab.clone(), ba);
+        let back = ab.sub(&b).unwrap();
+        for (x, y) in back.data().iter().zip(a.data().iter()) {
+            prop_assert!((x - y).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add((a, b) in tensor_pair(12), s in -5.0f32..5.0) {
+        let lhs = a.add(&b).unwrap().scale(s);
+        let rhs = a.scale(s).add(&b.scale(s)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn clamp_output_is_within_bounds(v in vec_f32(20), lo in -2.0f32..0.0, hi in 0.0f32..2.0) {
+        let t = Tensor::from_vec(vec![20], v).unwrap();
+        let c = t.clamp(lo, hi);
+        prop_assert!(c.data().iter().all(|&x| x >= lo && x <= hi));
+        // Idempotent.
+        prop_assert_eq!(c.clamp(lo, hi), c);
+    }
+
+    #[test]
+    fn argmax_points_at_maximum(v in vec_f32(9)) {
+        let t = Tensor::from_vec(vec![9], v).unwrap();
+        let i = t.argmax().unwrap();
+        let m = t.max().unwrap();
+        prop_assert_eq!(t.data()[i], m);
+    }
+
+    #[test]
+    fn matmul_is_linear_in_left_operand(
+        a in vec_f32(6), b in vec_f32(6), x in vec_f32(6), s in -3.0f32..3.0,
+    ) {
+        let a = Tensor::from_vec(vec![2, 3], a).unwrap();
+        let b = Tensor::from_vec(vec![2, 3], b).unwrap();
+        let x = Tensor::from_vec(vec![3, 2], x).unwrap();
+        let lhs = matmul(&a.scale(s).add(&b).unwrap(), &x).unwrap();
+        let rhs = matmul(&a, &x).unwrap().scale(s).add(&matmul(&b, &x).unwrap()).unwrap();
+        for (p, q) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((p - q).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn transposed_products_agree_with_plain_matmul(a in vec_f32(6), b in vec_f32(8)) {
+        // A: [3,2] so Aᵀ: [2,3]; B: [3,4]? — sizes: tn takes A:[k,m] B:[k,n].
+        let a_km = Tensor::from_vec(vec![2, 3], a).unwrap(); // k=2, m=3
+        let b_kn = Tensor::from_vec(vec![2, 4], b).unwrap(); // k=2, n=4
+        // Explicit transpose of a_km.
+        let mut at = vec![0.0; 6];
+        for k in 0..2 { for m in 0..3 { at[m * 2 + k] = a_km.data()[k * 3 + m]; } }
+        let a_mk = Tensor::from_vec(vec![3, 2], at).unwrap();
+        let direct = matmul(&a_mk, &b_kn).unwrap();
+        let fused = matmul_tn(&a_km, &b_kn).unwrap();
+        prop_assert_eq!(direct.shape(), fused.shape());
+        for (p, q) in direct.data().iter().zip(fused.data().iter()) {
+            prop_assert!((p - q).abs() < 1e-3);
+        }
+        // nt: A:[m,k] · Bᵀ with B:[n,k] equals matmul against explicit Bᵀ.
+        let a_mk2 = Tensor::from_vec(vec![3, 2], a_mk.data().to_vec()).unwrap();
+        let b_nk = Tensor::from_vec(vec![4, 2], b_kn.data().to_vec()).unwrap();
+        let mut bt = vec![0.0; 8];
+        for n in 0..4 { for k in 0..2 { bt[k * 4 + n] = b_nk.data()[n * 2 + k]; } }
+        let b_kn2 = Tensor::from_vec(vec![2, 4], bt).unwrap();
+        let direct2 = matmul(&a_mk2, &b_kn2).unwrap();
+        let fused2 = matmul_nt(&a_mk2, &b_nk).unwrap();
+        for (p, q) in direct2.data().iter().zip(fused2.data().iter()) {
+            prop_assert!((p - q).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness(
+        x in vec_f32(2 * 6 * 6),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let geom = Conv2dGeometry::new(1, 6, 6, 3, 1, 1).unwrap();
+        let x = Tensor::from_vec(vec![2, 1, 6, 6], x).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = 2 * geom.out_h() * geom.out_w();
+        let y = Tensor::randn(&[rows, geom.patch_len()], 0.0, 1.0, &mut rng);
+        let lhs = im2col(&x, &geom).unwrap().dot(&y).unwrap();
+        let rhs = x.dot(&col2im(&y, 2, &geom).unwrap()).unwrap();
+        let scale = lhs.abs().max(1.0);
+        prop_assert!((lhs - rhs).abs() / scale < 1e-3);
+    }
+
+    #[test]
+    fn stack_then_unstack_is_identity(a in vec_f32(4), b in vec_f32(4), c in vec_f32(4)) {
+        let items = vec![
+            Tensor::from_vec(vec![2, 2], a).unwrap(),
+            Tensor::from_vec(vec![2, 2], b).unwrap(),
+            Tensor::from_vec(vec![2, 2], c).unwrap(),
+        ];
+        let stacked = Tensor::stack(&items).unwrap();
+        prop_assert_eq!(stacked.shape(), &[3, 2, 2]);
+        prop_assert_eq!(stacked.unstack().unwrap(), items);
+    }
+
+    #[test]
+    fn serde_json_round_trips(v in vec_f32(10)) {
+        let t = Tensor::from_vec(vec![2, 5], v).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(t, back);
+    }
+}

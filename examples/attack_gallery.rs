@@ -1,0 +1,112 @@
+//! Attack gallery: every implemented evasion attack against one digit,
+//! with ASCII renderings of the perturbations and a distortion table.
+//!
+//! ```text
+//! cargo run --release --example attack_gallery
+//! ```
+
+use dcn_attacks::{
+    CwL0, CwL2, CwLinf, DeepFool, DistanceMetric, Fgsm, Igsm, Jsma, Lbfgs, TargetedAttack,
+    UntargetedAttack,
+};
+use dcn_core::models;
+use dcn_data::{synth_mnist, SynthConfig};
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ascii(img: &Tensor) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let (h, w) = (28, 28);
+    let mut out = String::new();
+    for y in (0..h).step_by(2) {
+        for x in 0..w {
+            let v = img.data()[y * w + x] + 0.5;
+            let idx = ((v * (SHADES.len() - 1) as f32).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn diff_map(a: &Tensor, b: &Tensor) -> Tensor {
+    // Perturbation magnitude, rescaled into [-0.5, 0.5] for rendering.
+    let d = a.zip(b, |x, y| (x - y).abs()).unwrap();
+    let max = d.max().unwrap().max(1e-6);
+    d.map(|v| v / max - 0.5)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    println!("training the target CNN…");
+    let train = synth_mnist(1500, &SynthConfig::default(), &mut rng);
+    let test = synth_mnist(100, &SynthConfig::default(), &mut rng);
+    let net = models::train_classifier(models::mnist_cnn(&mut rng)?, &train, 6, 0.002, &mut rng)?;
+
+    let x = test.example(0)?;
+    let logits = net.logits_one(&x)?;
+    let label = logits.argmax()?;
+    // Attack toward the runner-up class — the nearest decision boundary,
+    // where every attack family has a fair chance within its budget.
+    let target = logits
+        .data()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != label)
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("at least two classes");
+    println!("\nbenign example (classified {label}, attacking toward {target}):\n{}", ascii(&x));
+
+    let targeted: Vec<(&str, Box<dyn TargetedAttack>)> = vec![
+        ("L-BFGS", Box::new(Lbfgs::new())),
+        ("FGSM", Box::new(Fgsm::new(0.3))),
+        ("IGSM", Box::new(Igsm::new(0.3, 0.03, 25))),
+        ("JSMA", Box::new(Jsma::new(1.0, 0.15))),
+        ("CW-L0", Box::new(CwL0::new(0.0))),
+        ("CW-L2", Box::new(CwL2::new(0.0))),
+        ("CW-Linf", Box::new(CwLinf::new(0.0))),
+    ];
+
+    println!("{:<10} {:>8} {:>8} {:>8} {:>9}", "attack", "L0(px)", "L2", "Linf", "label");
+    println!("{}", "-".repeat(48));
+    let mut gallery: Vec<(String, Tensor)> = Vec::new();
+    for (name, attack) in &targeted {
+        match attack.run_targeted(&net, &x, target)? {
+            Some(adv) => {
+                println!(
+                    "{:<10} {:>8.0} {:>8.3} {:>8.3} {:>9}",
+                    name,
+                    DistanceMetric::L0.measure(&x, &adv)?,
+                    DistanceMetric::L2.measure(&x, &adv)?,
+                    DistanceMetric::Linf.measure(&x, &adv)?,
+                    net.predict_one(&adv)?,
+                );
+                gallery.push((name.to_string(), adv));
+            }
+            None => println!("{:<10} {:>8}", name, "failed"),
+        }
+    }
+    // DeepFool is untargeted by nature.
+    if let Some(adv) = DeepFool::default().run_untargeted(&net, &x)? {
+        println!(
+            "{:<10} {:>8.0} {:>8.3} {:>8.3} {:>9}",
+            "DeepFool",
+            DistanceMetric::L0.measure(&x, &adv)?,
+            DistanceMetric::L2.measure(&x, &adv)?,
+            DistanceMetric::Linf.measure(&x, &adv)?,
+            net.predict_one(&adv)?,
+        );
+        gallery.push(("DeepFool".into(), adv));
+    }
+
+    // Show how differently the metrics distribute the perturbation.
+    for name in ["JSMA", "CW-L2", "CW-Linf"] {
+        if let Some((_, adv)) = gallery.iter().find(|(n, _)| n == name) {
+            println!("\n{name} perturbation (normalized magnitude):");
+            println!("{}", ascii(&diff_map(&x, adv)));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Defensive distillation vs DCN under the CW threat model — the paper's
+//! central comparison (§5.3), at example scale.
+//!
+//! Distillation hardens a network against gradient-saturation attacks but
+//! Carlini & Wagner showed their logit-space attacks still win 100% of the
+//! time. DCN, by contrast, leaves the network alone and catches the attack
+//! at the output.
+//!
+//! ```text
+//! cargo run --release --example distill_vs_dcn
+//! ```
+
+use dcn_attacks::{CwL2, TargetedAttack};
+use dcn_core::{
+    distill, models, Corrector, Dcn, Detector, DetectorConfig, DistillConfig,
+};
+use dcn_data::{synth_mnist, SynthConfig};
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let train = synth_mnist(1500, &SynthConfig::default(), &mut rng);
+    let test = synth_mnist(200, &SynthConfig::default(), &mut rng);
+
+    println!("[1/3] training the standard network…");
+    let net = models::train_classifier(models::mnist_cnn(&mut rng)?, &train, 6, 0.002, &mut rng)?;
+
+    println!("[2/3] training the defensively distilled network (T = 100)…");
+    let distilled = distill(
+        models::mnist_cnn(&mut rng)?,
+        models::mnist_cnn(&mut rng)?,
+        &train,
+        &DistillConfig {
+            temperature: 100.0,
+            epochs: 6,
+            learning_rate: 0.002,
+            batch_size: 32,
+        },
+        &mut rng,
+    )?;
+    println!(
+        "      accuracies — standard {:.1}%, distilled {:.1}%",
+        models::accuracy_on(&net, &test)? * 100.0,
+        models::accuracy_on(&distilled, &test)? * 100.0
+    );
+
+    println!("[3/3] attacking both with CW-L2 (κ = 0)…");
+    let attack = CwL2::new(0.0);
+    let mut beaten_standard = 0;
+    let mut beaten_distilled = 0;
+    let mut recovered_by_dcn = 0;
+    let n_seeds = 5;
+
+    // The DCN guarding the standard network.
+    let det_seeds: Vec<Tensor> = (n_seeds..n_seeds + 15)
+        .map(|i| test.example(i).unwrap())
+        .collect();
+    let detector = Detector::train_against(
+        &net,
+        &det_seeds,
+        &attack,
+        &DetectorConfig::default(),
+        &mut rng,
+    )?;
+    let dcn = Dcn::new(net.clone(), detector, Corrector::mnist_default());
+
+    for i in 0..n_seeds {
+        let x = test.example(i)?;
+        let label = net.predict_one(&x)?;
+        let target = (label + 4) % 10;
+        if let Some(adv) = attack.run_targeted(&net, &x, target)? {
+            beaten_standard += 1;
+            if dcn.classify(&adv, &mut rng)? == label {
+                recovered_by_dcn += 1;
+            }
+        }
+        // Attack the distilled network *directly* — Carlini's point was that
+        // distillation only stops attacks that go through the softmax.
+        let dl = distilled.predict_one(&x)?;
+        let dt = (dl + 4) % 10;
+        if attack.run_targeted(&distilled, &x, dt)?.is_some() {
+            beaten_distilled += 1;
+        }
+    }
+    println!("\nresults over {n_seeds} seeds:");
+    println!("  CW-L2 beat the standard network  {beaten_standard}/{n_seeds}");
+    println!("  CW-L2 beat the distilled network {beaten_distilled}/{n_seeds}  (distillation does not stop CW)");
+    println!("  DCN recovered the true label     {recovered_by_dcn}/{beaten_standard}");
+    Ok(())
+}

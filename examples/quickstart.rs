@@ -1,0 +1,74 @@
+//! Quickstart: train a digit classifier, break it with CW-L2, fix it with
+//! a Detector-Corrector Network.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dcn_attacks::{untargeted_min_distortion, CwL2};
+use dcn_core::{models, Corrector, Dcn, DcnVerdict, Detector, DetectorConfig};
+use dcn_data::{synth_mnist, SynthConfig};
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // 1. A standard DNN on the synthetic digit task.
+    println!("[1/4] training the base CNN…");
+    let train = synth_mnist(1500, &SynthConfig::default(), &mut rng);
+    let test = synth_mnist(300, &SynthConfig::default(), &mut rng);
+    let net = models::train_classifier(models::mnist_cnn(&mut rng)?, &train, 6, 0.002, &mut rng)?;
+    let acc = models::accuracy_on(&net, &test)?;
+    println!("      test accuracy: {:.1}%", acc * 100.0);
+
+    // 2. An attacker crafts a minimum-distortion adversarial example
+    //    (the paper's untargeted reduction: try all targets, keep the best).
+    println!("[2/4] running the CW-L2 attack…");
+    let x = test.example(0)?;
+    let label = net.predict_one(&x)?;
+    let adv = untargeted_min_distortion(&CwL2::new(0.0), &net, &x)?
+        .expect("CW-L2 reliably beats an undefended network");
+    println!(
+        "      benign label {label} → adversarial label {} (L2 distortion {:.2})",
+        net.predict_one(&adv)?,
+        adv.dist_l2(&x)?
+    );
+
+    // 3. Train the detector on adversarial logits (the paper's protocol).
+    println!("[3/4] training the logit detector…");
+    let seeds: Vec<Tensor> = (1..21).map(|i| test.example(i).unwrap()).collect();
+    let detector = Detector::train_against(
+        &net,
+        &seeds,
+        &CwL2::new(0.0),
+        &DetectorConfig::default(),
+        &mut rng,
+    )?;
+
+    // 4. Assemble the DCN and classify both inputs.
+    println!("[4/4] assembling the DCN…");
+    let dcn = Dcn::new(net, detector, Corrector::mnist_default());
+    let (benign_label, benign_verdict) = dcn.classify_with_verdict(&x, &mut rng)?;
+    let (adv_label, adv_verdict) = dcn.classify_with_verdict(&adv, &mut rng)?;
+    println!(
+        "      benign input  → {benign_label} ({})",
+        match benign_verdict {
+            DcnVerdict::PassedThrough => "passed through, 1 forward pass",
+            DcnVerdict::Corrected => "corrected",
+        }
+    );
+    println!(
+        "      attacked input → {adv_label} ({})",
+        match adv_verdict {
+            DcnVerdict::PassedThrough => "missed by the detector!",
+            DcnVerdict::Corrected => "detected and corrected",
+        }
+    );
+    assert_eq!(benign_label, label);
+    if adv_label == label {
+        println!("      the DCN recovered the true label.");
+    }
+    Ok(())
+}

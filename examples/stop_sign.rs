@@ -1,0 +1,95 @@
+//! The paper's motivating scenario (§1): an adversarial stop sign.
+//!
+//! A self-driving pipeline classifies road signs; an attacker perturbs a
+//! "stop" sign so the base network reads it as "yield" while a human still
+//! sees a stop sign (the distortion is tiny). A DCN in front of the
+//! controller detects the attack and recovers "stop".
+//!
+//! The sign classifier is played by the synthetic digit task: class 7 acts
+//! as STOP and class 1 as YIELD.
+//!
+//! ```text
+//! cargo run --release --example stop_sign
+//! ```
+
+use dcn_attacks::{CwL2, DistanceMetric, TargetedAttack};
+use dcn_core::{models, Corrector, Dcn, DcnVerdict, Detector, DetectorConfig};
+use dcn_data::{synth_mnist, SynthConfig};
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STOP: usize = 7;
+const YIELD: usize = 1;
+
+fn sign_name(class: usize) -> &'static str {
+    match class {
+        STOP => "STOP",
+        YIELD => "YIELD",
+        _ => "(other sign)",
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+    println!("training the sign classifier…");
+    let train = synth_mnist(1500, &SynthConfig::default(), &mut rng);
+    let test = synth_mnist(300, &SynthConfig::default(), &mut rng);
+    let net = models::train_classifier(models::mnist_cnn(&mut rng)?, &train, 6, 0.002, &mut rng)?;
+
+    // A stop sign the classifier reads correctly.
+    let stop_idx = (0..test.len())
+        .find(|&i| test.labels()[i] == STOP && net.predict_one(&test.example(i).unwrap()).unwrap() == STOP)
+        .expect("a correctly classified stop sign");
+    let stop = test.example(stop_idx)?;
+    println!("camera frame: classifier says {}", sign_name(net.predict_one(&stop)?));
+
+    // The attacker stickers the sign: targeted CW-L2 toward YIELD.
+    println!("\nattacker perturbs the sign toward YIELD…");
+    let adv = CwL2::new(0.0)
+        .run_targeted(&net, &stop, YIELD)?
+        .expect("CW-L2 beats the undefended classifier");
+    let l2 = DistanceMetric::L2.measure(&stop, &adv)?;
+    let linf = DistanceMetric::Linf.measure(&stop, &adv)?;
+    println!(
+        "undefended classifier now says {} (L2 {:.2}, max pixel change {:.3} — invisible to a driver)",
+        sign_name(net.predict_one(&adv)?),
+        l2,
+        linf
+    );
+
+    // The safety team deploys a DCN in front of the planner.
+    println!("\ndeploying the DCN…");
+    let seeds: Vec<Tensor> = (0..20)
+        .filter(|&i| i != stop_idx)
+        .map(|i| test.example(i).unwrap())
+        .collect();
+    let detector = Detector::train_against(
+        &net,
+        &seeds,
+        &CwL2::new(0.0),
+        &DetectorConfig::default(),
+        &mut rng,
+    )?;
+    let dcn = Dcn::new(net, detector, Corrector::mnist_default());
+
+    let (label, verdict) = dcn.classify_with_verdict(&adv, &mut rng)?;
+    match verdict {
+        DcnVerdict::Corrected => println!(
+            "DCN: detector flagged the frame; corrector voted {} — the car stops.",
+            sign_name(label)
+        ),
+        DcnVerdict::PassedThrough => println!(
+            "DCN: frame passed through as {} (detector miss).",
+            sign_name(label)
+        ),
+    }
+    // And the benign frame still flows through at base cost.
+    let (benign_label, benign_verdict) = dcn.classify_with_verdict(&stop, &mut rng)?;
+    println!(
+        "clean frame: {} via {} forward pass(es).",
+        sign_name(benign_label),
+        dcn.cost_of(benign_verdict)
+    );
+    Ok(())
+}
