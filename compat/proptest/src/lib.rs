@@ -1,0 +1,362 @@
+//! Std-only stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The real proptest shrinks failing cases; this shim only *generates* —
+//! each `proptest!` test runs [`CASES`] seeded random cases and reports the
+//! first failure via a plain panic (the generated inputs are printed by the
+//! assertion itself). Strategies cover what the workspace's property tests
+//! use: numeric ranges, `prop::collection::vec`, tuples, `Just`, and
+//! `prop_map`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases each property runs. Smaller than upstream's 256:
+/// several properties in this workspace train real (small) networks per
+/// case, and the tier-1 gate runs every property on every push.
+pub const CASES: usize = 48;
+
+/// Fixed base seed, so failures reproduce run-to-run.
+const BASE_SEED: u64 = 0x5EED_CA5E;
+
+/// Creates the deterministic generator backing one property's cases.
+pub fn new_test_rng(test_name: &str) -> StdRng {
+    // Mix the test name in so each property sees a distinct stream.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(BASE_SEED ^ h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f32, f64, usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub mod prop {
+    //! Namespace mirror of `proptest::prop`.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Anything usable as the size argument of [`vec`]: a fixed size or
+        /// a range of sizes.
+        pub trait IntoSizeRange {
+            /// Draws a concrete length.
+            fn pick_len(&self, rng: &mut StdRng) -> usize;
+        }
+
+        impl IntoSizeRange for usize {
+            fn pick_len(&self, _rng: &mut StdRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSizeRange for core::ops::Range<usize> {
+            fn pick_len(&self, rng: &mut StdRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+            fn pick_len(&self, rng: &mut StdRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy for `Vec<T>` with element strategy `S`.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = self.len.pick_len(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vector of values from `element`, sized by `len` (a `usize` or a
+        /// range of `usize`).
+        pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude` for glob imports.
+
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Per-block configuration accepted by `#![proptest_config(...)]` inside
+/// [`proptest!`]. Only the case count is meaningful in the shim.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property in the block runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: CASES as u32,
+        }
+    }
+}
+
+/// Runs the body of one property over [`CASES`] seeded cases.
+///
+/// The body closure returns `false` when a `prop_assume!` rejected the
+/// case; rejected cases are not counted against the case budget (up to a
+/// global retry cap, so a never-satisfiable assumption cannot hang a test).
+pub fn run_cases(test_name: &str, case: impl FnMut(&mut StdRng) -> bool) {
+    run_cases_n(CASES, test_name, case);
+}
+
+/// [`run_cases`] with an explicit case count (used by
+/// `#![proptest_config(...)]` blocks).
+pub fn run_cases_n(cases: usize, test_name: &str, mut case: impl FnMut(&mut StdRng) -> bool) {
+    let cases = cases.max(1);
+    let mut rng = new_test_rng(test_name);
+    let mut accepted = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = cases * 20;
+    while accepted < cases && attempts < max_attempts {
+        attempts += 1;
+        if case(&mut rng) {
+            accepted += 1;
+        }
+    }
+    assert!(
+        accepted > 0,
+        "proptest shim: `prop_assume!` rejected every generated case of {test_name}"
+    );
+}
+
+/// Property-test entry macro. Mirrors `proptest::proptest!` for the shapes
+/// used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn name(x in 0.0f32..1.0, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases_n(__cfg.cases as usize, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> bool {
+                        $body;
+                        true
+                    })()
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                    // The body runs in a bool-returning closure so
+                    // `prop_assume!` can reject the case via `return false`.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> bool {
+                        $body;
+                        true
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Rejects the current case unless `cond` holds (the case is re-drawn, not
+/// failed). Only valid directly inside a `proptest!` body, where the body
+/// runs in a bool-returning closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f32..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_and_map_compose((a, b) in (0u32..10, 0u32..10).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

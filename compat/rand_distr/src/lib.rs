@@ -1,0 +1,135 @@
+//! Std-only stand-in for the subset of `rand_distr` 0.4 this workspace
+//! uses: [`Distribution`], [`Normal`] and [`Uniform`] over `f32`.
+//!
+//! Normal sampling uses Box–Muller rather than upstream's ziggurat, so the
+//! sample *stream* differs from upstream for a given seed; the workspace
+//! only relies on seeded determinism, which is preserved.
+
+use rand::{Rng, RngCore};
+
+/// Types that produce samples of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Standard deviation was negative or not finite.
+    BadVariance,
+    /// Mean was not finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution `N(mean, std²)` over `f32`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f32,
+    std: f32,
+}
+
+impl Normal {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] if `std` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mean: f32, std: f32) -> Result<Self, NormalError> {
+        if !std.is_finite() || std < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl Distribution<f32> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Box–Muller; one draw per call keeps the distribution stateless.
+        // u1 is nudged away from zero so ln(u1) is finite.
+        let u1: f64 = f64::max(rng.gen::<f64>(), 1e-300);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std * z as f32
+    }
+}
+
+/// Uniform distribution over `[lo, hi)` for `f32`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f32,
+    hi: f32,
+}
+
+impl Uniform {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite (matching
+    /// upstream's contract).
+    pub fn new(lo: f32, hi: f32) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "Uniform::new requires finite lo <= hi, got [{lo}, {hi})"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution<f32> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        self.lo + (self.hi - self.lo) * rng.gen::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = Normal::new(2.0, 3.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f32::NAN).is_err());
+        assert!(Normal::new(f32::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dist = Uniform::new(-0.25, 0.75);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-0.25..0.75).contains(&x));
+        }
+    }
+}

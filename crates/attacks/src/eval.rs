@@ -2,7 +2,7 @@
 //! raw material of the paper's Tables 4 and 5.
 
 use dcn_nn::Network;
-use dcn_tensor::Tensor;
+use dcn_tensor::{par, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{
@@ -64,16 +64,28 @@ pub fn evaluate_targeted<A: TargetedAttack + ?Sized>(
     seeds: &[Tensor],
 ) -> Result<(AttackStats, Vec<AdversarialExample>)> {
     let k = net.num_classes()?;
-    let mut attempts = 0usize;
-    let mut found = Vec::new();
-    for x in seeds {
+    // Seeds are attacked independently (the attacks are deterministic given
+    // the seed), so each seed's full target sweep runs as one parallel unit;
+    // per-seed results are re-joined in seed order, making the output — and
+    // the attempt count — identical to the serial loop.
+    let per_seed = par::par_map(seeds, 1, |_, x| -> Result<_> {
         let label = net.predict_one(x)?;
+        let mut attempts = 0usize;
+        let mut found = Vec::new();
         for target in (0..k).filter(|&t| t != label) {
             attempts += 1;
             if let Some(adv) = attack.run_targeted(net, x, target)? {
                 found.push(AdversarialExample::measure(net, x, &adv, Some(target))?);
             }
         }
+        Ok((attempts, found))
+    });
+    let mut attempts = 0usize;
+    let mut found = Vec::new();
+    for r in per_seed {
+        let (a, f) = r?;
+        attempts += a;
+        found.extend(f);
     }
     Ok((
         AttackStats::from_examples(attack.name(), attempts, &found),
@@ -92,10 +104,16 @@ pub fn evaluate_untargeted<A: TargetedAttack + ?Sized>(
     net: &Network,
     seeds: &[Tensor],
 ) -> Result<(AttackStats, Vec<AdversarialExample>)> {
+    let per_seed = par::par_map(seeds, 1, |_, x| -> Result<_> {
+        match untargeted_min_distortion(attack, net, x)? {
+            Some(adv) => Ok(Some(AdversarialExample::measure(net, x, &adv, None)?)),
+            None => Ok(None),
+        }
+    });
     let mut found = Vec::new();
-    for x in seeds {
-        if let Some(adv) = untargeted_min_distortion(attack, net, x)? {
-            found.push(AdversarialExample::measure(net, x, &adv, None)?);
+    for r in per_seed {
+        if let Some(ex) = r? {
+            found.push(ex);
         }
     }
     Ok((
@@ -114,10 +132,16 @@ pub fn evaluate_native_untargeted<A: UntargetedAttack + ?Sized>(
     net: &Network,
     seeds: &[Tensor],
 ) -> Result<(AttackStats, Vec<AdversarialExample>)> {
+    let per_seed = par::par_map(seeds, 1, |_, x| -> Result<_> {
+        match attack.run_untargeted(net, x)? {
+            Some(adv) => Ok(Some(AdversarialExample::measure(net, x, &adv, None)?)),
+            None => Ok(None),
+        }
+    });
     let mut found = Vec::new();
-    for x in seeds {
-        if let Some(adv) = attack.run_untargeted(net, x)? {
-            found.push(AdversarialExample::measure(net, x, &adv, None)?);
+    for r in per_seed {
+        if let Some(ex) = r? {
+            found.push(ex);
         }
     }
     Ok((

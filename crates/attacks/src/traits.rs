@@ -75,7 +75,11 @@ impl AdversarialExample {
 /// `run_targeted` returns `Ok(Some(x'))` when an input classified as `target`
 /// was found within the attack's budget, `Ok(None)` when the search failed,
 /// and `Err` only on misuse or substrate failure.
-pub trait TargetedAttack {
+///
+/// `Sync` is a supertrait so the evaluation harness can fan seeds out across
+/// the [`dcn_tensor::par`] thread budget; attacks are plain configuration
+/// structs, so the bound costs implementors nothing.
+pub trait TargetedAttack: Sync {
     /// Human-readable attack name (used in experiment tables).
     fn name(&self) -> &'static str;
 
@@ -91,8 +95,9 @@ pub trait TargetedAttack {
     fn run_targeted(&self, net: &Network, x: &Tensor, target: usize) -> Result<Option<Tensor>>;
 }
 
-/// A natively untargeted attack (DeepFool).
-pub trait UntargetedAttack {
+/// A natively untargeted attack (DeepFool). `Sync` for the same reason as
+/// [`TargetedAttack`].
+pub trait UntargetedAttack: Sync {
     /// Human-readable attack name.
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,99 @@
+//! Serial-vs-parallel throughput of the two hot defense paths: corrector
+//! voting (`m = 50` hypercube samples) and the batched forward pass. Each
+//! workload is measured once under `ParConfig::serial()` (the exact
+//! `DCN_THREADS=1` legacy path) and once per thread budget, so the recorded
+//! `BENCH_parallel_scaling.json` gives the scaling curve directly — the
+//! outputs themselves are bitwise identical across all legs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_core::Corrector;
+use dcn_nn::{Dense, Layer, Network, Relu};
+use dcn_tensor::{par, ParConfig, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const IN_DIM: usize = 64;
+const HIDDEN: usize = 512;
+const CLASSES: usize = 3;
+
+/// A network wide enough that per-sample inference dominates the parallel
+/// region's thread-spawn overhead (the regime the defenses actually run in;
+/// the paper's nets are far larger still).
+fn wide_net(rng: &mut StdRng) -> Network {
+    let mut net = Network::new(vec![IN_DIM]);
+    net.push(Layer::Dense(Dense::new(IN_DIM, HIDDEN, rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Dense(Dense::new(HIDDEN, HIDDEN, rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Dense(Dense::new(HIDDEN, CLASSES, rng).unwrap()));
+    net
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = wide_net(&mut rng);
+    let x = Tensor::rand_uniform(&[IN_DIM], -0.5, 0.5, &mut rng);
+    let corrector = Corrector::new(0.3, 50).unwrap();
+    let batch = Tensor::rand_uniform(&[256, IN_DIM], -0.5, 0.5, &mut rng);
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(30);
+
+    for threads in [1usize, 2, 4] {
+        let cfg = if threads == 1 {
+            ParConfig::serial()
+        } else {
+            ParConfig::with_threads(threads)
+        };
+        par::configure(cfg);
+        group.bench_with_input(
+            BenchmarkId::new("vote_counts_m50", threads),
+            &threads,
+            |b, _| {
+                let mut vote_rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    black_box(
+                        corrector
+                            .vote_counts(&net, black_box(&x), &mut vote_rng)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("forward_batch256", threads),
+            &threads,
+            |b, _| b.iter(|| black_box(net.forward(black_box(&batch)).unwrap())),
+        );
+    }
+    group.finish();
+    par::reset();
+
+    // Speedup summary relative to the serial leg. The curve is hardware-
+    // bound: budgets beyond the host's core count cannot beat serial (they
+    // should only show that the executor's overhead is negligible), so the
+    // core count is printed alongside for interpretation.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for kind in ["vote_counts_m50", "forward_batch256"] {
+        let ns_at = |threads: usize| {
+            c.records()
+                .iter()
+                .find(|r| r.id == format!("parallel_scaling/{kind}/{threads}"))
+                .map(|r| r.mean_ns)
+        };
+        if let Some(serial) = ns_at(1) {
+            for threads in [2usize, 4] {
+                if let Some(par_ns) = ns_at(threads) {
+                    eprintln!(
+                        "speedup {kind} @ {threads} threads: {:.2}x ({cores} cores available)",
+                        serial / par_ns
+                    );
+                }
+            }
+        }
+    }
+}
+
+criterion_group!(parallel_scaling, bench_parallel_scaling);
+criterion_main!(parallel_scaling);

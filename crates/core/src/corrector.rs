@@ -2,7 +2,7 @@
 //! Region-based Classifier re-parameterized with a much smaller sample count.
 
 use dcn_nn::Classifier;
-use dcn_tensor::Tensor;
+use dcn_tensor::{par, Tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -85,7 +85,7 @@ impl Corrector {
     /// # Errors
     ///
     /// Propagates classifier errors (wrong input shape).
-    pub fn correct<C: Classifier + ?Sized, R: Rng + ?Sized>(
+    pub fn correct<C: Classifier + Sync + ?Sized, R: Rng + ?Sized>(
         &self,
         base: &C,
         x: &Tensor,
@@ -101,19 +101,39 @@ impl Corrector {
     /// # Errors
     ///
     /// Propagates classifier errors.
-    pub fn vote_counts<C: Classifier + ?Sized, R: Rng + ?Sized>(
+    pub fn vote_counts<C: Classifier + Sync + ?Sized, R: Rng + ?Sized>(
         &self,
         base: &C,
         x: &Tensor,
         rng: &mut R,
     ) -> Result<(usize, Vec<usize>)> {
+        // All noise is drawn up front on the calling thread, so the rng
+        // stream — and therefore every sample point — is identical no
+        // matter how many threads classify them below.
         let mut points = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let noise = Tensor::rand_uniform(x.shape(), -self.radius, self.radius, rng);
             points.push(x.add(&noise)?.clamp(-0.5, 0.5));
         }
-        let batch = Tensor::stack(&points)?;
-        let labels = base.predict_batch(&batch)?;
+        // Vote samples are classified in contiguous chunks across the
+        // thread budget; per-example logits (and thus labels) are
+        // bitwise-identical to the single-batch serial call.
+        let workers = par::planned_workers(points.len(), 4);
+        let labels: Vec<usize> = if workers <= 1 {
+            let batch = Tensor::stack(&points)?;
+            base.predict_batch(&batch)?
+        } else {
+            let chunks: Vec<Tensor> = par::partition_units(points.len(), workers)
+                .into_iter()
+                .map(|(start, len)| Tensor::stack(&points[start..start + len]))
+                .collect::<std::result::Result<_, _>>()?;
+            let results = par::par_map(&chunks, 1, |_, chunk| base.predict_batch(chunk));
+            let mut labels = Vec::with_capacity(points.len());
+            for r in results {
+                labels.extend(r?);
+            }
+            labels
+        };
         let k = base.class_count().max(labels.iter().copied().max().unwrap_or(0) + 1);
         let mut counts = vec![0usize; k];
         for l in labels {

@@ -72,7 +72,7 @@ impl Defense for Dcn {
     }
 }
 
-impl<C: Classifier> Defense for RegionClassifier<C> {
+impl<C: Classifier + Sync> Defense for RegionClassifier<C> {
     fn name(&self) -> &str {
         "RC"
     }

@@ -242,6 +242,36 @@ impl Detector {
         Ok(self.net.predict_one(&self.canonicalize(logits))? == ADVERSARIAL)
     }
 
+    /// Batch scoring: flags every logit vector in one batched forward pass
+    /// through the detector network (batch-chunked across the
+    /// [`dcn_tensor::par`] thread budget by [`Network::forward`]).
+    ///
+    /// Per-example results are bitwise-identical to calling
+    /// [`Detector::is_adversarial`] in a loop; this entry point exists so
+    /// evaluation sweeps pay one forward pass instead of `N`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors (wrong logit width).
+    pub fn flag_batch(&self, logits: &[Tensor]) -> Result<Vec<bool>> {
+        if logits.is_empty() {
+            return Ok(Vec::new());
+        }
+        for t in logits {
+            if t.len() != self.mean.len() || t.rank() != 1 {
+                return Err(DefenseError::BadData(format!(
+                    "detector expects rank-1 logit vectors of width {}, got {:?}",
+                    self.mean.len(),
+                    t.shape()
+                )));
+            }
+        }
+        let canon: Vec<Tensor> = logits.iter().map(|t| self.canonicalize(t)).collect();
+        let batch = Tensor::stack(&canon)?;
+        let preds = self.net.predict(&batch)?;
+        Ok(preds.into_iter().map(|p| p == ADVERSARIAL).collect())
+    }
+
     /// Evaluates the detector on held-out logit sets, in the paper's
     /// Table 2 convention.
     ///
@@ -251,14 +281,10 @@ impl Detector {
     pub fn evaluate(&self, benign: &[Tensor], adversarial: &[Tensor]) -> Result<DetectorReport> {
         let mut predicted = Vec::with_capacity(benign.len() + adversarial.len());
         let mut actual = Vec::with_capacity(predicted.capacity());
-        for t in benign {
-            predicted.push(self.is_adversarial(t)?);
-            actual.push(false);
-        }
-        for t in adversarial {
-            predicted.push(self.is_adversarial(t)?);
-            actual.push(true);
-        }
+        predicted.extend(self.flag_batch(benign)?);
+        actual.extend(std::iter::repeat_n(false, benign.len()));
+        predicted.extend(self.flag_batch(adversarial)?);
+        actual.extend(std::iter::repeat_n(true, adversarial.len()));
         // In the paper's wording, "positive" is *benign passing through*:
         // a false negative is benign→flagged; false positive is adv→missed.
         let (missed_adv_rate, flagged_benign_rate) =

@@ -61,7 +61,10 @@ impl<C: Classifier> RegionClassifier<C> {
     /// # Errors
     ///
     /// Propagates classifier errors.
-    pub fn classify<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> Result<usize> {
+    pub fn classify<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> Result<usize>
+    where
+        C: Sync,
+    {
         self.corrector.correct(&self.base, x, rng)
     }
 

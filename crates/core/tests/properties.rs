@@ -110,3 +110,156 @@ proptest! {
         prop_assert!(det.is_adversarial(&probe).is_ok());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Thread-budget determinism: the defense pipeline must produce bitwise-
+// identical results under any `dcn_tensor::par` configuration. The parallel
+// executor only splits work *between* independent units, so these are exact
+// equalities, not tolerances.
+
+use dcn_tensor::{par, ParConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes the tests that flip the process-global parallel config.
+fn config_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[test]
+fn network_forward_is_bitwise_identical_across_thread_budgets() {
+    let _guard = config_lock();
+    let mut rng = StdRng::seed_from_u64(200);
+    // Wide examples so `Network::forward` actually opens a parallel region
+    // (its work floor is ~4096 elements per worker), with a batch of 35 that
+    // no tested budget divides evenly.
+    let mut net = Network::new(vec![512]);
+    net.push(Layer::Dense(Dense::new(512, 8, &mut rng).unwrap()));
+    net.push(Layer::Relu(dcn_nn::Relu::new()));
+    net.push(Layer::Dense(Dense::new(8, 3, &mut rng).unwrap()));
+    let x = Tensor::randn(&[35, 512], 0.0, 1.0, &mut rng);
+
+    par::configure(ParConfig::serial());
+    let reference = net.forward(&x).unwrap();
+    for threads in [2, 4, 8] {
+        par::configure(ParConfig::with_threads(threads));
+        let out = net.forward(&x).unwrap();
+        assert_eq!(reference.shape(), out.shape());
+        for (i, (a, b)) in reference.data().iter().zip(out.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "forward element {i} differs at {threads} threads"
+            );
+        }
+    }
+    par::reset();
+}
+
+#[test]
+fn corrector_votes_are_identical_across_thread_budgets() {
+    let _guard = config_lock();
+    let net = linear_net(&[2.0, -1.5, 0.3, -0.7, 1.1, 0.4, 0.1, -0.2, 0.0]);
+    let corrector = Corrector::new(0.3, 50).unwrap();
+    let x = Tensor::from_slice(&[0.1, -0.2]);
+
+    // Noise is drawn serially up front inside `vote_counts`, so the same
+    // seed yields the same 50 sample points under every budget; the chunked
+    // classification must then reproduce the serial votes exactly.
+    par::configure(ParConfig::serial());
+    let reference = corrector
+        .vote_counts(&net, &x, &mut StdRng::seed_from_u64(33))
+        .unwrap();
+    for threads in [2, 4, 8] {
+        par::configure(ParConfig::with_threads(threads));
+        let votes = corrector
+            .vote_counts(&net, &x, &mut StdRng::seed_from_u64(33))
+            .unwrap();
+        assert_eq!(reference, votes, "vote drift at {threads} threads");
+    }
+    par::reset();
+}
+
+/// Stateless in shape, stateful in labeling: hands out labels round-robin
+/// via a global atomic, so `m` votes always split as evenly as possible no
+/// matter how the batch is chunked across threads.
+struct RoundRobinClassifier {
+    calls: AtomicUsize,
+    classes: usize,
+}
+
+impl dcn_nn::Classifier for RoundRobinClassifier {
+    fn logits_batch(&self, x: &Tensor) -> dcn_nn::Result<Tensor> {
+        let n = x.shape()[0];
+        let mut out = Tensor::zeros(&[n, self.classes]);
+        for r in 0..n {
+            let l = self.calls.fetch_add(1, Ordering::Relaxed) % self.classes;
+            out.data_mut()[r * self.classes + l] = 1.0;
+        }
+        Ok(out)
+    }
+
+    fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    fn example_shape(&self) -> &[usize] {
+        &[1]
+    }
+}
+
+#[test]
+fn corrector_tie_break_picks_the_highest_label() {
+    // Regression pin for the tie-break rule: `vote_counts` resolves a tied
+    // histogram with `Iterator::max_by_key`, which keeps the *last* maximal
+    // element — i.e. ties go to the highest label index. 9 votes over 3
+    // round-robin classes is an exact three-way tie regardless of how the
+    // samples were chunked (each vote consumes a unique atomic ticket).
+    let base = RoundRobinClassifier {
+        calls: AtomicUsize::new(0),
+        classes: 3,
+    };
+    let corrector = Corrector::new(0.1, 9).unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+    let (mode, counts) = corrector
+        .vote_counts(&base, &Tensor::from_slice(&[0.0]), &mut rng)
+        .unwrap();
+    assert_eq!(counts, vec![3, 3, 3]);
+    assert_eq!(mode, 2, "ties must resolve to the highest label index");
+
+    // Two-way tie between labels 0 and 2 (label 1 starved): still the
+    // highest tied index, never the lowest.
+    struct EvenOdd;
+    impl dcn_nn::Classifier for EvenOdd {
+        fn logits_batch(&self, x: &Tensor) -> dcn_nn::Result<Tensor> {
+            static TICKET: AtomicUsize = AtomicUsize::new(0);
+            let n = x.shape()[0];
+            let mut out = Tensor::zeros(&[n, 3]);
+            for r in 0..n {
+                let l = if TICKET.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                    0
+                } else {
+                    2
+                };
+                out.data_mut()[r * 3 + l] = 1.0;
+            }
+            Ok(out)
+        }
+        fn class_count(&self) -> usize {
+            3
+        }
+        fn example_shape(&self) -> &[usize] {
+            &[1]
+        }
+    }
+    let corrector = Corrector::new(0.1, 10).unwrap();
+    let (mode, counts) = corrector
+        .vote_counts(&EvenOdd, &Tensor::from_slice(&[0.0]), &mut rng)
+        .unwrap();
+    assert_eq!(counts, vec![5, 0, 5]);
+    assert_eq!(mode, 2);
+}

@@ -3,7 +3,7 @@
 use std::fs;
 use std::path::Path;
 
-use dcn_tensor::Tensor;
+use dcn_tensor::{par, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{Layer, LayerCache, NnError, Result};
@@ -125,12 +125,51 @@ impl Network {
 
     /// Inference forward pass: batched input → batched logits `[N, K]`.
     ///
+    /// Large batches are chunked along the batch dimension across the
+    /// [`dcn_tensor::par`] thread budget. Every layer maps examples
+    /// independently, so the chunked result is bitwise-identical to the
+    /// serial pass (which is exactly what runs under `DCN_THREADS=1`).
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::InputShape`] if `x` does not match
     /// [`Network::input_shape`] (plus a leading batch dimension).
     pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
         self.check_batch(x)?;
+        let n = x.shape().first().copied().unwrap_or(0);
+        let example_len = x.len().checked_div(n).unwrap_or(0);
+        // Floor on examples per worker, scaled so that tiny models (the
+        // logit detector, unit-test MLPs) never pay thread start-up costs.
+        let min_units = 4096usize.div_ceil(example_len.max(1)).max(1);
+        let workers = par::planned_workers(n, min_units);
+        if workers <= 1 {
+            return self.forward_serial(x);
+        }
+        let chunks: Vec<Tensor> = par::partition_units(n, workers)
+            .into_iter()
+            .map(|(start, len)| {
+                let mut shape = vec![len];
+                shape.extend_from_slice(&self.input_shape);
+                let slice = &x.data()[start * example_len..(start + len) * example_len];
+                Tensor::from_vec(shape, slice.to_vec()).map_err(NnError::from)
+            })
+            .collect::<Result<_>>()?;
+        let outs = par::par_map(&chunks, 1, |_, chunk| self.forward_serial(chunk));
+        let mut data = Vec::with_capacity(x.len());
+        let mut tail_shape: Vec<usize> = Vec::new();
+        for out in outs {
+            let t = out?;
+            tail_shape = t.shape()[1..].to_vec();
+            data.extend_from_slice(t.data());
+        }
+        let mut shape = vec![n];
+        shape.extend_from_slice(&tail_shape);
+        Tensor::from_vec(shape, data).map_err(NnError::from)
+    }
+
+    /// The unchunked single-thread forward pass — the reference semantics
+    /// [`Network::forward`] must reproduce bitwise.
+    fn forward_serial(&self, x: &Tensor) -> Result<Tensor> {
         let mut cur = x.clone();
         for layer in &self.layers {
             cur = layer.infer(&cur)?;

@@ -178,3 +178,42 @@ fn input_gradient_helper_agrees_with_manual_backward() {
     let helper = net.input_gradient(&x, &lo.grad).unwrap();
     assert_eq!(manual, helper);
 }
+
+#[test]
+fn dense_gradients_with_parallel_forward_and_odd_batch() {
+    // Batch of 7 over a 4-thread budget: the forward pass used by the
+    // finite-difference probes runs batch-chunked (spans of 2/2/2/1), which
+    // must be bitwise-identical to the serial forward or the numeric and
+    // analytic gradients drift apart. Examples are 4096-wide so the chunked
+    // path actually engages (Network::forward keeps small batches serial).
+    dcn_tensor::par::configure(dcn_tensor::ParConfig::with_threads(4));
+    let mut rng = StdRng::seed_from_u64(105);
+    let mut net = Network::new(vec![4096]);
+    net.push(Layer::Dense(Dense::new(4096, 6, &mut rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Dense(Dense::new(6, 3, &mut rng).unwrap()));
+    let x = Tensor::randn(&[7, 4096], 0.0, 0.5, &mut rng);
+    let labels = [0usize, 1, 2, 0, 1, 2, 0];
+    check_param_grads(&mut net, &x, &labels);
+    check_input_grad(&net, &x, &labels);
+    dcn_tensor::par::reset();
+}
+
+#[test]
+fn conv_gradients_with_parallel_forward_and_odd_batch() {
+    dcn_tensor::par::configure(dcn_tensor::ParConfig::with_threads(4));
+    let mut rng = StdRng::seed_from_u64(106);
+    let mut net = Network::new(vec![1, 7, 7]);
+    let g = Conv2dGeometry::new(1, 7, 7, 3, 1, 0).unwrap();
+    net.push(Layer::Conv2d(Conv2d::new(g, 2, &mut rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Flatten(Flatten::new()));
+    net.push(Layer::Dense(Dense::new(2 * 5 * 5, 3, &mut rng).unwrap()));
+    // im2col/col2im parallelize per image; 7 images over 4 threads is the
+    // uneven-partition case.
+    let x = Tensor::randn(&[7, 1, 7, 7], 0.0, 1.0, &mut rng);
+    let labels = [0usize, 1, 2, 0, 1, 2, 0];
+    check_param_grads(&mut net, &x, &labels);
+    check_input_grad(&net, &x, &labels);
+    dcn_tensor::par::reset();
+}

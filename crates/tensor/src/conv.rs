@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
 
 /// Static geometry of a 2-D convolution: input extents, kernel size,
 /// stride and zero padding.
@@ -148,31 +148,36 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     let mut out = vec![0.0f32; n * oh * ow * patch];
     let data = input.data();
     let plane = h * w;
-    for img in 0..n {
-        let img_base = img * c * plane;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row_base = ((img * oh + oy) * ow + ox) * patch;
-                let y0 = oy as isize * s - p;
-                let x0 = ox as isize * s - p;
-                let mut col = 0usize;
-                for ch in 0..c {
-                    let ch_base = img_base + ch * plane;
-                    for ky in 0..k {
-                        let y = y0 + ky as isize;
-                        for kx in 0..k {
-                            let x = x0 + kx as isize;
-                            if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
-                                out[row_base + col] =
-                                    data[ch_base + y as usize * w + x as usize];
+    // One image writes one disjoint block of patch rows; images can be
+    // gathered by different threads without changing any value.
+    par::for_each_unit_chunk(&mut out, oh * ow * patch, 1, |first_img, chunk| {
+        for (rel, img_rows) in chunk.chunks_mut(oh * ow * patch).enumerate() {
+            let img = first_img + rel;
+            let img_base = img * c * plane;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row_base = (oy * ow + ox) * patch;
+                    let y0 = oy as isize * s - p;
+                    let x0 = ox as isize * s - p;
+                    let mut col = 0usize;
+                    for ch in 0..c {
+                        let ch_base = img_base + ch * plane;
+                        for ky in 0..k {
+                            let y = y0 + ky as isize;
+                            for kx in 0..k {
+                                let x = x0 + kx as isize;
+                                if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
+                                    img_rows[row_base + col] =
+                                        data[ch_base + y as usize * w + x as usize];
+                                }
+                                col += 1;
                             }
-                            col += 1;
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(vec![n * oh * ow, patch], out)
 }
 
@@ -207,31 +212,36 @@ pub fn col2im(cols: &Tensor, batch: usize, geom: &Conv2dGeometry) -> Result<Tens
     let plane = h * w;
     let mut out = vec![0.0f32; batch * c * plane];
     let data = cols.data();
-    for img in 0..batch {
-        let img_base = img * c * plane;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row_base = ((img * oh + oy) * ow + ox) * patch;
-                let y0 = oy as isize * s - p;
-                let x0 = ox as isize * s - p;
-                let mut col = 0usize;
-                for ch in 0..c {
-                    let ch_base = img_base + ch * plane;
-                    for ky in 0..k {
-                        let y = y0 + ky as isize;
-                        for kx in 0..k {
-                            let x = x0 + kx as isize;
-                            if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
-                                out[ch_base + y as usize * w + x as usize] +=
-                                    data[row_base + col];
+    // Scatter-adds from one image's patch rows land only in that image's
+    // output block, so images are independent units; the accumulation order
+    // within an image is the serial loop's order.
+    par::for_each_unit_chunk(&mut out, c * plane, 1, |first_img, chunk| {
+        for (rel, img_out) in chunk.chunks_mut(c * plane).enumerate() {
+            let img = first_img + rel;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row_base = ((img * oh + oy) * ow + ox) * patch;
+                    let y0 = oy as isize * s - p;
+                    let x0 = ox as isize * s - p;
+                    let mut col = 0usize;
+                    for ch in 0..c {
+                        let ch_base = ch * plane;
+                        for ky in 0..k {
+                            let y = y0 + ky as isize;
+                            for kx in 0..k {
+                                let x = x0 + kx as isize;
+                                if y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w {
+                                    img_out[ch_base + y as usize * w + x as usize] +=
+                                        data[row_base + col];
+                                }
+                                col += 1;
                             }
-                            col += 1;
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(vec![batch, c, h, w], out)
 }
 

@@ -30,12 +30,14 @@
 mod conv;
 mod error;
 mod linalg;
+pub mod par;
 mod shape;
 mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use error::TensorError;
 pub use linalg::{matmul, matmul_nt, matmul_tn};
+pub use par::ParConfig;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -4,7 +4,7 @@
 //! convolution layers need products against transposed operands; forming the
 //! transpose explicitly would double memory traffic on the hot path.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
 
 fn as_matrix(t: &Tensor) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -14,6 +14,15 @@ fn as_matrix(t: &Tensor) -> Result<(usize, usize)> {
         });
     }
     Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// Minimum flops a worker should receive before a matmul opens a parallel
+/// region; below this, thread start-up dominates the row work.
+const PAR_MIN_FLOPS: usize = 32_768;
+
+/// Output rows per worker needed to clear [`PAR_MIN_FLOPS`].
+fn row_floor(flops_per_row: usize) -> usize {
+    PAR_MIN_FLOPS.div_ceil(flops_per_row.max(1)).max(1)
 }
 
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
@@ -47,21 +56,28 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return Tensor::from_vec(vec![m, n], out);
+    }
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * ka..(i + 1) * ka];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (k, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bd[k * n..(k + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
-                *o += aik * bkj;
+    // Each output row is an independent k-ascending accumulation, so
+    // chunking rows across threads is bitwise-identical to the serial loop.
+    par::for_each_unit_chunk(&mut out, n, row_floor(ka * n), |first_row, chunk| {
+        for (r, orow) in chunk.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            let arow = &ad[i * ka..(i + 1) * ka];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bd[k * n..(k + 1) * n];
+                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aik * bkj;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -81,21 +97,30 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return Tensor::from_vec(vec![m, n], out);
+    }
     let ad = a.data();
     let bd = b.data();
-    for k in 0..ka {
-        let arow = &ad[k * m..(k + 1) * m];
-        let brow = &bd[k * n..(k + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
-                *o += aki * bkj;
+    // Row-major over the output (i outer, k inner) so output rows can be
+    // chunked across threads. For every element `out[i, j]` the additions
+    // still happen in ascending k with the same zero-skips as the historic
+    // k-outer loop, so the result is bitwise-identical to it.
+    par::for_each_unit_chunk(&mut out, n, row_floor(ka * n), |first_row, chunk| {
+        for (r, orow) in chunk.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            for k in 0..ka {
+                let aki = ad[k * m + i];
+                if aki == 0.0 {
+                    continue;
+                }
+                let brow = &bd[k * n..(k + 1) * n];
+                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aki * bkj;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -115,19 +140,27 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return Tensor::from_vec(vec![m, n], out);
+    }
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let brow = &bd[j * ka..(j + 1) * ka];
-            let mut acc = 0.0;
-            for (&x, &y) in arow.iter().zip(brow.iter()) {
-                acc += x * y;
+    // Every element is an independent dot product; chunking output rows
+    // across threads leaves each dot's accumulation order untouched.
+    par::for_each_unit_chunk(&mut out, n, row_floor(ka * n), |first_row, chunk| {
+        for (r, orow) in chunk.chunks_mut(n).enumerate() {
+            let i = first_row + r;
+            let arow = &ad[i * ka..(i + 1) * ka];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * ka..(j + 1) * ka];
+                let mut acc = 0.0;
+                for (&x, &y) in arow.iter().zip(brow.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
             }
-            out[i * n + j] = acc;
         }
-    }
+    });
     Tensor::from_vec(vec![m, n], out)
 }
 

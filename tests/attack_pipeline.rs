@@ -1,0 +1,137 @@
+//! Cross-attack pipeline invariants (the paper's Table 1 attack suite):
+//! every attack produces box-respecting, label-flipping adversarial
+//! examples against a trained network, and the evaluation drivers report
+//! consistent statistics.
+
+use dcn_attacks::{
+    evaluate_native_untargeted, evaluate_targeted, evaluate_untargeted, CwL2, DeepFool, Fgsm,
+    Igsm, Jsma, TargetedAttack, BOX_MAX, BOX_MIN,
+};
+use dcn_core::models;
+use dcn_data::Dataset;
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Three Gaussian blobs in a 4-dim `[-0.5, 0.5]` box (same task family as
+/// `end_to_end.rs`, regenerated here because integration tests are separate
+/// binaries).
+fn blobs(n: usize, rng: &mut StdRng) -> Dataset {
+    const CENTERS: [[f32; 4]; 3] = [
+        [-0.3, -0.3, 0.25, 0.0],
+        [0.3, -0.3, -0.25, 0.1],
+        [0.0, 0.35, 0.0, -0.3],
+    ];
+    let mut data = Vec::with_capacity(n * 4);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 3;
+        for &c in &CENTERS[class] {
+            let v: f32 = c + rng.gen_range(-0.06..0.06);
+            data.push(v.clamp(-0.5, 0.5));
+        }
+        labels.push(class);
+    }
+    let images = Tensor::from_vec(vec![n, 4], data).unwrap();
+    Dataset::new(images, labels, 3).unwrap()
+}
+
+fn trained_net() -> (Network, Vec<Tensor>) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let train = blobs(240, &mut rng);
+    let test = blobs(24, &mut rng);
+    let net = models::mlp(4, 16, 3, &mut rng).unwrap();
+    let net = models::train_classifier(net, &train, 40, 0.01, &mut rng).unwrap();
+    let seeds = (0..6).map(|i| test.example(i).unwrap()).collect();
+    (net, seeds)
+}
+
+fn in_box(t: &Tensor) -> bool {
+    t.data().iter().all(|&v| (BOX_MIN..=BOX_MAX).contains(&v))
+}
+
+#[test]
+fn targeted_attacks_respect_the_box_and_hit_their_target() {
+    let (net, seeds) = trained_net();
+    let attacks: Vec<Box<dyn TargetedAttack>> = vec![
+        Box::new(Fgsm::new(0.25)),
+        Box::new(Igsm::new(0.25, 0.02, 30)),
+        Box::new(CwL2::new(0.0)),
+        Box::new(Jsma::new(0.4, 0.5)),
+    ];
+    for attack in &attacks {
+        let (stats, examples) = evaluate_targeted(attack.as_ref(), &net, &seeds).unwrap();
+        assert_eq!(stats.attack, attack.name());
+        assert_eq!(stats.attempts, seeds.len() * 2, "{}", attack.name());
+        assert_eq!(stats.successes, examples.len(), "{}", attack.name());
+        for ex in &examples {
+            assert!(in_box(&ex.adversarial), "{} left the box", attack.name());
+            assert_eq!(
+                Some(ex.adversarial_label),
+                ex.target,
+                "{} recorded a non-target success",
+                attack.name()
+            );
+            assert_ne!(ex.adversarial_label, ex.original_label);
+            assert!(ex.dist_l2 > 0.0 && ex.dist_linf > 0.0 && ex.dist_l0 > 0.0);
+        }
+    }
+}
+
+#[test]
+fn untargeted_reduction_keeps_least_distorted_success() {
+    let (net, seeds) = trained_net();
+    let attack = CwL2::new(0.0);
+    let (t_stats, t_examples) = evaluate_targeted(&attack, &net, &seeds).unwrap();
+    let (u_stats, u_examples) = evaluate_untargeted(&attack, &net, &seeds).unwrap();
+
+    // One attempt per seed in the untargeted reduction.
+    assert_eq!(u_stats.attempts, seeds.len());
+    assert!(u_stats.successes <= u_stats.attempts);
+    // CW-L2 on this easy task fools the net from nearly every seed.
+    assert!(
+        u_stats.successes >= seeds.len() / 2,
+        "CW-L2 untargeted succeeded only {}/{}",
+        u_stats.successes,
+        u_stats.attempts
+    );
+    for ex in &u_examples {
+        assert_eq!(ex.target, None);
+        assert_ne!(ex.adversarial_label, ex.original_label);
+    }
+    // The reduction keeps the minimum over targets, so its mean distortion
+    // cannot exceed the all-targets mean.
+    if t_stats.successes > 0 && u_stats.successes > 0 {
+        assert!(u_stats.mean_l2 <= t_stats.mean_l2 + 1e-4);
+    }
+    let _ = t_examples;
+}
+
+#[test]
+fn native_untargeted_attack_reports_consistent_stats() {
+    let (net, seeds) = trained_net();
+    let attack = DeepFool::new(50, 0.02);
+    let (stats, examples) = evaluate_native_untargeted(&attack, &net, &seeds).unwrap();
+    assert_eq!(stats.attack, "DeepFool");
+    assert_eq!(stats.attempts, seeds.len());
+    assert_eq!(stats.successes, examples.len());
+    for ex in &examples {
+        assert!(in_box(&ex.adversarial));
+        assert_eq!(ex.target, None);
+        assert_ne!(ex.adversarial_label, ex.original_label);
+    }
+    if !examples.is_empty() {
+        assert!(stats.mean_l2 > 0.0);
+        let rate = stats.success_rate();
+        assert!((0.0..=1.0).contains(&rate));
+    }
+}
+
+#[test]
+fn attack_stats_success_rate_matches_counts() {
+    let (net, seeds) = trained_net();
+    let (stats, examples) = evaluate_untargeted(&Fgsm::new(0.25), &net, &seeds).unwrap();
+    let expected = examples.len() as f32 / seeds.len() as f32;
+    assert!((stats.success_rate() - expected).abs() < 1e-6);
+}

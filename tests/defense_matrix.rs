@@ -1,0 +1,165 @@
+//! The paper's defense comparison matrix (Tables 3–5): the standard DNN,
+//! defensive distillation, Region-based Classification and DCN evaluated
+//! through the shared [`Defense`] trait on one small task.
+
+use dcn_core::{
+    defense_accuracy, distill, models, Corrector, Dcn, Defense, Detector, DetectorConfig,
+    DistillConfig, RegionClassifier, StandardDefense,
+};
+use dcn_data::Dataset;
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Three Gaussian blobs in a 4-dim `[-0.5, 0.5]` box (same task family as
+/// `end_to_end.rs`, regenerated here because integration tests are separate
+/// binaries).
+fn blobs(n: usize, rng: &mut StdRng) -> Dataset {
+    const CENTERS: [[f32; 4]; 3] = [
+        [-0.3, -0.3, 0.25, 0.0],
+        [0.3, -0.3, -0.25, 0.1],
+        [0.0, 0.35, 0.0, -0.3],
+    ];
+    let mut data = Vec::with_capacity(n * 4);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 3;
+        for &c in &CENTERS[class] {
+            let v: f32 = c + rng.gen_range(-0.06..0.06);
+            data.push(v.clamp(-0.5, 0.5));
+        }
+        labels.push(class);
+    }
+    let images = Tensor::from_vec(vec![n, 4], data).unwrap();
+    Dataset::new(images, labels, 3).unwrap()
+}
+
+fn build_matrix() -> (Vec<Box<dyn Defense>>, Dataset, StdRng) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let train = blobs(240, &mut rng);
+    let test = blobs(60, &mut rng);
+
+    let base = models::mlp(4, 16, 3, &mut rng).unwrap();
+    let base = models::train_classifier(base, &train, 40, 0.01, &mut rng).unwrap();
+
+    // Defensive distillation: teacher and student share the architecture.
+    let teacher = models::mlp(4, 16, 3, &mut rng).unwrap();
+    let student = models::mlp(4, 16, 3, &mut rng).unwrap();
+    let distilled = distill(
+        teacher,
+        student,
+        &train,
+        &DistillConfig {
+            epochs: 20,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+
+    // DCN: detector trained from hand-made logit sets (benign = confident
+    // single peak, adversarial = two competing peaks) to keep this test
+    // focused on the comparison plumbing rather than attack quality.
+    let benign_logits: Vec<Tensor> = (0..120)
+        .map(|i| {
+            let mut v = [0.0f32; 3];
+            v[i % 3] = 8.0 + (i % 5) as f32;
+            Tensor::from_slice(&v)
+        })
+        .collect();
+    let adv_logits: Vec<Tensor> = (0..120)
+        .map(|i| {
+            let mut v = [0.0f32; 3];
+            v[i % 3] = 4.0;
+            v[(i + 1) % 3] = 3.8 + 0.1 * (i % 3) as f32;
+            Tensor::from_slice(&v)
+        })
+        .collect();
+    let detector = Detector::train_from_logits(
+        &benign_logits,
+        &adv_logits,
+        &DetectorConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let dcn = Dcn::new(
+        base.clone(),
+        detector,
+        Corrector::new(0.15, 50).unwrap(),
+    );
+
+    let rc = RegionClassifier::new(base.clone(), 0.15, 200).unwrap();
+
+    let defenses: Vec<Box<dyn Defense>> = vec![
+        Box::new(StandardDefense::new(base)),
+        Box::new(StandardDefense::named(distilled, "Distillation")),
+        Box::new(rc),
+        Box::new(dcn),
+    ];
+    (defenses, test, rng)
+}
+
+#[test]
+fn all_four_defenses_classify_through_the_shared_trait() {
+    let (defenses, test, mut rng) = build_matrix();
+    let names: Vec<&str> = defenses.iter().map(|d| d.name()).collect();
+    assert_eq!(names, ["Standard", "Distillation", "RC", "DCN"]);
+
+    let examples: Vec<Tensor> = (0..test.len()).map(|i| test.example(i).unwrap()).collect();
+    for d in &defenses {
+        // Every defense returns a valid label for every input.
+        for x in &examples {
+            let label = d.classify(x, &mut rng).unwrap();
+            assert!(label < 3, "{} produced out-of-range label {label}", d.name());
+        }
+        let acc = defense_accuracy(d.as_ref(), &examples, test.labels(), &mut rng).unwrap();
+        assert!(
+            (0.0..=1.0).contains(&acc),
+            "{} accuracy out of range: {acc}",
+            d.name()
+        );
+        // The blob task is easy; every defense in the matrix should beat
+        // chance by a wide margin (the paper's Table 3 shows all defenses
+        // within a few points of the standard model on benign data).
+        assert!(acc >= 0.6, "{} benign accuracy too low: {acc}", d.name());
+    }
+}
+
+#[test]
+fn region_vote_defenses_track_the_base_network_on_confident_inputs() {
+    let (defenses, test, mut rng) = build_matrix();
+    let examples: Vec<Tensor> = (0..test.len()).map(|i| test.example(i).unwrap()).collect();
+
+    let std_acc = defense_accuracy(defenses[0].as_ref(), &examples, test.labels(), &mut rng)
+        .unwrap();
+    let rc_acc = defense_accuracy(defenses[2].as_ref(), &examples, test.labels(), &mut rng)
+        .unwrap();
+    let dcn_acc = defense_accuracy(defenses[3].as_ref(), &examples, test.labels(), &mut rng)
+        .unwrap();
+
+    // Region voting around confidently-classified points returns the same
+    // label (the paper's argument for why RC preserves benign accuracy).
+    assert!(
+        rc_acc >= std_acc - 0.15,
+        "RC strayed from base accuracy: {rc_acc} vs {std_acc}"
+    );
+    assert!(
+        dcn_acc >= std_acc - 0.15,
+        "DCN strayed from base accuracy: {dcn_acc} vs {std_acc}"
+    );
+}
+
+#[test]
+fn matrix_components_are_reusable_via_accessors() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let train = blobs(120, &mut rng);
+    let base = models::mlp(4, 16, 3, &mut rng).unwrap();
+    let base = models::train_classifier(base, &train, 30, 0.01, &mut rng).unwrap();
+
+    let rc = RegionClassifier::new(base, 0.1, 64).unwrap();
+    assert_eq!(rc.corrector().samples(), 64);
+    assert!((rc.corrector().radius() - 0.1).abs() < 1e-6);
+    let base_ref: &Network = rc.base();
+    assert_eq!(base_ref.num_classes().unwrap(), 3);
+}

@@ -1,0 +1,158 @@
+//! End-to-end DCN workflow (the paper's Figs. 2–3): train a base
+//! classifier, generate adversarial examples, train the logit detector
+//! against them, assemble the full Detector-Corrector Network, and check
+//! both branches of the pipeline on a task small enough to run in seconds.
+
+use dcn_attacks::{evaluate_untargeted, CwL2};
+use dcn_core::{
+    attack_success_against, defense_accuracy, models, Corrector, Dcn, DcnVerdict, Defense,
+    Detector, DetectorConfig, StandardDefense,
+};
+use dcn_data::Dataset;
+use dcn_nn::Network;
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Three well-separated Gaussian blobs in a 4-dim `[-0.5, 0.5]` box — a
+/// stand-in task a tiny MLP masters in a fraction of a second.
+fn blobs(n: usize, rng: &mut StdRng) -> Dataset {
+    const CENTERS: [[f32; 4]; 3] = [
+        [-0.3, -0.3, 0.25, 0.0],
+        [0.3, -0.3, -0.25, 0.1],
+        [0.0, 0.35, 0.0, -0.3],
+    ];
+    let mut data = Vec::with_capacity(n * 4);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 3;
+        for &c in &CENTERS[class] {
+            let v: f32 = c + rng.gen_range(-0.06..0.06);
+            data.push(v.clamp(-0.5, 0.5));
+        }
+        labels.push(class);
+    }
+    let images = Tensor::from_vec(vec![n, 4], data).unwrap();
+    Dataset::new(images, labels, 3).unwrap()
+}
+
+fn trained_setup(seed: u64) -> (Network, Dataset, Dataset, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = blobs(240, &mut rng);
+    let test = blobs(60, &mut rng);
+    let net = models::mlp(4, 16, 3, &mut rng).unwrap();
+    let net = models::train_classifier(net, &train, 40, 0.01, &mut rng).unwrap();
+    (net, train, test, rng)
+}
+
+#[test]
+fn full_pipeline_trains_attacks_detects_and_corrects() {
+    let (net, _train, test, mut rng) = trained_setup(7);
+    let base_acc = models::accuracy_on(&net, &test).unwrap();
+    assert!(base_acc >= 0.9, "base accuracy too low: {base_acc}");
+
+    // Attack the base network (CW-L2 is the attack the paper trains the
+    // detector on) over a handful of test seeds.
+    let seeds: Vec<Tensor> = (0..8).map(|i| test.example(i).unwrap()).collect();
+    let attack = CwL2::new(0.0);
+    let (stats, advs) = evaluate_untargeted(&attack, &net, &seeds).unwrap();
+    assert!(
+        stats.successes >= seeds.len() / 2,
+        "CW-L2 should fool an undefended net on most seeds, got {}/{}",
+        stats.successes,
+        stats.attempts
+    );
+    for ex in &advs {
+        assert_ne!(ex.adversarial_label, ex.original_label);
+        assert!(ex.dist_l2 > 0.0);
+    }
+
+    // Train the detector against the same attack, then assemble the DCN.
+    let detector = Detector::train_against(
+        &net,
+        &seeds,
+        &attack,
+        &DetectorConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let dcn = Dcn::new(net.clone(), detector, Corrector::new(0.15, 50).unwrap());
+
+    // Benign inputs should overwhelmingly pass straight through at cost 1.
+    let mut passed = 0usize;
+    for i in 0..test.len() {
+        let x = test.example(i).unwrap();
+        let (label, verdict) = dcn.classify_with_verdict(&x, &mut rng).unwrap();
+        assert!(label < 3);
+        if verdict == DcnVerdict::PassedThrough {
+            assert_eq!(dcn.cost_of(verdict), 1);
+            passed += 1;
+        } else {
+            assert_eq!(dcn.cost_of(verdict), 51);
+        }
+    }
+    assert!(
+        passed * 2 >= test.len(),
+        "most benign inputs should pass through, got {passed}/{}",
+        test.len()
+    );
+
+    // Adversarial inputs should overwhelmingly activate the corrector.
+    let mut corrected = 0usize;
+    for ex in &advs {
+        let (_, verdict) = dcn.classify_with_verdict(&ex.adversarial, &mut rng).unwrap();
+        if verdict == DcnVerdict::Corrected {
+            corrected += 1;
+        }
+    }
+    assert!(
+        corrected * 2 >= advs.len(),
+        "most adversarial inputs should be flagged, got {corrected}/{}",
+        advs.len()
+    );
+
+    // Table 3/4 style comparison: the DCN keeps benign accuracy close to
+    // the base network and never increases attack success.
+    let examples: Vec<Tensor> = (0..test.len()).map(|i| test.example(i).unwrap()).collect();
+    let std_def = StandardDefense::new(net);
+    let std_acc = defense_accuracy(&std_def, &examples, test.labels(), &mut rng).unwrap();
+    let dcn_acc = defense_accuracy(&dcn, &examples, test.labels(), &mut rng).unwrap();
+    assert!(
+        dcn_acc >= std_acc - 0.2,
+        "DCN benign accuracy dropped too far: {dcn_acc} vs {std_acc}"
+    );
+
+    let std_rate = attack_success_against(&std_def, &advs, &mut rng).unwrap();
+    let dcn_rate = attack_success_against(&dcn, &advs, &mut rng).unwrap();
+    assert!((std_rate - 1.0).abs() < 1e-6, "all advs fool the bare net");
+    assert!(
+        dcn_rate <= std_rate,
+        "DCN must not make attacks more successful: {dcn_rate} vs {std_rate}"
+    );
+}
+
+#[test]
+fn assembled_dcn_round_trips_through_json() {
+    let (net, _train, test, mut rng) = trained_setup(11);
+    let seeds: Vec<Tensor> = (0..4).map(|i| test.example(i).unwrap()).collect();
+    let detector = Detector::train_against(
+        &net,
+        &seeds,
+        &CwL2::new(0.0),
+        &DetectorConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let dcn = Dcn::new(net, detector, Corrector::new(0.15, 50).unwrap());
+
+    let json = serde_json::to_string(&dcn).unwrap();
+    let back: Dcn = serde_json::from_str(&json).unwrap();
+    assert_eq!(dcn, back);
+
+    // The deserialized defense behaves identically (same rng stream).
+    let x = test.example(5).unwrap();
+    let a = dcn.classify(&x, &mut StdRng::seed_from_u64(3)).unwrap();
+    let b = back.classify(&x, &mut StdRng::seed_from_u64(3)).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(dcn.name(), "DCN");
+}
