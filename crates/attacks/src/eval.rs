@@ -37,6 +37,7 @@ impl AttackStats {
     }
 
     fn from_examples(attack: &str, attempts: usize, examples: &[AdversarialExample]) -> Self {
+        record_attack_metrics(attack, attempts, examples);
         let n = examples.len().max(1) as f32;
         AttackStats {
             attack: attack.to_string(),
@@ -46,6 +47,31 @@ impl AttackStats {
             mean_l0: examples.iter().map(|e| e.dist_l0).sum::<f32>() / n,
             mean_linf: examples.iter().map(|e| e.dist_linf).sum::<f32>() / n,
         }
+    }
+}
+
+/// Emits per-attack counters and an L2-distortion histogram under
+/// `attack.<name>.*`, with the attack name lowercased and non-alphanumerics
+/// folded to `_` so metric names stay greppable.
+fn record_attack_metrics(attack: &str, attempts: usize, examples: &[AdversarialExample]) {
+    if !dcn_obs::enabled() {
+        return;
+    }
+    let slug: String = attack
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dcn_obs::counter(&format!("attack.{slug}.attempts_total")).add(attempts as u64);
+    dcn_obs::counter(&format!("attack.{slug}.successes_total")).add(examples.len() as u64);
+    let l2 = dcn_obs::histogram(&format!("attack.{slug}.l2"), dcn_obs::MAGNITUDE);
+    for e in examples {
+        l2.observe(f64::from(e.dist_l2));
     }
 }
 
@@ -63,6 +89,7 @@ pub fn evaluate_targeted<A: TargetedAttack + ?Sized>(
     net: &Network,
     seeds: &[Tensor],
 ) -> Result<(AttackStats, Vec<AdversarialExample>)> {
+    let _span = dcn_obs::span("attack.eval_targeted");
     let k = net.num_classes()?;
     // Seeds are attacked independently (the attacks are deterministic given
     // the seed), so each seed's full target sweep runs as one parallel unit;
@@ -104,6 +131,7 @@ pub fn evaluate_untargeted<A: TargetedAttack + ?Sized>(
     net: &Network,
     seeds: &[Tensor],
 ) -> Result<(AttackStats, Vec<AdversarialExample>)> {
+    let _span = dcn_obs::span("attack.eval_untargeted");
     let per_seed = par::par_map(seeds, 1, |_, x| -> Result<_> {
         match untargeted_min_distortion(attack, net, x)? {
             Some(adv) => Ok(Some(AdversarialExample::measure(net, x, &adv, None)?)),
@@ -132,6 +160,7 @@ pub fn evaluate_native_untargeted<A: UntargetedAttack + ?Sized>(
     net: &Network,
     seeds: &[Tensor],
 ) -> Result<(AttackStats, Vec<AdversarialExample>)> {
+    let _span = dcn_obs::span("attack.eval_native_untargeted");
     let per_seed = par::par_map(seeds, 1, |_, x| -> Result<_> {
         match attack.run_untargeted(net, x)? {
             Some(adv) => Ok(Some(AdversarialExample::measure(net, x, &adv, None)?)),

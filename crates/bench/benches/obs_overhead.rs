@@ -1,0 +1,87 @@
+//! Instrumentation overhead of `dcn-obs` on the hottest defended path: the
+//! corrector's `m = 50` majority vote. Three legs of the same workload —
+//! observability disabled (must be indistinguishable from the pre-obs
+//! baseline), enabled (target: < 5% overhead), and enabled-with-reset (the
+//! bench-harness pattern). Runs serially so the comparison measures the
+//! instrumentation, not thread-scheduling jitter; recorded to
+//! `results/BENCH_obs_overhead.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_core::Corrector;
+use dcn_nn::{Dense, Layer, Network, Relu};
+use dcn_tensor::{par, ParConfig, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const IN_DIM: usize = 64;
+const HIDDEN: usize = 256;
+const CLASSES: usize = 3;
+
+fn net(rng: &mut StdRng) -> Network {
+    let mut net = Network::new(vec![IN_DIM]);
+    net.push(Layer::Dense(Dense::new(IN_DIM, HIDDEN, rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::Dense(Dense::new(HIDDEN, CLASSES, rng).unwrap()));
+    net
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = net(&mut rng);
+    let x = Tensor::rand_uniform(&[IN_DIM], -0.5, 0.5, &mut rng);
+    let corrector = Corrector::new(0.3, 50).unwrap();
+    par::configure(ParConfig::serial());
+
+    // Warm caches and page in the vote path before the first measured leg,
+    // otherwise the obs-off leg eats the cold-start cost and the comparison
+    // reads as negative overhead.
+    dcn_obs::set_enabled(false);
+    let mut warm_rng = StdRng::seed_from_u64(7);
+    for _ in 0..50 {
+        black_box(corrector.vote_counts(&net, &x, &mut warm_rng).unwrap());
+    }
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(40);
+
+    dcn_obs::set_enabled(false);
+    group.bench_function("vote_m50_obs_off", |b| {
+        let mut vote_rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(corrector.vote_counts(&net, black_box(&x), &mut vote_rng).unwrap()))
+    });
+
+    dcn_obs::set_enabled(true);
+    group.bench_function("vote_m50_obs_on", |b| {
+        let mut vote_rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(corrector.vote_counts(&net, black_box(&x), &mut vote_rng).unwrap()))
+    });
+    group.bench_function("vote_m50_obs_on_with_reset", |b| {
+        let mut vote_rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let out = corrector.vote_counts(&net, black_box(&x), &mut vote_rng).unwrap();
+            dcn_obs::reset();
+            black_box(out)
+        })
+    });
+    dcn_obs::set_enabled(false);
+    dcn_obs::reset();
+    group.finish();
+    par::reset();
+
+    let ns_of = |id: &str| {
+        c.records()
+            .iter()
+            .find(|r| r.id == format!("obs_overhead/{id}"))
+            .map(|r| r.mean_ns)
+    };
+    if let (Some(off), Some(on)) = (ns_of("vote_m50_obs_off"), ns_of("vote_m50_obs_on")) {
+        let overhead = (on - off) / off * 100.0;
+        eprintln!(
+            "obs overhead on the m=50 vote path: {overhead:+.2}% (off {off:.0} ns, on {on:.0} ns; target < 5%)"
+        );
+    }
+}
+
+criterion_group!(obs_overhead, bench_obs_overhead);
+criterion_main!(obs_overhead);

@@ -78,6 +78,15 @@ pub fn save_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
     fs::write(&path, serde_json::to_string_pretty(value).expect("encode"))
         .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    // With observability on, attach the metrics accumulated while this
+    // experiment ran as `OBS_<name>.json` next to it, then reset so each
+    // snapshot covers exactly one experiment.
+    if dcn_obs::enabled() {
+        dcn_obs::snapshot(name)
+            .write_to(dir)
+            .unwrap_or_else(|e| panic!("write obs snapshot for {name}: {e}"));
+        dcn_obs::reset();
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +118,20 @@ mod tests {
         save_json(&dir, "probe", &vec![1, 2, 3]);
         let s = fs::read_to_string(dir.join("probe.json")).unwrap();
         assert!(s.contains('1'));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn save_json_attaches_obs_snapshot_when_enabled() {
+        let dir = std::env::temp_dir().join("dcn_bench_obs_attach_test");
+        dcn_obs::set_enabled(true);
+        dcn_obs::counter("bench_test.probe_total").inc();
+        save_json(&dir, "probe_obs", &vec![1]);
+        dcn_obs::set_enabled(false);
+        let snap = fs::read_to_string(dir.join("OBS_probe_obs.json")).unwrap();
+        assert!(snap.contains("bench_test.probe_total"));
+        // save_json resets after exporting: the next snapshot starts clean.
+        assert_eq!(dcn_obs::snapshot("check").counter("bench_test.probe_total"), 0);
         let _ = fs::remove_dir_all(dir);
     }
 }

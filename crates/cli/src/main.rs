@@ -46,6 +46,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Err(e) = apply_obs_flags(&flags) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     let result = match cmd.as_str() {
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
@@ -60,12 +64,39 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if dcn_obs::enabled() {
+                let run = format!("cli_{cmd}");
+                eprintln!("{}", dcn_obs::snapshot(&run).render());
+                if let Some(path) = dcn_obs::maybe_export(&run) {
+                    eprintln!("obs snapshot written to {}", path.display());
+                }
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Applies the observability flags shared by every command: `--obs 1|0`
+/// toggles metric collection (same as `DCN_OBS=1`), `--obs-json DIR`
+/// enables collection and directs the snapshot export to `DIR`.
+fn apply_obs_flags(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(dir) = flags.get("obs-json") {
+        std::env::set_var("DCN_OBS_JSON", dir);
+        dcn_obs::set_enabled(true);
+    }
+    if let Some(v) = flags.get("obs") {
+        match v.as_str() {
+            "1" | "true" | "on" => dcn_obs::set_enabled(true),
+            "0" | "false" | "off" => dcn_obs::set_enabled(false),
+            other => return Err(format!("--obs expects 1 or 0, got {other:?}")),
+        }
+    }
+    Ok(())
 }
 
 fn long_help() -> String {
@@ -83,6 +114,10 @@ common flags:
   --task mnist|cifar   synthetic benchmark (default mnist)
   --seed N             RNG seed (default 42)
   --out PATH           output artifact path
+
+observability (any command; also via DCN_OBS=1 / DCN_OBS_JSON=1 env vars):
+  --obs 1|0            collect pipeline metrics and print a summary table
+  --obs-json DIR       also export the snapshot as DIR/OBS_cli_<cmd>.json
 
 train:  --n EXAMPLES (2000)  --epochs E (8)
 eval:   --model PATH  --n EXAMPLES (500)
@@ -359,6 +394,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(dataset("imagenet", 10, &mut rng).is_err());
         assert_eq!(dataset("mnist", 10, &mut rng).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn obs_flag_validates_values() {
+        // Only shapes that leave global state untouched are exercised here.
+        assert!(apply_obs_flags(&flags_of(&[("obs", "maybe")])).is_err());
+        assert!(apply_obs_flags(&flags_of(&[])).is_ok());
     }
 
     #[test]

@@ -107,6 +107,7 @@ impl Corrector {
         x: &Tensor,
         rng: &mut R,
     ) -> Result<(usize, Vec<usize>)> {
+        let _span = dcn_obs::span("corrector.vote");
         // All noise is drawn up front on the calling thread, so the rng
         // stream — and therefore every sample point — is identical no
         // matter how many threads classify them below.
@@ -145,6 +146,27 @@ impl Corrector {
             .max_by_key(|&(_, c)| c)
             .map(|(i, _)| i)
             .unwrap_or(0);
+        if dcn_obs::enabled() {
+            use dcn_obs::names;
+            dcn_obs::counter(names::CORRECTOR_INVOCATIONS_TOTAL).inc();
+            // Record the votes actually cast (counts sum), not the nominal
+            // `m`, so cost accounting stays honest if the sampling loop ever
+            // gains an early exit.
+            let votes: usize = counts.iter().sum();
+            dcn_obs::counter(names::CORRECTOR_VOTES_TOTAL).add(votes as u64);
+            if votes > 0 {
+                let top = counts[mode];
+                let runner_up = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != mode)
+                    .map(|(_, &c)| c)
+                    .max()
+                    .unwrap_or(0);
+                dcn_obs::histogram(names::CORRECTOR_VOTE_MARGIN, dcn_obs::FRACTION)
+                    .observe((top - runner_up) as f64 / votes as f64);
+            }
+        }
         Ok((mode, counts))
     }
 }

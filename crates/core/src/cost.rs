@@ -109,6 +109,29 @@ mod tests {
     }
 
     #[test]
+    fn measured_passes_match_reported_votes_including_ties() {
+        // The cost model must reflect *measured* forward passes: the vote
+        // tally the corrector reports has to equal what the base classifier
+        // actually executed, seed by seed — including seeds where the vote
+        // ties (x = 0 with a symmetric hypercube ties often at m = 4).
+        let c = CountingClassifier::new(net());
+        let corrector = Corrector::new(0.2, 4).unwrap();
+        let x = Tensor::from_slice(&[0.0]);
+        let mut saw_tie = false;
+        for seed in 0..64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            c.reset();
+            let (mode, counts) = corrector.vote_counts(&c, &x, &mut rng).unwrap();
+            let votes: usize = counts.iter().sum();
+            assert_eq!(c.count(), votes as u64, "seed {seed}");
+            assert_eq!(votes, corrector.samples(), "seed {seed}");
+            assert!(counts[mode] >= *counts.iter().max().unwrap(), "seed {seed}");
+            saw_tie |= counts[0] == counts[1];
+        }
+        assert!(saw_tie, "no tied vote in 64 seeds; tie accounting untested");
+    }
+
+    #[test]
     fn counter_delegates_classifier_metadata() {
         let c = CountingClassifier::new(net());
         assert_eq!(c.class_count(), 2);

@@ -19,6 +19,20 @@ pub enum DcnVerdict {
     Corrected,
 }
 
+/// Full account of one DCN classification: the label, the path taken, and
+/// the base-classifier forward passes *actually* consumed (measured from
+/// the corrector's vote tally, not assumed from the nominal `m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DcnReport {
+    /// The returned class label.
+    pub label: usize,
+    /// Which path produced the label.
+    pub verdict: DcnVerdict,
+    /// Base-network forward passes this query consumed: 1 for a
+    /// pass-through, 1 + (votes actually cast) for a correction.
+    pub base_passes: usize,
+}
+
 /// The Detector-Corrector Network: an unmodified base classifier guarded by
 /// a logit detector, with region-vote correction only when the detector
 /// fires.
@@ -54,13 +68,53 @@ impl Dcn {
         x: &Tensor,
         rng: &mut R,
     ) -> Result<(usize, DcnVerdict)> {
+        let report = self.classify_with_report(x, rng)?;
+        Ok((report.label, report.verdict))
+    }
+
+    /// Classifies `x`, reporting the path taken and the forward passes
+    /// actually consumed (the measured counterpart of [`Dcn::cost_of`]'s
+    /// nominal model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-network and detector errors.
+    pub fn classify_with_report<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+    ) -> Result<DcnReport> {
+        let _span = dcn_obs::span("dcn.classify");
         let logits = self.base.logits_one(x)?;
-        if self.detector.is_adversarial(&logits)? {
-            let label = self.corrector.correct(&self.base, x, rng)?;
-            Ok((label, DcnVerdict::Corrected))
+        let report = if self.detector.is_adversarial(&logits)? {
+            let (label, counts) = self.corrector.vote_counts(&self.base, x, rng)?;
+            let votes: usize = counts.iter().sum();
+            DcnReport {
+                label,
+                verdict: DcnVerdict::Corrected,
+                base_passes: 1 + votes,
+            }
         } else {
-            Ok((logits.argmax().map_err(dcn_nn::NnError::from)?, DcnVerdict::PassedThrough))
+            DcnReport {
+                label: logits.argmax().map_err(dcn_nn::NnError::from)?,
+                verdict: DcnVerdict::PassedThrough,
+                base_passes: 1,
+            }
+        };
+        if dcn_obs::enabled() {
+            use dcn_obs::names;
+            dcn_obs::counter(names::DCN_QUERIES_TOTAL).inc();
+            match report.verdict {
+                DcnVerdict::PassedThrough => {
+                    dcn_obs::counter(names::DCN_PASSED_THROUGH_TOTAL).inc();
+                }
+                DcnVerdict::Corrected => {
+                    dcn_obs::counter(names::DCN_CORRECTED_TOTAL).inc();
+                }
+            }
+            dcn_obs::counter(names::DCN_BASE_PASSES_TOTAL).add(report.base_passes as u64);
         }
+        Ok(report)
     }
 
     /// Classifies `x`.
@@ -169,6 +223,38 @@ mod tests {
         // Vote can go either way this close to the boundary, but must be a
         // valid class.
         assert!(label2 < 2);
+    }
+
+    #[test]
+    fn report_records_actual_base_passes_on_both_paths() {
+        let (dcn, mut rng) = setup();
+        let benign = Tensor::from_slice(&[-0.4]);
+        let report = dcn.classify_with_report(&benign, &mut rng).unwrap();
+        assert_eq!(report.verdict, DcnVerdict::PassedThrough);
+        assert_eq!(report.base_passes, 1);
+        assert_eq!(report.base_passes, dcn.cost_of(report.verdict));
+
+        let adv = Tensor::from_slice(&[0.004]);
+        let report = dcn.classify_with_report(&adv, &mut rng).unwrap();
+        assert_eq!(report.verdict, DcnVerdict::Corrected);
+        // All m votes are currently cast, so measured equals nominal; the
+        // report stays truthful if the vote loop ever gains an early exit.
+        assert_eq!(report.base_passes, 1 + dcn.corrector().samples());
+        assert_eq!(report.base_passes, dcn.cost_of(report.verdict));
+    }
+
+    #[test]
+    fn verdict_and_report_agree_on_label_and_rng_stream() {
+        let (dcn, _) = setup();
+        let adv = Tensor::from_slice(&[0.004]);
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let (label, verdict) = dcn.classify_with_verdict(&adv, &mut rng_a).unwrap();
+        let report = dcn.classify_with_report(&adv, &mut rng_b).unwrap();
+        assert_eq!(label, report.label);
+        assert_eq!(verdict, report.verdict);
+        // Identical rng consumption: a second draw from each stream matches.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 
     #[test]

@@ -239,7 +239,14 @@ impl Detector {
                 logits.shape()
             )));
         }
-        Ok(self.net.predict_one(&self.canonicalize(logits))? == ADVERSARIAL)
+        let flagged = self.net.predict_one(&self.canonicalize(logits))? == ADVERSARIAL;
+        if dcn_obs::enabled() {
+            dcn_obs::counter(dcn_obs::names::DETECTOR_EVALUATED_TOTAL).inc();
+            if flagged {
+                dcn_obs::counter(dcn_obs::names::DETECTOR_FLAGGED_TOTAL).inc();
+            }
+        }
+        Ok(flagged)
     }
 
     /// Batch scoring: flags every logit vector in one batched forward pass
@@ -269,7 +276,13 @@ impl Detector {
         let canon: Vec<Tensor> = logits.iter().map(|t| self.canonicalize(t)).collect();
         let batch = Tensor::stack(&canon)?;
         let preds = self.net.predict(&batch)?;
-        Ok(preds.into_iter().map(|p| p == ADVERSARIAL).collect())
+        let flags: Vec<bool> = preds.into_iter().map(|p| p == ADVERSARIAL).collect();
+        if dcn_obs::enabled() {
+            dcn_obs::counter(dcn_obs::names::DETECTOR_EVALUATED_TOTAL).add(flags.len() as u64);
+            dcn_obs::counter(dcn_obs::names::DETECTOR_FLAGGED_TOTAL)
+                .add(flags.iter().filter(|&&f| f).count() as u64);
+        }
+        Ok(flags)
     }
 
     /// Evaluates the detector on held-out logit sets, in the paper's
@@ -279,11 +292,22 @@ impl Detector {
     ///
     /// Propagates forward-pass errors.
     pub fn evaluate(&self, benign: &[Tensor], adversarial: &[Tensor]) -> Result<DetectorReport> {
+        let benign_flags = self.flag_batch(benign)?;
+        let adversarial_flags = self.flag_batch(adversarial)?;
+        if dcn_obs::enabled() {
+            use dcn_obs::names;
+            dcn_obs::counter(names::DETECTOR_BENIGN_TOTAL).add(benign.len() as u64);
+            dcn_obs::counter(names::DETECTOR_BENIGN_FLAGGED_TOTAL)
+                .add(benign_flags.iter().filter(|&&f| f).count() as u64);
+            dcn_obs::counter(names::DETECTOR_ADV_TOTAL).add(adversarial.len() as u64);
+            dcn_obs::counter(names::DETECTOR_ADV_MISSED_TOTAL)
+                .add(adversarial_flags.iter().filter(|&&f| !f).count() as u64);
+        }
         let mut predicted = Vec::with_capacity(benign.len() + adversarial.len());
         let mut actual = Vec::with_capacity(predicted.capacity());
-        predicted.extend(self.flag_batch(benign)?);
+        predicted.extend(benign_flags);
         actual.extend(std::iter::repeat_n(false, benign.len()));
-        predicted.extend(self.flag_batch(adversarial)?);
+        predicted.extend(adversarial_flags);
         actual.extend(std::iter::repeat_n(true, adversarial.len()));
         // In the paper's wording, "positive" is *benign passing through*:
         // a false negative is benign→flagged; false positive is adv→missed.

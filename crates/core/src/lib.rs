@@ -64,7 +64,7 @@ mod squeeze;
 pub use adaptive::AdaptiveCwL2;
 pub use corrector::Corrector;
 pub use cost::CountingClassifier;
-pub use dcn::{Dcn, DcnVerdict};
+pub use dcn::{Dcn, DcnReport, DcnVerdict};
 pub use defense::{attack_success_against, defense_accuracy, Defense, StandardDefense};
 pub use detector::{Detector, DetectorConfig, DetectorReport};
 pub use distill::{distill, DistillConfig};

@@ -137,6 +137,11 @@ impl Network {
     pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
         self.check_batch(x)?;
         let n = x.shape().first().copied().unwrap_or(0);
+        let _span = dcn_obs::span("nn.forward");
+        if dcn_obs::enabled() {
+            dcn_obs::counter(dcn_obs::names::FORWARD_PASSES_TOTAL).add(n as u64);
+            dcn_obs::counter(dcn_obs::names::FORWARD_BATCHES_TOTAL).inc();
+        }
         let example_len = x.len().checked_div(n).unwrap_or(0);
         // Floor on examples per worker, scaled so that tiny models (the
         // logit detector, unit-test MLPs) never pay thread start-up costs.

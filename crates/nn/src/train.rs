@@ -167,6 +167,7 @@ impl Trainer {
         let mut order: Vec<usize> = (0..n).collect();
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         for _ in 0..self.config.epochs {
+            let epoch_start = dcn_obs::enabled().then(std::time::Instant::now);
             if self.config.shuffle {
                 order.shuffle(rng);
             }
@@ -204,7 +205,17 @@ impl Trainer {
                 total += loss_out.loss;
                 batches += 1;
             }
-            epoch_losses.push(total / batches as f32);
+            let mean_loss = total / batches as f32;
+            if let Some(start) = epoch_start {
+                use dcn_obs::names;
+                dcn_obs::counter(names::TRAIN_EPOCHS_TOTAL).inc();
+                dcn_obs::counter(names::TRAIN_BATCHES_TOTAL).add(batches as u64);
+                dcn_obs::histogram(names::TRAIN_EPOCH_LOSS, dcn_obs::MAGNITUDE)
+                    .observe(f64::from(mean_loss));
+                dcn_obs::histogram(names::TRAIN_EPOCH_SECONDS, dcn_obs::LATENCY_SECONDS)
+                    .observe(start.elapsed().as_secs_f64());
+            }
+            epoch_losses.push(mean_loss);
         }
         Ok(TrainReport { epoch_losses })
     }

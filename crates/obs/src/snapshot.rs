@@ -1,0 +1,363 @@
+//! Point-in-time snapshots: JSON export and the human summary table.
+//!
+//! A [`Snapshot`] copies every registered counter and histogram, derives the
+//! paper's cost model from the DCN counters (§4: benign traffic pays one
+//! forward pass, flagged traffic `1 + m`), and serializes to JSON by hand —
+//! the crate stays dependency-free; the output is plain JSON that the
+//! vendored `serde_json` (and any real JSON parser) reads back.
+
+use std::path::{Path, PathBuf};
+
+use crate::registry::registry;
+use crate::{enabled, names};
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Ascending bucket upper bounds (overflow bucket implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, one longer than `bounds`.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (`None` when empty).
+    pub min: Option<f64>,
+    /// Largest observation (`None` when empty).
+    pub max: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The paper's §4 cost accounting, derived from the DCN counters: benign
+/// traffic pays 1 forward pass, flagged traffic pays `1 + votes`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// DCN classifications answered.
+    pub queries: u64,
+    /// Queries the detector passed straight through.
+    pub passed_through: u64,
+    /// Queries routed through the corrector.
+    pub corrected: u64,
+    /// Actual base-classifier forward passes consumed.
+    pub base_passes: u64,
+    /// Actual vote samples classified across all corrections.
+    pub corrector_votes: u64,
+}
+
+impl CostModel {
+    /// Amortized base-network forward passes per query — the quantity the
+    /// paper's Table 6 / Fig. 5 cost claims reduce to.
+    pub fn amortized_passes_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.base_passes as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean votes per correction — the *effective* `m` (0 when nothing was
+    /// corrected).
+    pub fn mean_votes_per_correction(&self) -> f64 {
+        if self.corrected == 0 {
+            0.0
+        } else {
+            self.corrector_votes as f64 / self.corrected as f64
+        }
+    }
+}
+
+/// A frozen copy of every registered metric plus derived cost accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Run label the snapshot was taken under.
+    pub run: String,
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Derived DCN cost model.
+    pub cost: CostModel,
+}
+
+/// Takes a snapshot of the current metric state under the label `run`.
+pub fn snapshot(run: &str) -> Snapshot {
+    let reg = registry();
+    let counters: Vec<(String, u64)> = reg
+        .counters
+        .iter()
+        .map(|(name, c)| (name.clone(), c.get()))
+        .collect();
+    let histograms: Vec<HistogramSnapshot> = reg
+        .histograms
+        .iter()
+        .map(|(name, h)| HistogramSnapshot {
+            name: name.clone(),
+            bounds: h.bounds().to_vec(),
+            buckets: h.bucket_counts(),
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+        })
+        .collect();
+    drop(reg);
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let cost = CostModel {
+        queries: get(names::DCN_QUERIES_TOTAL),
+        passed_through: get(names::DCN_PASSED_THROUGH_TOTAL),
+        corrected: get(names::DCN_CORRECTED_TOTAL),
+        base_passes: get(names::DCN_BASE_PASSES_TOTAL),
+        corrector_votes: get(names::CORRECTOR_VOTES_TOTAL),
+    };
+    Snapshot {
+        run: run.to_string(),
+        counters,
+        histograms,
+        cost,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Snapshot {
+    /// Value of a counter in this snapshot (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Histogram state by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serializes the snapshot as pretty-printed JSON with top-level keys
+    /// `run`, `counters`, `histograms` and `cost`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"run\": {},\n", json_escape(&self.run)));
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    {}: {v}", json_escape(name)));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let bounds: Vec<String> = h.bounds.iter().map(|&b| json_f64(b)).collect();
+            let buckets: Vec<String> = h.buckets.iter().map(|&b| b.to_string()).collect();
+            out.push_str(&format!(
+                "    {}: {{\"bounds\": [{}], \"buckets\": [{}], \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                json_escape(&h.name),
+                bounds.join(", "),
+                buckets.join(", "),
+                h.count,
+                json_f64(h.sum),
+                h.min.map_or("null".to_string(), json_f64),
+                h.max.map_or("null".to_string(), json_f64),
+            ));
+        }
+        out.push_str(if self.histograms.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str(&format!(
+            "  \"cost\": {{\"queries\": {}, \"passed_through\": {}, \"corrected\": {}, \"base_passes\": {}, \"corrector_votes\": {}, \"amortized_passes_per_query\": {}, \"mean_votes_per_correction\": {}}}\n",
+            self.cost.queries,
+            self.cost.passed_through,
+            self.cost.corrected,
+            self.cost.base_passes,
+            self.cost.corrector_votes,
+            json_f64(self.cost.amortized_passes_per_query()),
+            json_f64(self.cost.mean_votes_per_correction()),
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the human-readable summary table printed by examples and the
+    /// CLI's `obs` section.
+    pub fn render(&self) -> String {
+        let mut out = format!("== observability summary ({}) ==\n", self.run);
+        if self.counters.is_empty() && self.histograms.is_empty() {
+            out.push_str("(no metrics recorded — set DCN_OBS=1 or call dcn_obs::set_enabled)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            out.push_str(&format!("  {name:width$}  {v}\n"));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "  {:width$}  n={} mean={:.4} min={:.4} max={:.4}\n",
+                h.name,
+                h.count,
+                h.mean(),
+                h.min.unwrap_or(0.0),
+                h.max.unwrap_or(0.0),
+            ));
+        }
+        if self.cost.queries > 0 {
+            out.push_str(&format!(
+                "  cost: {} queries → {:.2} passes/query ({} passed @1, {} corrected @1+{:.0})\n",
+                self.cost.queries,
+                self.cost.amortized_passes_per_query(),
+                self.cost.passed_through,
+                self.cost.corrected,
+                self.cost.mean_votes_per_correction(),
+            ));
+        }
+        out
+    }
+
+    /// Writes the snapshot as `OBS_<run>.json` under `dir`, creating the
+    /// directory as needed. Returns the written path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let safe: String = self
+            .run
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("OBS_{safe}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Default export directory: `DCN_OBS_JSON` when it holds a path, else the
+/// workspace `results/` located from `CARGO_MANIFEST_DIR` (set by every
+/// `cargo run/test/bench` invocation), else `./results`.
+fn export_dir() -> PathBuf {
+    if let Ok(v) = std::env::var("DCN_OBS_JSON") {
+        if !v.is_empty() && v != "0" && v != "1" && !v.eq_ignore_ascii_case("true") && !v.eq_ignore_ascii_case("false") {
+            return PathBuf::from(v);
+        }
+    }
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        // Member crates live at <workspace>/crates/<name> or
+        // <workspace>/compat/<name>; results/ sits at the workspace root.
+        let mut p = PathBuf::from(manifest);
+        p.pop();
+        p.pop();
+        return p.join("results");
+    }
+    PathBuf::from("results")
+}
+
+/// Snapshots the current metrics and writes `OBS_<run>.json` when
+/// collection is enabled; a no-op returning `None` otherwise. This is the
+/// one-line exit hook tests, examples and the CLI use.
+pub fn maybe_export(run: &str) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    snapshot(run).write_to(&export_dir()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, histogram, names, set_enabled, FRACTION};
+
+    #[test]
+    fn snapshot_reads_counters_and_cost() {
+        let _guard = crate::test_lock();
+        counter(names::DCN_QUERIES_TOTAL).add(10);
+        counter(names::DCN_PASSED_THROUGH_TOTAL).add(8);
+        counter(names::DCN_CORRECTED_TOTAL).add(2);
+        counter(names::DCN_BASE_PASSES_TOTAL).add(8 + 2 * 51);
+        counter(names::CORRECTOR_VOTES_TOTAL).add(100);
+        histogram(names::CORRECTOR_VOTE_MARGIN, FRACTION).observe(0.4);
+        let snap = snapshot("unit");
+        assert!(snap.counter(names::DCN_QUERIES_TOTAL) >= 10);
+        assert!(snap.cost.queries >= 10);
+        assert!(snap.cost.amortized_passes_per_query() > 1.0);
+        assert!(snap.histogram(names::CORRECTOR_VOTE_MARGIN).unwrap().count >= 1);
+        assert!(snap.render().contains("cost:"));
+    }
+
+    #[test]
+    fn json_output_has_top_level_keys() {
+        let _guard = crate::test_lock();
+        counter("snapshot_test.k").inc();
+        let json = snapshot("json-keys").to_json();
+        for key in ["\"run\"", "\"counters\"", "\"histograms\"", "\"cost\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn disabled_export_is_a_noop() {
+        let _guard = crate::test_lock();
+        set_enabled(false);
+        assert!(maybe_export("never-written").is_none());
+    }
+
+    #[test]
+    fn empty_cost_model_divides_safely() {
+        let c = CostModel {
+            queries: 0,
+            passed_through: 0,
+            corrected: 0,
+            base_passes: 0,
+            corrector_votes: 0,
+        };
+        assert_eq!(c.amortized_passes_per_query(), 0.0);
+        assert_eq!(c.mean_votes_per_correction(), 0.0);
+    }
+}

@@ -159,6 +159,21 @@ fn effective_threads(units: usize, min_units: usize) -> usize {
     cfg.threads.min(units / floor).max(1)
 }
 
+/// Records one parallel-region dispatch decision into the observability
+/// layer. Collection-gated: costs one relaxed atomic load when disabled and
+/// never influences the dispatch itself, so outputs stay bitwise identical.
+fn record_region(units: usize, workers: usize) {
+    if !dcn_obs::enabled() {
+        return;
+    }
+    dcn_obs::counter(dcn_obs::names::PAR_REGIONS_TOTAL).inc();
+    if workers <= 1 {
+        dcn_obs::counter(dcn_obs::names::PAR_SERIAL_REGIONS_TOTAL).inc();
+    }
+    dcn_obs::counter(dcn_obs::names::PAR_UNITS_TOTAL).add(units as u64);
+    dcn_obs::histogram(dcn_obs::names::PAR_WORKERS, dcn_obs::SMALL_COUNT).observe(workers as f64);
+}
+
 /// Balanced contiguous partition of `0..units` into `workers` spans,
 /// returned as `(start, len)` pairs. Earlier spans absorb the remainder, so
 /// span sizes differ by at most one.
@@ -202,6 +217,7 @@ where
     }
     let units = data.len() / unit_len;
     let workers = effective_threads(units, min_units);
+    record_region(units, workers);
     if workers <= 1 {
         f(0, data);
         return;
@@ -233,6 +249,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = effective_threads(items.len(), min_units);
+    record_region(items.len(), workers);
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }

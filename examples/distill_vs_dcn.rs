@@ -20,6 +20,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Same switch as DCN_OBS=1: the closing summary table shows where the
+    // forward passes went (distillation trains two nets; DCN only pays the
+    // corrector's 1 + m on flagged queries).
+    dcn_obs::set_enabled(true);
     let mut rng = StdRng::seed_from_u64(17);
     let train = synth_mnist(1500, &SynthConfig::default(), &mut rng);
     let test = synth_mnist(200, &SynthConfig::default(), &mut rng);
@@ -88,5 +92,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  CW-L2 beat the standard network  {beaten_standard}/{n_seeds}");
     println!("  CW-L2 beat the distilled network {beaten_distilled}/{n_seeds}  (distillation does not stop CW)");
     println!("  DCN recovered the true label     {recovered_by_dcn}/{beaten_standard}");
+
+    println!("\nobservability summary:");
+    println!("{}", dcn_obs::snapshot("distill_vs_dcn").render());
+    if std::env::var_os("DCN_OBS_JSON").is_some() {
+        if let Some(path) = dcn_obs::maybe_export("distill_vs_dcn") {
+            println!("snapshot written to {}", path.display());
+        }
+    }
     Ok(())
 }

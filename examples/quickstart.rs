@@ -13,6 +13,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Collect pipeline metrics for the whole run (same switch as DCN_OBS=1)
+    // so the closing summary shows the paper's cost asymmetry: benign
+    // queries pay 1 forward pass, corrected ones 1 + m.
+    dcn_obs::set_enabled(true);
     let mut rng = StdRng::seed_from_u64(1);
 
     // 1. A standard DNN on the synthetic digit task.
@@ -69,6 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(benign_label, label);
     if adv_label == label {
         println!("      the DCN recovered the true label.");
+    }
+
+    println!("\nobservability summary:");
+    println!("{}", dcn_obs::snapshot("quickstart").render());
+    if std::env::var_os("DCN_OBS_JSON").is_some() {
+        if let Some(path) = dcn_obs::maybe_export("quickstart") {
+            println!("snapshot written to {}", path.display());
+        }
     }
     Ok(())
 }

@@ -129,6 +129,27 @@ fn full_pipeline_trains_attacks_detects_and_corrects() {
         dcn_rate <= std_rate,
         "DCN must not make attacks more successful: {dcn_rate} vs {std_rate}"
     );
+
+    // Under DCN_OBS=1 the run above recorded real metrics: sanity-check the
+    // headline counters (tolerant `> 0` bounds — the sibling test in this
+    // binary may be recording concurrently) and export the snapshot.
+    if dcn_obs::enabled() {
+        use dcn_obs::names;
+        let snap = dcn_obs::snapshot("end_to_end");
+        assert!(snap.counter(names::FORWARD_PASSES_TOTAL) > 0);
+        assert!(snap.counter(names::DETECTOR_EVALUATED_TOTAL) > 0);
+        assert!(snap.counter(names::DETECTOR_FLAGGED_TOTAL) > 0);
+        assert!(snap.counter(names::DCN_QUERIES_TOTAL) > 0);
+        assert!(
+            snap.histogram(names::CORRECTOR_VOTE_MARGIN)
+                .is_some_and(|h| h.count > 0),
+            "vote-margin histogram empty"
+        );
+        assert_eq!(snap.cost.queries, snap.cost.passed_through + snap.cost.corrected);
+        assert!(snap.cost.amortized_passes_per_query() >= 1.0);
+        let path = dcn_obs::maybe_export("end_to_end").expect("obs export path");
+        assert!(path.exists());
+    }
 }
 
 #[test]
