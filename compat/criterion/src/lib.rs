@@ -61,6 +61,18 @@ impl Criterion {
         &self.records
     }
 
+    /// Records an externally measured scalar (allocation counts, speedup
+    /// ratios) alongside the timing records so it lands in the same
+    /// `BENCH_<label>.json`. The value goes in the `mean_ns` column with
+    /// `iters = 0` marking it as a non-timing metric.
+    pub fn record_metric(&mut self, id: impl Into<String>, value: f64) {
+        self.records.push(Record {
+            id: id.into(),
+            mean_ns: value,
+            iters: 0,
+        });
+    }
+
     /// Writes every recorded measurement to
     /// `results/BENCH_<label>.json` (relative to the workspace root when
     /// run under cargo) and prints a summary table.

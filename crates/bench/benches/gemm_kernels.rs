@@ -1,0 +1,103 @@
+//! Single-thread GEMM kernel comparison: the retained naive seed kernels
+//! (`dcn_tensor::kernel::naive_*`) against the register-tiled kernels that
+//! now back `matmul`/`matmul_tn`/`matmul_nt`. Everything runs under
+//! `ParConfig::serial()` so the recorded `BENCH_gemm_kernels.json` isolates
+//! the kernel-level speedup from thread scaling (which
+//! `BENCH_parallel_scaling.json` already covers). Outputs of the two
+//! kernels are bitwise identical — pinned by `crates/tensor/tests/kernels.rs`
+//! — so this measures the same arithmetic in a cache-friendlier order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_tensor::{kernel, par, ParConfig, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// `(m, k, n, label)`: a square GEMM (the acceptance shape), a dense-layer
+/// shape from the bench MLP (batch 64 through a 512×512 layer), and a
+/// tall-skinny im2col-style shape (many patch rows, few channels).
+const SHAPES: &[(usize, usize, usize, &str)] = &[
+    (256, 256, 256, "256x256x256"),
+    (64, 512, 512, "64x512x512"),
+    (5408, 9, 16, "5408x9x16"),
+];
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    par::configure(ParConfig::serial());
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut group = c.benchmark_group("gemm_kernels");
+    group.sample_size(20);
+    for &(m, k, n, label) in SHAPES {
+        let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        group.bench_with_input(BenchmarkId::new("naive_nn", label), &m, |be, _| {
+            be.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0); // naive accumulates in place
+                kernel::naive_nn(black_box(a.data()), black_box(b.data()), &mut out, 0, k, n);
+                black_box(out[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tiled_nn", label), &m, |be, _| {
+            be.iter(|| {
+                kernel::gemm_nn(black_box(a.data()), black_box(b.data()), &mut out, 0, m, k, n);
+                black_box(out[0])
+            })
+        });
+    }
+
+    // Transposed variants at the acceptance shape only.
+    let (m, k, n) = (256, 256, 256);
+    let at = Tensor::randn(&[k, m], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+    let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+    let bt = Tensor::randn(&[n, k], 0.0, 1.0, &mut rng);
+    let mut out = vec![0.0f32; m * n];
+    group.bench_with_input(BenchmarkId::new("naive_tn", "256x256x256"), &m, |be, _| {
+        be.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            kernel::naive_tn(black_box(at.data()), black_box(b.data()), &mut out, 0, m, k, n);
+            black_box(out[0])
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("tiled_tn", "256x256x256"), &m, |be, _| {
+        be.iter(|| {
+            kernel::gemm_tn(black_box(at.data()), black_box(b.data()), &mut out, 0, m, m, k, n);
+            black_box(out[0])
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("naive_nt", "256x256x256"), &m, |be, _| {
+        be.iter(|| {
+            kernel::naive_nt(black_box(a.data()), black_box(bt.data()), &mut out, 0, k, n);
+            black_box(out[0])
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("tiled_nt", "256x256x256"), &m, |be, _| {
+        be.iter(|| {
+            kernel::gemm_nt(black_box(a.data()), black_box(bt.data()), &mut out, 0, m, k, n);
+            black_box(out[0])
+        })
+    });
+    group.finish();
+    par::reset();
+
+    // Tiled-over-naive speedup per shape, recorded into the JSON so the
+    // kernel-regression check is a plain field read.
+    let records: Vec<_> = c.records().to_vec();
+    let ns_for = |id: &str| records.iter().find(|r| r.id == id).map(|r| r.mean_ns);
+    for variant in ["nn", "tn", "nt"] {
+        for &(_, _, _, label) in SHAPES {
+            let naive = ns_for(&format!("gemm_kernels/naive_{variant}/{label}"));
+            let tiled = ns_for(&format!("gemm_kernels/tiled_{variant}/{label}"));
+            if let (Some(naive), Some(tiled)) = (naive, tiled) {
+                let speedup = naive / tiled;
+                eprintln!("speedup {variant} {label}: {speedup:.2}x (naive {naive:.0} ns, tiled {tiled:.0} ns)");
+                c.record_metric(format!("gemm_kernels/speedup_{variant}/{label}"), speedup);
+            }
+        }
+    }
+}
+
+criterion_group!(gemm_kernels, bench_gemm_kernels);
+criterion_main!(gemm_kernels);

@@ -1,0 +1,163 @@
+//! End-to-end inference throughput and heap-allocation accounting for the
+//! scratch-backed fast path, centered on the corrector's `m = 50` vote —
+//! the hottest loop in the whole defense (every flagged query pays it).
+//!
+//! Two implementations are measured against each other:
+//!
+//! * `scratch` — the current `Corrector::vote_counts`: all samples drawn
+//!   into one pre-stacked batch buffer from the thread's scratch pool.
+//! * `legacy_style` — an inline reconstruction of the seed implementation:
+//!   one tensor per sample (`rand_uniform` + `add` + `clamp`), an m-way
+//!   `Tensor::stack`, then `predict_batch`.
+//!
+//! Both produce identical votes from the same rng stream (pinned by
+//! `crates/core` tests). A counting `#[global_allocator]` additionally
+//! records heap allocations per call after warm-up; those land in
+//! `BENCH_inference_throughput.json` as `allocs_per_vote/*` metrics, along
+//! with the scratch pool's own steady-state heap-allocation count (which
+//! must be zero).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_core::Corrector;
+use dcn_nn::{Classifier, Conv2d, Dense, Flatten, Layer, MaxPool2d, Network, Relu};
+use dcn_tensor::{par, scratch, Conv2dGeometry, ParConfig, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting every alloc/realloc, so the bench can
+/// report heap traffic per corrector vote, not just wall-clock.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const VOTES: usize = 50;
+const RADIUS: f32 = 0.3;
+
+/// A small conv net in the architecture family of the paper's MNIST model,
+/// sized so one vote (51 forward passes with the query) stays well inside
+/// the bench time cap on one core.
+fn conv_net(rng: &mut StdRng) -> Network {
+    let mut net = Network::new(vec![1, 12, 12]);
+    let geom = Conv2dGeometry::new(1, 12, 12, 3, 1, 0).unwrap();
+    net.push(Layer::Conv2d(Conv2d::new(geom, 8, rng).unwrap()));
+    net.push(Layer::Relu(Relu::new()));
+    net.push(Layer::MaxPool2d(MaxPool2d::new(2).unwrap()));
+    net.push(Layer::Flatten(Flatten::new()));
+    net.push(Layer::Dense(Dense::new(8 * 5 * 5, 10, rng).unwrap()));
+    net
+}
+
+/// The seed-era vote path, reconstructed from public APIs: per-sample
+/// temporaries and an m-way stack. Kept as the timing/allocation baseline.
+fn legacy_style_vote(net: &Network, x: &Tensor, rng: &mut StdRng) -> (usize, Vec<usize>) {
+    let mut points = Vec::with_capacity(VOTES);
+    for _ in 0..VOTES {
+        let noise = Tensor::rand_uniform(x.shape(), -RADIUS, RADIUS, rng);
+        points.push(x.add(&noise).unwrap().clamp(-0.5, 0.5));
+    }
+    let batch = Tensor::stack(&points).unwrap();
+    let labels = net.predict_batch(&batch).unwrap();
+    let mut counts = vec![0usize; net.class_count()];
+    for l in labels {
+        counts[l] += 1;
+    }
+    let mode = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (mode, counts)
+}
+
+/// Allocations across `calls` invocations of `f`, after `f` has already
+/// warmed whatever pools it uses.
+fn allocs_per_call(calls: u64, mut f: impl FnMut()) -> f64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..calls {
+        f();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    (after - before) as f64 / calls as f64
+}
+
+fn bench_inference_throughput(c: &mut Criterion) {
+    par::configure(ParConfig::serial());
+    let mut rng = StdRng::seed_from_u64(11);
+    let net = conv_net(&mut rng);
+    let x = Tensor::rand_uniform(&[1, 12, 12], -0.5, 0.5, &mut rng);
+    let batch1 = Tensor::stack(std::slice::from_ref(&x)).unwrap();
+    let corrector = Corrector::new(RADIUS, VOTES).unwrap();
+
+    let mut group = c.benchmark_group("inference_throughput");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("vote_m50", "scratch"), &0, |b, _| {
+        let mut vote_rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(corrector.vote_counts(&net, black_box(&x), &mut vote_rng).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("vote_m50", "legacy_style"), &0, |b, _| {
+        let mut vote_rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(legacy_style_vote(&net, black_box(&x), &mut vote_rng)))
+    });
+    group.bench_with_input(BenchmarkId::new("forward", "single"), &0, |b, _| {
+        b.iter(|| black_box(net.forward(black_box(&batch1)).unwrap()))
+    });
+    group.finish();
+
+    // Heap-allocation accounting after warm-up. The benchmark loops above
+    // already warmed the scratch pool; measure a fresh warm-up explicitly
+    // anyway so this section stands alone.
+    let mut vote_rng = StdRng::seed_from_u64(7);
+    for _ in 0..3 {
+        let _ = corrector.vote_counts(&net, &x, &mut vote_rng).unwrap();
+    }
+    let pool_allocs_before = scratch::local_heap_allocs();
+    let scratch_allocs = allocs_per_call(20, || {
+        black_box(corrector.vote_counts(&net, &x, &mut vote_rng).unwrap());
+    });
+    let pool_allocs_steady = (scratch::local_heap_allocs() - pool_allocs_before) as f64;
+    let legacy_allocs = allocs_per_call(20, || {
+        black_box(legacy_style_vote(&net, &x, &mut vote_rng));
+    });
+    eprintln!(
+        "allocs/vote: scratch {scratch_allocs:.1}, legacy {legacy_allocs:.1} \
+         ({:.1}x fewer); scratch-pool heap allocs in steady state: {pool_allocs_steady}",
+        legacy_allocs / scratch_allocs.max(1.0)
+    );
+    c.record_metric("inference_throughput/allocs_per_vote/scratch", scratch_allocs);
+    c.record_metric("inference_throughput/allocs_per_vote/legacy_style", legacy_allocs);
+    c.record_metric(
+        "inference_throughput/allocs_per_vote/legacy_over_scratch",
+        legacy_allocs / scratch_allocs.max(1.0),
+    );
+    c.record_metric(
+        "inference_throughput/scratch_pool_heap_allocs_steady_state",
+        pool_allocs_steady,
+    );
+    par::reset();
+}
+
+criterion_group!(inference_throughput, bench_inference_throughput);
+criterion_main!(inference_throughput);

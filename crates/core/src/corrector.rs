@@ -2,8 +2,9 @@
 //! Region-based Classifier re-parameterized with a much smaller sample count.
 
 use dcn_nn::Classifier;
-use dcn_tensor::{par, Tensor};
+use dcn_tensor::{par, scratch, Tensor};
 use rand::Rng;
+use rand_distr::{Distribution, Uniform};
 use serde::{Deserialize, Serialize};
 
 use crate::{DefenseError, Result};
@@ -108,33 +109,57 @@ impl Corrector {
         rng: &mut R,
     ) -> Result<(usize, Vec<usize>)> {
         let _span = dcn_obs::span("corrector.vote");
-        // All noise is drawn up front on the calling thread, so the rng
-        // stream — and therefore every sample point — is identical no
-        // matter how many threads classify them below.
-        let mut points = Vec::with_capacity(self.samples);
-        for _ in 0..self.samples {
-            let noise = Tensor::rand_uniform(x.shape(), -self.radius, self.radius, rng);
-            points.push(x.add(&noise)?.clamp(-0.5, 0.5));
+        // All noise is drawn up front on the calling thread, directly into
+        // one pre-stacked `[m, …]` batch buffer from the scratch pool — no
+        // per-sample tensors, no m-way stack. The draw order (sample-major,
+        // element-ascending) and the add-then-clamp arithmetic are exactly
+        // those of the historic per-sample loop, so the rng stream — and
+        // therefore every sample point — is bitwise identical to it, no
+        // matter how many threads classify the samples below.
+        let m = self.samples;
+        let len = x.len();
+        let dist = Uniform::new(-self.radius, self.radius);
+        let xd = x.data();
+        let mut batch_buf = scratch::take(m * len);
+        for sample in batch_buf.chunks_exact_mut(len) {
+            for (o, &v) in sample.iter_mut().zip(xd) {
+                *o = (v + dist.sample(rng)).clamp(-0.5, 0.5);
+            }
         }
+        let mut batch_shape = Vec::with_capacity(x.rank() + 1);
+        batch_shape.push(m);
+        batch_shape.extend_from_slice(x.shape());
+        let batch = Tensor::from_vec(batch_shape, batch_buf)?;
         // Vote samples are classified in contiguous chunks across the
         // thread budget; per-example logits (and thus labels) are
         // bitwise-identical to the single-batch serial call.
-        let workers = par::planned_workers(points.len(), 4);
+        let workers = par::planned_workers(m, 4);
         let labels: Vec<usize> = if workers <= 1 {
-            let batch = Tensor::stack(&points)?;
-            base.predict_batch(&batch)?
+            let logits = base.logits_batch(&batch)?;
+            let labels = logits.argmax_rows()?;
+            scratch::recycle(logits.into_vec());
+            labels
         } else {
-            let chunks: Vec<Tensor> = par::partition_units(points.len(), workers)
+            let chunks: Vec<Tensor> = par::partition_units(m, workers)
                 .into_iter()
-                .map(|(start, len)| Tensor::stack(&points[start..start + len]))
+                .map(|(start, n)| {
+                    let mut shape = Vec::with_capacity(x.rank() + 1);
+                    shape.push(n);
+                    shape.extend_from_slice(x.shape());
+                    Tensor::from_vec(shape, batch.data()[start * len..(start + n) * len].to_vec())
+                })
                 .collect::<std::result::Result<_, _>>()?;
             let results = par::par_map(&chunks, 1, |_, chunk| base.predict_batch(chunk));
-            let mut labels = Vec::with_capacity(points.len());
+            let mut labels = Vec::with_capacity(m);
             for r in results {
                 labels.extend(r?);
             }
+            for chunk in chunks {
+                scratch::recycle(chunk.into_vec());
+            }
             labels
         };
+        scratch::recycle(batch.into_vec());
         let k = base.class_count().max(labels.iter().copied().max().unwrap_or(0) + 1);
         let mut counts = vec![0usize; k];
         for l in labels {
@@ -238,6 +263,32 @@ mod tests {
         assert!(Corrector::new(0.1, 0).is_err());
         assert!(Corrector::new(f32::NAN, 10).is_err());
         assert!(Corrector::mnist_default().with_samples(0).is_err());
+    }
+
+    #[test]
+    fn batched_sampler_matches_historic_per_sample_draw() {
+        let net = threshold_net();
+        let x = Tensor::from_slice(&[0.1]);
+        let corrector = Corrector::new(0.25, 33).unwrap();
+        let mut rng_new = StdRng::seed_from_u64(77);
+        let (mode, counts) = corrector.vote_counts(&net, &x, &mut rng_new).unwrap();
+        // Reconstruct the pre-batching sampler: one tensor per sample, then
+        // an m-way stack. Same seed must give the same votes and leave the
+        // rng in the same state.
+        let mut rng_old = StdRng::seed_from_u64(77);
+        let mut points = Vec::new();
+        for _ in 0..33 {
+            let noise = Tensor::rand_uniform(x.shape(), -0.25, 0.25, &mut rng_old);
+            points.push(x.add(&noise).unwrap().clamp(-0.5, 0.5));
+        }
+        let batch = Tensor::stack(&points).unwrap();
+        let mut counts_old = vec![0usize; 2];
+        for l in net.predict_batch(&batch).unwrap() {
+            counts_old[l] += 1;
+        }
+        assert_eq!(counts, counts_old);
+        assert_eq!(counts[mode], *counts_old.iter().max().unwrap());
+        assert_eq!(rng_new.gen::<f32>(), rng_old.gen::<f32>());
     }
 
     #[test]

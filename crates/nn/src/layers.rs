@@ -4,11 +4,25 @@
 //! [`crate::Network`] derives `Serialize`/`Deserialize` and models can be
 //! cached on disk between experiment runs.
 
-use dcn_tensor::{col2im, im2col, matmul_nt, matmul_tn, Conv2dGeometry, Tensor};
+use dcn_tensor::{
+    col2im, im2col, im2col_into, matmul_into, matmul_nt, matmul_tn, scratch, Conv2dGeometry,
+    Tensor,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::{NnError, Result};
+
+/// `x.map(f)` written into a scratch buffer — the inference-path twin of
+/// [`Tensor::map`] used by the activation layers. Bitwise identical to the
+/// training path because it applies the very same closure element by element.
+fn map_into(x: &Tensor, f: impl Fn(f32) -> f32) -> Result<Tensor> {
+    let mut out = scratch::take(x.len());
+    for (o, &v) in out.iter_mut().zip(x.data()) {
+        *o = f(v);
+    }
+    Ok(Tensor::from_vec(x.shape().to_vec(), out)?)
+}
 
 /// Per-layer activation cache produced by a training-mode forward pass and
 /// consumed by the matching backward pass.
@@ -143,6 +157,27 @@ impl Dense {
         Ok(y)
     }
 
+    /// [`Dense::affine`] writing into a scratch buffer: same matmul kernel,
+    /// same bias loop, zero allocations once the pool is warm.
+    fn infer(&self, x: &Tensor) -> Result<Tensor> {
+        let rows = if x.rank() == 2 { x.shape()[0] } else { 0 };
+        let mut y = scratch::take(rows * self.out_dim());
+        let (n, out) = match matmul_into(x, &self.w, &mut y) {
+            Ok(dims) => dims,
+            Err(e) => {
+                scratch::recycle(y);
+                return Err(e.into());
+            }
+        };
+        let bd = self.b.data();
+        for i in 0..n {
+            for j in 0..out {
+                y[i * out + j] += bd[j];
+            }
+        }
+        Ok(Tensor::from_vec(vec![n, out], y)?)
+    }
+
     fn backward(&self, grad: &Tensor, cache: &LayerCache) -> Result<(Tensor, ParamGrads)> {
         let LayerCache::Dense { input } = cache else {
             return Err(NnError::LayerInput("dense backward with wrong cache".into()));
@@ -233,6 +268,45 @@ impl Conv2d {
                 }
             }
         }
+        Ok(Tensor::from_vec(vec![batch, oc, oh, ow], out)?)
+    }
+
+    /// [`Conv2d::forward`] without the cache, with every intermediate — the
+    /// patch matrix, the pre-bias GEMM output, and the relaid result —
+    /// drawn from and recycled to the thread's scratch pool.
+    fn infer(&self, x: &Tensor) -> Result<Tensor> {
+        let batch = x.shape().first().copied().unwrap_or(0);
+        let (oh, ow, oc) = (self.geom.out_h(), self.geom.out_w(), self.out_channels);
+        let hw = oh * ow;
+        let patch = self.geom.patch_len();
+        let mut cols = scratch::take(batch * hw * patch);
+        let rows = match im2col_into(x, &self.geom, &mut cols) {
+            Ok(rows) => rows,
+            Err(e) => {
+                scratch::recycle(cols);
+                return Err(e.into());
+            }
+        };
+        let cols = Tensor::from_vec(vec![rows, patch], cols)?;
+        let mut ycols = scratch::take(rows * oc);
+        let res = matmul_into(&cols, &self.w, &mut ycols);
+        scratch::recycle(cols.into_vec());
+        if let Err(e) = res {
+            scratch::recycle(ycols);
+            return Err(e.into());
+        }
+        // Same NCHW relayout + bias as `apply_cols`, writing into scratch.
+        let mut out = scratch::take(batch * oc * hw);
+        let bd = self.b.data();
+        for img in 0..batch {
+            for pos in 0..hw {
+                let row = (img * hw + pos) * oc;
+                for ch in 0..oc {
+                    out[img * oc * hw + ch * hw + pos] = ycols[row + ch] + bd[ch];
+                }
+            }
+        }
+        scratch::recycle(ycols);
         Ok(Tensor::from_vec(vec![batch, oc, oh, ow], out)?)
     }
 
@@ -378,7 +452,7 @@ impl MaxPool2d {
         self.k
     }
 
-    fn forward(&self, x: &Tensor) -> Result<(Tensor, LayerCache)> {
+    fn dims(&self, x: &Tensor) -> Result<(usize, usize, usize, usize)> {
         if x.rank() != 4 {
             return Err(NnError::LayerInput(format!(
                 "max-pool expects [N,C,H,W], got rank {}",
@@ -387,12 +461,18 @@ impl MaxPool2d {
         }
         let dims = x.shape();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-        let k = self.k;
-        if h < k || w < k {
+        if h < self.k || w < self.k {
             return Err(NnError::LayerInput(format!(
-                "pool window {k} exceeds input {h}x{w}"
+                "pool window {} exceeds input {h}x{w}",
+                self.k
             )));
         }
+        Ok((n, c, h, w))
+    }
+
+    fn forward(&self, x: &Tensor) -> Result<(Tensor, LayerCache)> {
+        let (n, c, h, w) = self.dims(x)?;
+        let k = self.k;
         let (oh, ow) = (h / k, w / k);
         let xd = x.data();
         let mut out = vec![0.0f32; n * c * oh * ow];
@@ -424,9 +504,41 @@ impl MaxPool2d {
             Tensor::from_vec(vec![n, c, oh, ow], out)?,
             LayerCache::MaxPool2d {
                 argmax,
-                in_shape: dims.to_vec(),
+                in_shape: x.shape().to_vec(),
             },
         ))
+    }
+
+    /// [`MaxPool2d::forward`] without the argmax cache, writing the pooled
+    /// maxima straight into a scratch buffer. The window scan keeps the
+    /// strict `>` comparison order, so ties and NaN handling match the
+    /// training path bit for bit.
+    fn infer(&self, x: &Tensor) -> Result<Tensor> {
+        let (n, c, h, w) = self.dims(x)?;
+        let k = self.k;
+        let (oh, ow) = (h / k, w / k);
+        let xd = x.data();
+        let mut out = scratch::take(n * c * oh * ow);
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let off = base + (oy * k + dy) * w + (ox * k + dx);
+                                if xd[off] > best {
+                                    best = xd[off];
+                                }
+                            }
+                        }
+                        out[((img * c + ch) * oh + oy) * ow + ox] = best;
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(vec![n, c, oh, ow], out)?)
     }
 
     fn backward(&self, grad: &Tensor, cache: &LayerCache) -> Result<(Tensor, ParamGrads)> {
@@ -464,6 +576,17 @@ impl Flatten {
             x.reshape(&[n, rest])?,
             LayerCache::Flatten { in_shape },
         ))
+    }
+
+    /// Flatten into a scratch buffer (a plain copy), so the network loop can
+    /// recycle the layer's input like any other intermediate.
+    fn infer(&self, x: &Tensor) -> Result<Tensor> {
+        let in_shape = x.shape();
+        let n = in_shape[0];
+        let rest: usize = in_shape[1..].iter().product();
+        let mut out = scratch::take(x.len());
+        out.copy_from_slice(x.data());
+        Ok(Tensor::from_vec(vec![n, rest], out)?)
     }
 
     fn backward(&self, grad: &Tensor, cache: &LayerCache) -> Result<(Tensor, ParamGrads)> {
@@ -517,13 +640,27 @@ impl Layer {
 
     /// Runs the layer forward without keeping a cache (inference).
     ///
+    /// Unlike [`Layer::forward`] this path draws every intermediate and the
+    /// output itself from the calling thread's [`dcn_tensor::scratch`] pool,
+    /// so a warm pool serves repeated inference without heap allocations.
+    /// The returned tensor owns a pool buffer; callers on a hot loop should
+    /// hand it back via `scratch::recycle(t.into_vec())` once done (dropping
+    /// it instead is correct but forfeits the reuse). Outputs are bitwise
+    /// identical to `self.forward(x)?.0` — pinned by tests.
+    ///
     /// # Errors
     ///
     /// Propagates shape and configuration errors from the layer.
     pub fn infer(&self, x: &Tensor) -> Result<Tensor> {
-        // Caches are cheap relative to the matmuls at this scale; reusing the
-        // training path keeps the two in lockstep.
-        Ok(self.forward(x)?.0)
+        match self {
+            Layer::Dense(l) => l.infer(x),
+            Layer::Conv2d(l) => l.infer(x),
+            Layer::Relu(_) => map_into(x, |v| v.max(0.0)),
+            Layer::Sigmoid(_) => map_into(x, |v| 1.0 / (1.0 + (-v).exp())),
+            Layer::Tanh(_) => map_into(x, f32::tanh),
+            Layer::MaxPool2d(l) => l.infer(x),
+            Layer::Flatten(l) => l.infer(x),
+        }
     }
 
     /// Backward pass: maps the output gradient to (input gradient, parameter
@@ -780,6 +917,50 @@ mod tests {
         for layer in [Layer::Sigmoid(Sigmoid::new()), Layer::Tanh(Tanh::new())] {
             assert_eq!(layer.out_shape(&[4, 3, 3]).unwrap(), vec![4, 3, 3]);
             assert!(layer.params().is_empty());
+        }
+    }
+
+    #[test]
+    fn infer_is_bitwise_identical_to_forward_for_every_layer() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let geom = Conv2dGeometry::new(2, 6, 6, 3, 1, 1).unwrap();
+        let cases: Vec<(Layer, Tensor)> = vec![
+            (
+                Layer::Dense(Dense::new(5, 3, &mut rng).unwrap()),
+                Tensor::randn(&[4, 5], 0.0, 1.0, &mut rng),
+            ),
+            (
+                Layer::Conv2d(Conv2d::new(geom, 4, &mut rng).unwrap()),
+                Tensor::randn(&[2, 2, 6, 6], 0.0, 1.0, &mut rng),
+            ),
+            (
+                Layer::Relu(Relu::new()),
+                Tensor::randn(&[3, 7], 0.0, 1.0, &mut rng),
+            ),
+            (
+                Layer::Sigmoid(Sigmoid::new()),
+                Tensor::randn(&[3, 7], 0.0, 2.0, &mut rng),
+            ),
+            (
+                Layer::Tanh(Tanh::new()),
+                Tensor::randn(&[3, 7], 0.0, 2.0, &mut rng),
+            ),
+            (
+                Layer::MaxPool2d(MaxPool2d::new(2).unwrap()),
+                Tensor::randn(&[2, 3, 4, 4], 0.0, 1.0, &mut rng),
+            ),
+            (
+                Layer::Flatten(Flatten::new()),
+                Tensor::randn(&[2, 3, 4, 4], 0.0, 1.0, &mut rng),
+            ),
+        ];
+        for (layer, x) in cases {
+            let (trained, _) = layer.forward(&x).unwrap();
+            let inferred = layer.infer(&x).unwrap();
+            assert_eq!(inferred.shape(), trained.shape(), "{layer:?}");
+            for (a, b) in inferred.data().iter().zip(trained.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{layer:?}");
+            }
         }
     }
 

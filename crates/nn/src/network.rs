@@ -3,7 +3,7 @@
 use std::fs;
 use std::path::Path;
 
-use dcn_tensor::{par, Tensor};
+use dcn_tensor::{par, scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::{Layer, LayerCache, NnError, Result};
@@ -174,12 +174,21 @@ impl Network {
 
     /// The unchunked single-thread forward pass — the reference semantics
     /// [`Network::forward`] must reproduce bitwise.
+    ///
+    /// The first layer reads `x` by reference (no up-front clone), and every
+    /// replaced intermediate goes back to the thread's scratch pool, so a
+    /// warm pool runs the whole pass without heap allocations except the
+    /// escaping output buffer — which hot callers can recycle themselves.
     fn forward_serial(&self, x: &Tensor) -> Result<Tensor> {
-        let mut cur = x.clone();
+        let mut cur: Option<Tensor> = None;
         for layer in &self.layers {
-            cur = layer.infer(&cur)?;
+            let next = layer.infer(cur.as_ref().unwrap_or(x))?;
+            if let Some(prev) = cur.replace(next) {
+                scratch::recycle(prev.into_vec());
+            }
         }
-        Ok(cur)
+        // An empty network is the identity; only then does the input clone.
+        cur.map_or_else(|| Ok(x.clone()), Ok)
     }
 
     /// Training forward pass: returns logits plus per-layer caches for
@@ -190,14 +199,17 @@ impl Network {
     /// Same as [`Network::forward`].
     pub fn forward_train(&self, x: &Tensor) -> Result<(Tensor, Vec<LayerCache>)> {
         self.check_batch(x)?;
-        let mut cur = x.clone();
+        // Borrow the input for the first layer instead of cloning it; the
+        // intermediates themselves are owned by the caches, so unlike the
+        // inference path nothing here is recycled.
+        let mut cur: Option<Tensor> = None;
         let mut caches = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
-            let (next, cache) = layer.forward(&cur)?;
+            let (next, cache) = layer.forward(cur.as_ref().unwrap_or(x))?;
             caches.push(cache);
-            cur = next;
+            cur = Some(next);
         }
-        Ok((cur, caches))
+        Ok((cur.unwrap_or_else(|| x.clone()), caches))
     }
 
     /// Backward pass from a logit gradient.

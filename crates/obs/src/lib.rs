@@ -96,6 +96,10 @@ pub mod names {
     pub const PAR_UNITS_TOTAL: &str = "par.units_total";
     /// Histogram of workers per parallel region (thread utilization).
     pub const PAR_WORKERS: &str = "par.workers";
+    /// Buffers handed out by the per-thread scratch pools.
+    pub const SCRATCH_TAKES_TOTAL: &str = "scratch.takes_total";
+    /// Buffers returned to the per-thread scratch pools for reuse.
+    pub const SCRATCH_RECYCLES_TOTAL: &str = "scratch.recycles_total";
 }
 
 /// Fixed bucket upper bounds for latency histograms, in seconds (an

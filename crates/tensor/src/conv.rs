@@ -123,6 +123,23 @@ impl Conv2dGeometry {
 /// Returns [`TensorError::RankMismatch`] or [`TensorError::ShapeMismatch`]
 /// when `input` does not match the geometry.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let mut out = Vec::new();
+    let rows = im2col_into(input, geom, &mut out)?;
+    Tensor::from_vec(vec![rows, geom.patch_len()], out)
+}
+
+/// [`im2col`] into a caller-provided buffer — the allocation-free twin for
+/// scratch-backed inference paths.
+///
+/// `out` is resized to `N·OH·OW · C·KH·KW` (zero-filled, which supplies the
+/// padding) and fully overwritten; with a warmed [`crate::scratch`] buffer
+/// the call performs no heap allocation. Returns the number of patch rows
+/// `N·OH·OW`.
+///
+/// # Errors
+///
+/// Exactly as [`im2col`].
+pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Vec<f32>) -> Result<usize> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -145,12 +162,13 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
         geom.padding as isize,
     );
     let patch = geom.patch_len();
-    let mut out = vec![0.0f32; n * oh * ow * patch];
+    out.clear();
+    out.resize(n * oh * ow * patch, 0.0);
     let data = input.data();
     let plane = h * w;
     // One image writes one disjoint block of patch rows; images can be
     // gathered by different threads without changing any value.
-    par::for_each_unit_chunk(&mut out, oh * ow * patch, 1, |first_img, chunk| {
+    par::for_each_unit_chunk(out, oh * ow * patch, 1, |first_img, chunk| {
         for (rel, img_rows) in chunk.chunks_mut(oh * ow * patch).enumerate() {
             let img = first_img + rel;
             let img_base = img * c * plane;
@@ -178,7 +196,7 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             }
         }
     });
-    Tensor::from_vec(vec![n * oh * ow, patch], out)
+    Ok(n * oh * ow)
 }
 
 /// Scatter-adds a patch matrix back into image space — the adjoint of
@@ -288,6 +306,17 @@ mod tests {
         assert_eq!(cols.shape(), &[9, 4]);
         // Top-left patch sees only the (0,0) pixel in its bottom-right slot.
         assert_eq!(cols.row(0).unwrap().data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn im2col_into_matches_im2col_and_overwrites_stale_data() {
+        let img = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let g = Conv2dGeometry::new(1, 2, 2, 2, 1, 1).unwrap();
+        let reference = im2col(&img, &g).unwrap();
+        let mut buf = vec![f32::NAN; 100]; // stale garbage, incl. pad slots
+        let rows = im2col_into(&img, &g, &mut buf).unwrap();
+        assert_eq!(rows, 9);
+        assert_eq!(buf.as_slice(), reference.data());
     }
 
     #[test]

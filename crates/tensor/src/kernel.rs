@@ -1,0 +1,597 @@
+//! Register-tiled GEMM micro-kernels behind [`crate::matmul`] and friends.
+//!
+//! # Tiling scheme
+//!
+//! Each kernel walks its output in `MR`×`NR` register tiles: an `MR`×`NR`
+//! block of accumulators lives in registers for the whole `k` loop, and the
+//! `NR`-wide slice of `B` needed at each `k` step is read from a packed,
+//! contiguous *panel* (`[k, NR]`, repacked once per `NR`-column block and
+//! reused by every row tile). The naive i-k-j kernels this replaces stream
+//! a full `n`-length row of `C` through memory at every `k` step — `m·k`
+//! passes over `C` in total; the tiled kernels touch each `C` element once,
+//! which is what makes mid-sized GEMMs compute- rather than memory-bound.
+//!
+//! # Determinism
+//!
+//! Tiling is over `i`/`j` **only** — every output element still accumulates
+//! its products in ascending-`k` order into a single `f32`, exactly the
+//! per-element operation sequence of the naive kernels. Blocking over `k`
+//! (splitting one element's reduction into partial sums) would change
+//! float rounding and break the workspace's bitwise-determinism contract,
+//! so it is deliberately not done: at these sizes the whole `k` extent of a
+//! `B` panel (`k · NR · 4` bytes) fits in L1/L2 comfortably. Panel packing
+//! copies bits verbatim. The result is that every tiled kernel is
+//! **bitwise identical** to its naive reference — pinned by the property
+//! tests in `tests/kernels.rs`.
+//!
+//! # Zero-skip semantics
+//!
+//! The historic `matmul`/`matmul_tn` kernels skip the whole `j` loop when
+//! an `A` element is exactly `0.0` (`if aik == 0.0 { continue }`) — a win
+//! on post-ReLU activations, and load-bearing for NaN propagation:
+//! `0 · NaN` contributions are *dropped*, not turned into NaN. The tiled
+//! kernels preserve this skip per `(row, k)` step, and `matmul_nt` remains
+//! skip-free (a plain dot product that lets `0 · NaN` poison the output),
+//! both pinned by regression tests.
+//!
+//! Kernels operate on a *row range* of the output so that
+//! `dcn_tensor::par` can hand disjoint row chunks to worker threads; the
+//! naive references share the signature so tests and benches can drive
+//! either interchangeably.
+
+use crate::scratch;
+
+/// Register-tile height: output rows accumulated simultaneously.
+pub const MR: usize = 4;
+/// Register-tile width: output columns accumulated simultaneously.
+///
+/// 16 columns give each of the MR rows two 8-lane AVX2 accumulators —
+/// eight independent add chains, enough to hide `vaddps` latency (one
+/// chain per row leaves the FP add ports half idle).
+pub const NR: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Tiled kernels
+// ---------------------------------------------------------------------------
+
+// The full-tile fast paths below are hand-unrolled over exactly MR rows.
+const _: () = assert!(MR == 4, "full-tile unrolls assume MR == 4");
+
+/// Writes an accumulator tile into `out` at tile origin `(r0, j0)`.
+///
+/// Each k-loop arm owns its own `acc` and calls this, instead of sharing
+/// one `acc` across arms — sharing makes LLVM keep the accumulators on the
+/// stack (load-add-store per k step) rather than in vector registers.
+#[inline(always)]
+fn store_tile(
+    out: &mut [f32],
+    acc: &[[f32; NR]; MR],
+    mc: usize,
+    nc: usize,
+    r0: usize,
+    j0: usize,
+    n: usize,
+) {
+    for (r, accr) in acc.iter().enumerate().take(mc) {
+        let row = (r0 + r) * n + j0;
+        out[row..row + nc].copy_from_slice(&accr[..nc]);
+    }
+}
+
+/// Tiled `C[i0..i0+rows, :] = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// `out` is the chunk covering exactly `rows` output rows starting at
+/// absolute row `i0`; it is fully overwritten (no pre-zeroing required).
+pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence is verified at runtime. The kernel body
+        // contains no intrinsics; the feature only widens LLVM's
+        // autovectorization, which stays per-lane IEEE mul-then-add (the
+        // `fma` feature is deliberately NOT enabled — fused contraction
+        // would change rounding and break bitwise determinism).
+        unsafe { gemm_nn_avx2(a, b, out, i0, rows, k, n) };
+        return;
+    }
+    gemm_nn_impl(a, b, out, i0, rows, k, n);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nn_avx2(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    gemm_nn_impl(a, b, out, i0, rows, k, n);
+}
+
+#[inline(always)]
+fn gemm_nn_impl(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    if rows == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Empty reduction: every element is an empty sum, exactly as the
+        // naive kernels leave a zero-filled `out` untouched.
+        out[..rows * n].fill(0.0);
+        return;
+    }
+    // Pack every NR-column block of B up front ([block][k, NR], remainder
+    // block zero-padded by `take`'s zero-fill). Packing all blocks at once
+    // lets the row loop run OUTERMOST, which is what makes the per-row-tile
+    // zero scan below amortize to a single pass over A.
+    let nblocks = n.div_ceil(NR);
+    let mut packed = scratch::take(nblocks * k * NR);
+    for (jb, block) in packed.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = jb * NR;
+        let nc = NR.min(n - j0);
+        for kk in 0..k {
+            block[kk * NR..kk * NR + nc].copy_from_slice(&b[kk * n + j0..kk * n + j0 + nc]);
+        }
+    }
+    for r0 in (0..rows).step_by(MR) {
+        let mc = MR.min(rows - r0);
+        let base = (i0 + r0) * k;
+        // Zero-skip hoisted out of the hot loop: one O(MR·k) scan per row
+        // tile (once per tile, not once per j block) decides whether any
+        // lane would skip. Dense tiles — weight matrices, pre-ReLU data,
+        // the common case — then run a completely branch-free k loop; when
+        // nothing skips, both loops perform the identical per-element
+        // operation sequence, so results stay bitwise equal either way.
+        let dense = mc == MR && a[base..base + MR * k].iter().all(|&v| v != 0.0);
+        for (jb, panel) in packed.chunks_exact(k * NR).enumerate() {
+            let j0 = jb * NR;
+            let nc = NR.min(n - j0);
+            if mc == MR && nc == NR {
+                // Full tile: A's four rows are pre-sliced and the row loop
+                // hand-unrolled, so the whole MR×NR accumulator block lives
+                // in vector registers across the k loop with one panel-row
+                // load and four broadcast-multiply-adds per k step.
+                let a0 = &a[base..base + k];
+                let a1 = &a[base + k..base + 2 * k];
+                let a2 = &a[base + 2 * k..base + 3 * k];
+                let a3 = &a[base + 3 * k..base + 4 * k];
+                let lanes = a0.iter().zip(a1).zip(a2).zip(a3);
+                if dense {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for ((((&v0, &v1), &v2), &v3), prow) in lanes.zip(panel.chunks_exact(NR)) {
+                        for c in 0..NR {
+                            let p = prow[c];
+                            acc[0][c] += v0 * p;
+                            acc[1][c] += v1 * p;
+                            acc[2][c] += v2 * p;
+                            acc[3][c] += v3 * p;
+                        }
+                    }
+                    store_tile(out, &acc, MR, NR, r0, j0, n);
+                } else {
+                    // `!= 0.0` is the historic zero-skip inverted: NaN
+                    // compares unequal, so NaN lanes still multiply
+                    // through, and exact zeros contribute nothing.
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for ((((&v0, &v1), &v2), &v3), prow) in lanes.zip(panel.chunks_exact(NR)) {
+                        if v0 != 0.0 {
+                            for c in 0..NR {
+                                acc[0][c] += v0 * prow[c];
+                            }
+                        }
+                        if v1 != 0.0 {
+                            for c in 0..NR {
+                                acc[1][c] += v1 * prow[c];
+                            }
+                        }
+                        if v2 != 0.0 {
+                            for c in 0..NR {
+                                acc[2][c] += v2 * prow[c];
+                            }
+                        }
+                        if v3 != 0.0 {
+                            for c in 0..NR {
+                                acc[3][c] += v3 * prow[c];
+                            }
+                        }
+                    }
+                    store_tile(out, &acc, MR, NR, r0, j0, n);
+                }
+            } else {
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let prow = &panel[kk * NR..kk * NR + NR];
+                    for (r, accr) in acc.iter_mut().enumerate().take(mc) {
+                        let aik = a[(i0 + r0 + r) * k + kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        for c in 0..nc {
+                            accr[c] += aik * prow[c];
+                        }
+                    }
+                }
+                store_tile(out, &acc, mc, nc, r0, j0, n);
+            }
+        }
+    }
+    scratch::recycle(packed);
+}
+
+/// Tiled `C[i0..i0+rows, :] = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`.
+///
+/// `m` is the full height of the output (`A`'s column count); `out` covers
+/// `rows` rows starting at absolute row `i0` and is fully overwritten.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: as in `gemm_nn` — runtime-checked feature, no intrinsics,
+        // no fma, so lanes stay bit-identical to the scalar build.
+        unsafe { gemm_tn_avx2(a, b, out, i0, rows, m, k, n) };
+        return;
+    }
+    gemm_tn_impl(a, b, out, i0, rows, m, k, n);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_tn_avx2(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_tn_impl(a, b, out, i0, rows, m, k, n);
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_tn_impl(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if rows == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Empty reduction: every element is an empty sum, exactly as the
+        // naive kernels leave a zero-filled `out` untouched.
+        out[..rows * n].fill(0.0);
+        return;
+    }
+    // As in `gemm_nn`: pack all of B's NR-column blocks up front so the row
+    // loop can run outermost and the zero scan amortizes to one pass over A.
+    let nblocks = n.div_ceil(NR);
+    let mut packed = scratch::take(nblocks * k * NR);
+    for (jb, block) in packed.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = jb * NR;
+        let nc = NR.min(n - j0);
+        for kk in 0..k {
+            block[kk * NR..kk * NR + nc].copy_from_slice(&b[kk * n + j0..kk * n + j0 + nc]);
+        }
+    }
+    for r0 in (0..rows).step_by(MR) {
+        let mc = MR.min(rows - r0);
+        let c0 = i0 + r0;
+        // Hoisted zero scan, as in `gemm_nn` (A's tile elements sit at a
+        // strided 4-wide slice per k step — adjacent columns of Aᵀ).
+        let dense = mc == MR
+            && (0..k).all(|kk| {
+                let av = &a[kk * m + c0..kk * m + c0 + MR];
+                av[0] != 0.0 && av[1] != 0.0 && av[2] != 0.0 && av[3] != 0.0
+            });
+        for (jb, panel) in packed.chunks_exact(k * NR).enumerate() {
+            let j0 = jb * NR;
+            let nc = NR.min(n - j0);
+            if mc == MR && nc == NR {
+                // Full tile: the tile's four A elements at each k step sit
+                // contiguously at a[kk*m + c0..] (they are adjacent columns
+                // of Aᵀ), so one 4-wide slice feeds the unrolled rows.
+                if dense {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for (kk, prow) in panel.chunks_exact(NR).enumerate() {
+                        let av = &a[kk * m + c0..kk * m + c0 + MR];
+                        let (v0, v1, v2, v3) = (av[0], av[1], av[2], av[3]);
+                        for c in 0..NR {
+                            let p = prow[c];
+                            acc[0][c] += v0 * p;
+                            acc[1][c] += v1 * p;
+                            acc[2][c] += v2 * p;
+                            acc[3][c] += v3 * p;
+                        }
+                    }
+                    store_tile(out, &acc, MR, NR, r0, j0, n);
+                } else {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for (kk, prow) in panel.chunks_exact(NR).enumerate() {
+                        let av = &a[kk * m + c0..kk * m + c0 + MR];
+                        let (v0, v1, v2, v3) = (av[0], av[1], av[2], av[3]);
+                        if v0 != 0.0 {
+                            for c in 0..NR {
+                                acc[0][c] += v0 * prow[c];
+                            }
+                        }
+                        if v1 != 0.0 {
+                            for c in 0..NR {
+                                acc[1][c] += v1 * prow[c];
+                            }
+                        }
+                        if v2 != 0.0 {
+                            for c in 0..NR {
+                                acc[2][c] += v2 * prow[c];
+                            }
+                        }
+                        if v3 != 0.0 {
+                            for c in 0..NR {
+                                acc[3][c] += v3 * prow[c];
+                            }
+                        }
+                    }
+                    store_tile(out, &acc, MR, NR, r0, j0, n);
+                }
+            } else {
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let prow = &panel[kk * NR..kk * NR + NR];
+                    // A's row-tile elements sit contiguously at a[kk*m + i..].
+                    let arow = &a[kk * m + i0 + r0..kk * m + i0 + r0 + mc];
+                    for (r, accr) in acc.iter_mut().enumerate().take(mc) {
+                        let aki = arow[r];
+                        if aki == 0.0 {
+                            continue;
+                        }
+                        for c in 0..nc {
+                            accr[c] += aki * prow[c];
+                        }
+                    }
+                }
+                store_tile(out, &acc, mc, nc, r0, j0, n);
+            }
+        }
+    }
+    scratch::recycle(packed);
+}
+
+/// Tiled `C[i0..i0+rows, :] = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`.
+///
+/// No zero-skip: every element is a plain ascending-`k` dot product, as in
+/// the naive kernel. `out` covers `rows` rows starting at absolute row `i0`
+/// and is fully overwritten.
+pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: as in `gemm_nn` — runtime-checked feature, no intrinsics,
+        // no fma, so lanes stay bit-identical to the scalar build.
+        unsafe { gemm_nt_avx2(a, b, out, i0, rows, k, n) };
+        return;
+    }
+    gemm_nt_impl(a, b, out, i0, rows, k, n);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nt_avx2(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    gemm_nt_impl(a, b, out, i0, rows, k, n);
+}
+
+#[inline(always)]
+fn gemm_nt_impl(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    if rows == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Empty reduction: every element is an empty sum, exactly as the
+        // naive kernels leave a zero-filled `out` untouched.
+        out[..rows * n].fill(0.0);
+        return;
+    }
+    // Pack Bᵀ's column blocks into [block][k, NR] so the inner loop reads
+    // them contiguously, exactly like the nn/tn panels (all blocks packed
+    // up front, row loop outermost).
+    let nblocks = n.div_ceil(NR);
+    let mut packed = scratch::take(nblocks * k * NR);
+    for (jb, block) in packed.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = jb * NR;
+        let nc = NR.min(n - j0);
+        for (c, col) in (j0..j0 + nc).enumerate() {
+            for kk in 0..k {
+                block[kk * NR + c] = b[col * k + kk];
+            }
+        }
+    }
+    for r0 in (0..rows).step_by(MR) {
+        let mc = MR.min(rows - r0);
+        for (jb, panel) in packed.chunks_exact(k * NR).enumerate() {
+            let j0 = jb * NR;
+            let nc = NR.min(n - j0);
+            if mc == MR && nc == NR {
+                // Full tile, unrolled like `gemm_nn` — but with no
+                // zero-skip: nt is a plain dot product.
+                let base = (i0 + r0) * k;
+                let a0 = &a[base..base + k];
+                let a1 = &a[base + k..base + 2 * k];
+                let a2 = &a[base + 2 * k..base + 3 * k];
+                let a3 = &a[base + 3 * k..base + 4 * k];
+                let lanes = a0.iter().zip(a1).zip(a2).zip(a3);
+                let mut acc = [[0.0f32; NR]; MR];
+                for ((((&v0, &v1), &v2), &v3), prow) in lanes.zip(panel.chunks_exact(NR)) {
+                    for c in 0..NR {
+                        let p = prow[c];
+                        acc[0][c] += v0 * p;
+                        acc[1][c] += v1 * p;
+                        acc[2][c] += v2 * p;
+                        acc[3][c] += v3 * p;
+                    }
+                }
+                store_tile(out, &acc, MR, NR, r0, j0, n);
+            } else {
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let prow = &panel[kk * NR..kk * NR + NR];
+                    for (r, accr) in acc.iter_mut().enumerate().take(mc) {
+                        let aik = a[(i0 + r0 + r) * k + kk];
+                        for c in 0..nc {
+                            accr[c] += aik * prow[c];
+                        }
+                    }
+                }
+                store_tile(out, &acc, mc, nc, r0, j0, n);
+            }
+        }
+    }
+    scratch::recycle(packed);
+}
+
+// ---------------------------------------------------------------------------
+// Naive references (the seed kernels, retained verbatim)
+// ---------------------------------------------------------------------------
+
+/// The historic i-k-j `matmul` kernel, kept as the bitwise reference the
+/// tiled [`gemm_nn`] must reproduce. `out` must be zero-filled on entry.
+pub fn naive_nn(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
+    for (r, orow) in out.chunks_mut(n).enumerate() {
+        let i = i0 + r;
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                *o += aik * bkj;
+            }
+        }
+    }
+}
+
+/// The historic `matmul_tn` kernel (bitwise reference for [`gemm_tn`]).
+/// `out` must be zero-filled on entry.
+pub fn naive_tn(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, m: usize, k: usize, n: usize) {
+    for (r, orow) in out.chunks_mut(n).enumerate() {
+        let i = i0 + r;
+        for kk in 0..k {
+            let aki = a[kk * m + i];
+            if aki == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                *o += aki * bkj;
+            }
+        }
+    }
+}
+
+/// The historic `matmul_nt` kernel (bitwise reference for [`gemm_nt`]).
+pub fn naive_nt(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, k: usize, n: usize) {
+    for (r, orow) in out.chunks_mut(n).enumerate() {
+        let i = i0 + r;
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 - n as f32 / 2.0) * scale).collect()
+    }
+
+    fn assert_bits_eq(tiled: &[f32], naive: &[f32], what: &str) {
+        assert_eq!(tiled.len(), naive.len(), "{what}: length drift");
+        for (i, (t, r)) in tiled.iter().zip(naive).enumerate() {
+            assert_eq!(t.to_bits(), r.to_bits(), "{what}: element {i} ({t} vs {r})");
+        }
+    }
+
+    #[test]
+    fn tiled_nn_matches_naive_across_remainders() {
+        // Every MR/NR remainder combination, including sub-tile shapes.
+        for m in [1, 3, MR, MR + 1, 2 * MR + 3] {
+            for n in [1, NR - 1, NR, NR + 1, 2 * NR + 5] {
+                for k in [0, 1, 7] {
+                    let a = seq(m * k, 0.25);
+                    let b = seq(k * n, 0.5);
+                    let mut tiled = vec![0.0; m * n];
+                    let mut naive = vec![0.0; m * n];
+                    gemm_nn(&a, &b, &mut tiled, 0, m, k, n);
+                    naive_nn(&a, &b, &mut naive, 0, k, n);
+                    assert_bits_eq(&tiled, &naive, &format!("nn {m}x{k}x{n}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_tn_matches_naive_across_remainders() {
+        for m in [1, MR, MR + 2] {
+            for n in [1, NR, NR + 3] {
+                for k in [1, 6] {
+                    let a = seq(k * m, 0.25);
+                    let b = seq(k * n, 0.5);
+                    let mut tiled = vec![0.0; m * n];
+                    let mut naive = vec![0.0; m * n];
+                    gemm_tn(&a, &b, &mut tiled, 0, m, m, k, n);
+                    naive_tn(&a, &b, &mut naive, 0, m, k, n);
+                    assert_bits_eq(&tiled, &naive, &format!("tn {m}x{k}x{n}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_nt_matches_naive_across_remainders() {
+        for m in [1, MR, MR + 2] {
+            for n in [1, NR, NR + 3] {
+                for k in [1, 6] {
+                    let a = seq(m * k, 0.25);
+                    let b = seq(n * k, 0.5);
+                    let mut tiled = vec![0.0; m * n];
+                    let mut naive = vec![0.0; m * n];
+                    gemm_nt(&a, &b, &mut tiled, 0, m, k, n);
+                    naive_nt(&a, &b, &mut naive, 0, k, n);
+                    assert_bits_eq(&tiled, &naive, &format!("nt {m}x{k}x{n}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_chunks_compose_to_the_full_product() {
+        // The par layer hands kernels disjoint row ranges; gluing two ranges
+        // must equal one full-range call.
+        let (m, k, n) = (7, 5, 11);
+        let a = seq(m * k, 0.3);
+        let b = seq(k * n, 0.7);
+        let mut full = vec![0.0; m * n];
+        gemm_nn(&a, &b, &mut full, 0, m, k, n);
+        let mut split = vec![0.0; m * n];
+        let (top, bottom) = split.split_at_mut(3 * n);
+        gemm_nn(&a, &b, top, 0, 3, k, n);
+        gemm_nn(&a, &b, bottom, 3, 4, k, n);
+        assert_bits_eq(&split, &full, "row-chunk composition");
+    }
+}

@@ -29,14 +29,16 @@
 
 mod conv;
 mod error;
+pub mod kernel;
 mod linalg;
 pub mod par;
+pub mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, im2col, im2col_into, Conv2dGeometry};
 pub use error::TensorError;
-pub use linalg::{matmul, matmul_nt, matmul_tn};
+pub use linalg::{matmul, matmul_into, matmul_nt, matmul_tn};
 pub use par::ParConfig;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -3,8 +3,14 @@
 //! Three variants are provided because the backward passes of dense and
 //! convolution layers need products against transposed operands; forming the
 //! transpose explicitly would double memory traffic on the hot path.
+//!
+//! All three run on the register-tiled micro-kernels in [`crate::kernel`],
+//! parallelized over output rows through [`crate::par`]; results are
+//! bitwise identical to the historic naive kernels (retained in
+//! [`crate::kernel`] as `naive_*` and pinned by property tests) under every
+//! thread budget.
 
-use crate::{par, Result, Tensor, TensorError};
+use crate::{kernel, par, Result, Tensor, TensorError};
 
 fn as_matrix(t: &Tensor) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -27,8 +33,10 @@ fn row_floor(flops_per_row: usize) -> usize {
 
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
-/// Uses an i-k-j loop order so the inner loop streams both `B` and `C`
-/// rows contiguously — adequate for the small matrices in this workspace.
+/// Runs the tiled [`kernel::gemm_nn`] over row chunks. Per output element
+/// the accumulation is k-ascending with the historic zero-skip (`a[i,k] ==
+/// 0.0` contributes nothing, even against non-finite `B` values), so the
+/// result is bitwise identical to the pre-tiling kernel.
 ///
 /// # Errors
 ///
@@ -47,6 +55,31 @@ fn row_floor(flops_per_row: usize) -> usize {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, n) = matmul_dims(a, b)?;
+    let mut out = vec![0.0f32; m * n];
+    matmul_slices(a, b, &mut out);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = A · B` written into a caller-provided buffer — the allocation-free
+/// twin of [`matmul`] for scratch-backed inference paths.
+///
+/// `out` is resized to `m·n` and fully overwritten; with a buffer from
+/// [`crate::scratch`] whose capacity has warmed up, the call performs no
+/// heap allocation. Returns the output dimensions `(m, n)`.
+///
+/// # Errors
+///
+/// Exactly as [`matmul`].
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) -> Result<(usize, usize)> {
+    let (m, n) = matmul_dims(a, b)?;
+    out.clear();
+    out.resize(m * n, 0.0);
+    matmul_slices(a, b, out);
+    Ok((m, n))
+}
+
+fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize)> {
     let (m, ka) = as_matrix(a)?;
     let (kb, n) = as_matrix(b)?;
     if ka != kb {
@@ -55,33 +88,29 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right_k: kb,
         });
     }
-    let mut out = vec![0.0f32; m * n];
-    if m == 0 || n == 0 {
-        return Tensor::from_vec(vec![m, n], out);
+    Ok((m, n))
+}
+
+fn matmul_slices(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    let k = a.shape()[1];
+    let n = b.shape()[1];
+    if out.is_empty() {
+        return;
     }
     let ad = a.data();
     let bd = b.data();
     // Each output row is an independent k-ascending accumulation, so
     // chunking rows across threads is bitwise-identical to the serial loop.
-    par::for_each_unit_chunk(&mut out, n, row_floor(ka * n), |first_row, chunk| {
-        for (r, orow) in chunk.chunks_mut(n).enumerate() {
-            let i = first_row + r;
-            let arow = &ad[i * ka..(i + 1) * ka];
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &bd[k * n..(k + 1) * n];
-                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
-                    *o += aik * bkj;
-                }
-            }
-        }
+    par::for_each_unit_chunk(out, n, row_floor(k * n), |first_row, chunk| {
+        kernel::gemm_nn(ad, bd, chunk, first_row, chunk.len() / n, k, n);
     });
-    Tensor::from_vec(vec![m, n], out)
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — without materializing `Aᵀ`.
+///
+/// Tiled like [`matmul`], with the same per-element accumulation order and
+/// zero-skip as the historic k-outer loop, so the result is bitwise
+/// identical to it.
 ///
 /// # Errors
 ///
@@ -102,29 +131,17 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let ad = a.data();
     let bd = b.data();
-    // Row-major over the output (i outer, k inner) so output rows can be
-    // chunked across threads. For every element `out[i, j]` the additions
-    // still happen in ascending k with the same zero-skips as the historic
-    // k-outer loop, so the result is bitwise-identical to it.
     par::for_each_unit_chunk(&mut out, n, row_floor(ka * n), |first_row, chunk| {
-        for (r, orow) in chunk.chunks_mut(n).enumerate() {
-            let i = first_row + r;
-            for k in 0..ka {
-                let aki = ad[k * m + i];
-                if aki == 0.0 {
-                    continue;
-                }
-                let brow = &bd[k * n..(k + 1) * n];
-                for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
-                    *o += aki * bkj;
-                }
-            }
-        }
+        kernel::gemm_tn(ad, bd, chunk, first_row, chunk.len() / n, m, ka, n);
     });
     Tensor::from_vec(vec![m, n], out)
 }
 
 /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — without materializing `Bᵀ`.
+///
+/// Tiled like [`matmul`] but with **no** zero-skip: every element is a
+/// plain ascending-k dot product, as it always was (so `0 · NaN` here
+/// yields NaN rather than being dropped).
 ///
 /// # Errors
 ///
@@ -145,21 +162,8 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let ad = a.data();
     let bd = b.data();
-    // Every element is an independent dot product; chunking output rows
-    // across threads leaves each dot's accumulation order untouched.
     par::for_each_unit_chunk(&mut out, n, row_floor(ka * n), |first_row, chunk| {
-        for (r, orow) in chunk.chunks_mut(n).enumerate() {
-            let i = first_row + r;
-            let arow = &ad[i * ka..(i + 1) * ka];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &bd[j * ka..(j + 1) * ka];
-                let mut acc = 0.0;
-                for (&x, &y) in arow.iter().zip(brow.iter()) {
-                    acc += x * y;
-                }
-                *o = acc;
-            }
-        }
+        kernel::gemm_nt(ad, bd, chunk, first_row, chunk.len() / n, ka, n);
     });
     Tensor::from_vec(vec![m, n], out)
 }
@@ -201,6 +205,18 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_matches_matmul_and_reuses_buffer() {
+        let a = t(&[3, 4], &(0..12).map(|x| x as f32 * 0.5).collect::<Vec<_>>());
+        let b = t(&[4, 5], &(0..20).map(|x| x as f32 * 0.25).collect::<Vec<_>>());
+        let reference = matmul(&a, &b).unwrap();
+        let mut buf = vec![f32::NAN; 64]; // stale garbage must be overwritten
+        let (m, n) = matmul_into(&a, &b, &mut buf).unwrap();
+        assert_eq!((m, n), (3, 5));
+        assert_eq!(buf.as_slice(), reference.data());
+        assert!(matmul_into(&a, &a, &mut buf).is_err());
+    }
+
+    #[test]
     fn tn_matches_explicit_transpose() {
         let a = t(&[3, 2], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // k=3, m=2
         let b = t(&[3, 4], &(0..12).map(|x| x as f32).collect::<Vec<_>>());
@@ -225,5 +241,14 @@ mod tests {
         let b = t(&[3, 2], &[0.0; 6]);
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.shape(), &[0, 2]);
+    }
+
+    #[test]
+    fn zero_width_k_yields_zero_matrix() {
+        let a = t(&[2, 0], &[]);
+        let b = t(&[0, 3], &[]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert!(c.data().iter().all(|&x| x == 0.0));
     }
 }

@@ -1,0 +1,182 @@
+//! Contract of the register-tiled GEMM layer (`dcn_tensor::kernel`): the
+//! tiled public entry points must be **bitwise identical** to the retained
+//! naive seed kernels across every MR/NR remainder path and thread budget,
+//! and the historic zero-skip semantics must hold exactly (a `0.0` in the
+//! left operand of `matmul`/`matmul_tn` contributes nothing, even against
+//! NaN; `matmul_nt` has no such skip and propagates `0 · NaN`).
+
+use dcn_tensor::kernel::{self, MR, NR};
+use dcn_tensor::{matmul, matmul_into, matmul_nt, matmul_tn, par, ParConfig, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The parallel configuration is process-global; tests that flip it must not
+/// interleave, so each takes this lock for its whole body.
+fn config_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Random matrix with a controllable fraction of exact zeros so the
+/// zero-skip branch is exercised, not just the dense path.
+fn sparse_randn(shape: &[usize], zero_fraction: f32, rng: &mut StdRng) -> Tensor {
+    let mut t = Tensor::randn(shape, 0.0, 1.0, rng);
+    for v in t.data_mut().iter_mut() {
+        if rng.gen::<f32>() < zero_fraction {
+            *v = 0.0;
+        }
+    }
+    t
+}
+
+fn naive_nn_full(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f32; m * n];
+    kernel::naive_nn(a.data(), b.data(), &mut out, 0, k, n);
+    Tensor::from_vec(vec![m, n], out).unwrap()
+}
+
+fn naive_tn_full(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f32; m * n];
+    kernel::naive_tn(a.data(), b.data(), &mut out, 0, m, k, n);
+    Tensor::from_vec(vec![m, n], out).unwrap()
+}
+
+fn naive_nt_full(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[0];
+    let mut out = vec![0.0f32; m * n];
+    kernel::naive_nt(a.data(), b.data(), &mut out, 0, k, n);
+    Tensor::from_vec(vec![m, n], out).unwrap()
+}
+
+fn assert_bitwise_eq(tiled: &Tensor, naive: &Tensor, what: &str) {
+    assert_eq!(tiled.shape(), naive.shape(), "{what}: shape drift");
+    for (i, (t, r)) in tiled.data().iter().zip(naive.data()).enumerate() {
+        assert_eq!(
+            t.to_bits(),
+            r.to_bits(),
+            "{what}: element {i} differs (tiled {t}, naive {r})"
+        );
+    }
+}
+
+/// Checks all three tiled variants against their naive references for one
+/// `(m, k, n)` shape, under the serial config and a 4-thread budget.
+fn check_shape(m: usize, k: usize, n: usize, zero_fraction: f32, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = sparse_randn(&[m, k], zero_fraction, &mut rng);
+    let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+    let at = sparse_randn(&[k, m], zero_fraction, &mut rng);
+    let bt = Tensor::randn(&[n, k], 0.0, 1.0, &mut rng);
+    let what = format!("m={m} k={k} n={n}");
+    let nn_ref = naive_nn_full(&a, &b);
+    let tn_ref = naive_tn_full(&at, &b);
+    let nt_ref = naive_nt_full(&a, &bt);
+    for threads in [1usize, 4] {
+        par::configure(if threads == 1 {
+            ParConfig::serial()
+        } else {
+            ParConfig::with_threads(threads)
+        });
+        assert_bitwise_eq(&matmul(&a, &b).unwrap(), &nn_ref, &format!("nn {what} @{threads}t"));
+        assert_bitwise_eq(&matmul_tn(&at, &b).unwrap(), &tn_ref, &format!("tn {what} @{threads}t"));
+        assert_bitwise_eq(&matmul_nt(&a, &bt).unwrap(), &nt_ref, &format!("nt {what} @{threads}t"));
+        let mut buf = vec![f32::NAN; 3]; // stale, wrong-sized: must be overwritten
+        let dims = matmul_into(&a, &b, &mut buf).unwrap();
+        assert_eq!(dims, (m, n), "into dims {what}");
+        let into = Tensor::from_vec(vec![m, n], buf).unwrap();
+        assert_bitwise_eq(&into, &nn_ref, &format!("nn-into {what} @{threads}t"));
+    }
+    par::reset();
+}
+
+#[test]
+fn exhaustive_remainder_sweep_matches_naive_bitwise() {
+    let _guard = config_lock();
+    // m spans every MR remainder (1..=MR+1), n every NR remainder
+    // (1..=NR+1), k hits the zero-width, tiny and multi-panel cases.
+    for m in 1..=MR + 1 {
+        for n in 1..=NR + 1 {
+            for k in [0usize, 1, 3, 7] {
+                check_shape(m, k, n, 0.3, (m * 100 + n * 10 + k) as u64);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tiled_kernels_match_naive_on_odd_shapes(
+        m in 1usize..3 * MR + 2,
+        k in 0usize..23,
+        n in 1usize..3 * NR + 2,
+        zero_fraction in 0.0f32..0.9,
+        seed in 0u64..1 << 32,
+    ) {
+        let _guard = config_lock();
+        check_shape(m, k, n, zero_fraction, seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-skip semantics (satellite regression pins)
+// ---------------------------------------------------------------------------
+
+/// `matmul` skips `a[i,k] == 0.0` before multiplying, so a zero in A drops
+/// even a NaN/∞ row of B instead of poisoning the output. This has been the
+/// kernel's behavior since the seed and callers rely on it; the tiling must
+/// not change it.
+#[test]
+fn matmul_zero_skip_drops_nan_contributions() {
+    let _guard = config_lock();
+    par::configure(ParConfig::serial());
+    // Row 0 of A selects B row 1 only; B row 0 is all-NaN.
+    let a = Tensor::from_vec(vec![2, 2], vec![0.0, 2.0, -0.0, 3.0]).unwrap();
+    let b = Tensor::from_vec(vec![2, 3], vec![f32::NAN, f32::NAN, f32::INFINITY, 1.0, 2.0, 3.0])
+        .unwrap();
+    let c = matmul(&a, &b).unwrap();
+    // Both +0.0 and -0.0 skip (IEEE equality), so no NaN leaks through.
+    assert_eq!(c.data(), &[2.0, 4.0, 6.0, 3.0, 6.0, 9.0]);
+    assert!(c.all_finite());
+    par::reset();
+}
+
+#[test]
+fn matmul_tn_zero_skip_drops_nan_contributions() {
+    let _guard = config_lock();
+    par::configure(ParConfig::serial());
+    // A is [k=2, m=2] (transposed layout): column i of A is row i of Aᵀ.
+    let a = Tensor::from_vec(vec![2, 2], vec![0.0, -0.0, 2.0, 3.0]).unwrap();
+    let b = Tensor::from_vec(vec![2, 3], vec![f32::NAN, f32::NAN, f32::INFINITY, 1.0, 2.0, 3.0])
+        .unwrap();
+    let c = matmul_tn(&a, &b).unwrap();
+    assert_eq!(c.data(), &[2.0, 4.0, 6.0, 3.0, 6.0, 9.0]);
+    assert!(c.all_finite());
+    par::reset();
+}
+
+/// `matmul_nt` is a plain dot product with **no** zero-skip: `0 · NaN` is
+/// NaN and must propagate. Pinning the asymmetry keeps the three variants'
+/// documented semantics honest.
+#[test]
+fn matmul_nt_has_no_zero_skip_and_propagates_nan() {
+    let _guard = config_lock();
+    par::configure(ParConfig::serial());
+    let a = Tensor::from_vec(vec![1, 2], vec![0.0, 2.0]).unwrap();
+    let b = Tensor::from_vec(vec![2, 2], vec![f32::NAN, 1.0, 1.0, 1.0]).unwrap();
+    let c = matmul_nt(&a, &b).unwrap();
+    assert!(c.data()[0].is_nan(), "0·NaN must poison the nt dot product");
+    assert_eq!(c.data()[1], 2.0);
+    par::reset();
+}
