@@ -2,30 +2,39 @@
 //!
 //! ```text
 //! dcn train    --task mnist|cifar [--n 2000] [--epochs 8] [--seed 42] --out model.json
+//!              [--checkpoint ckpt.json]
 //! dcn eval     --model model.json --task mnist [--n 500] [--seed 42]
 //! dcn attack   --model model.json --task mnist --attack cw-l2 [--seeds 5]
 //!              [--kappa 0] [--eps 0.3] [--out pool.json] [--seed 42]
 //! dcn build    --model model.json --task mnist [--det-seeds 40] --out dcn.json
 //! dcn defend   --dcn dcn.json --pool pool.json [--seed 42]
+//!              [--deadline-ms D] [--quorum Q] [--max-votes V]
 //! dcn info     --model model.json | --dcn dcn.json
 //! ```
 //!
 //! Every artifact is plain JSON, interchangeable with the library's
 //! `serde` representations, so models trained here load in user code and
 //! vice versa.
+//!
+//! Failures exit with a class-specific code (see [`DcnError::exit_code`]):
+//! `2` configuration, `3` IO, `4` corrupt state, `5` non-finite values,
+//! `1` anything else.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use dcn_attacks::{
     evaluate_targeted, AdversarialExample, CwL0, CwL2, CwLinf, DeepFool, Fgsm, Igsm, Jsma,
     Lbfgs, TargetedAttack,
 };
 use dcn_core::{
-    attack_success_against, models, Corrector, Dcn, Detector, DetectorConfig, StandardDefense,
+    attack_success_against, models, Corrector, Dcn, DcnError, Detector, DetectorConfig,
+    StandardDefense, VoteBudget,
 };
 use dcn_data::{synth_cifar, synth_mnist, Dataset, SynthConfig};
-use dcn_nn::Network;
+use dcn_fault::FaultPlan;
+use dcn_nn::{Adam, Network, TrainConfig, Trainer};
 use dcn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,30 +48,7 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let flags = match parse_flags(&args[1..]) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    if let Err(e) = apply_obs_flags(&flags) {
-        eprintln!("error: {e}");
-        return ExitCode::from(2);
-    }
-    let result = match cmd.as_str() {
-        "train" => cmd_train(&flags),
-        "eval" => cmd_eval(&flags),
-        "attack" => cmd_attack(&flags),
-        "build" => cmd_build(&flags),
-        "defend" => cmd_defend(&flags),
-        "info" => cmd_info(&flags),
-        "help" | "--help" | "-h" => {
-            println!("{}", long_help());
-            Ok(())
-        }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
-    };
+    let result = run(cmd, &args[1..]);
     match result {
         Ok(()) => {
             if dcn_obs::enabled() {
@@ -76,15 +62,38 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // exit_code is 1..=5 by construction; the clamp is belt and
+            // braces against future variants.
+            ExitCode::from(e.exit_code().clamp(1, 255) as u8)
         }
+    }
+}
+
+fn run(cmd: &str, rest: &[String]) -> Result<(), DcnError> {
+    let flags = parse_flags(rest)?;
+    apply_obs_flags(&flags)?;
+    apply_fault_flags(&flags)?;
+    match cmd {
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        "attack" => cmd_attack(&flags),
+        "build" => cmd_build(&flags),
+        "defend" => cmd_defend(&flags),
+        "info" => cmd_info(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", long_help());
+            Ok(())
+        }
+        other => Err(DcnError::Config(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
     }
 }
 
 /// Applies the observability flags shared by every command: `--obs 1|0`
 /// toggles metric collection (same as `DCN_OBS=1`), `--obs-json DIR`
 /// enables collection and directs the snapshot export to `DIR`.
-fn apply_obs_flags(flags: &HashMap<String, String>) -> Result<(), String> {
+fn apply_obs_flags(flags: &HashMap<String, String>) -> Result<(), DcnError> {
     if let Some(dir) = flags.get("obs-json") {
         std::env::set_var("DCN_OBS_JSON", dir);
         dcn_obs::set_enabled(true);
@@ -93,9 +102,61 @@ fn apply_obs_flags(flags: &HashMap<String, String>) -> Result<(), String> {
         match v.as_str() {
             "1" | "true" | "on" => dcn_obs::set_enabled(true),
             "0" | "false" | "off" => dcn_obs::set_enabled(false),
-            other => return Err(format!("--obs expects 1 or 0, got {other:?}")),
+            other => {
+                return Err(DcnError::Config(format!(
+                    "--obs expects 1 or 0, got {other:?}"
+                )))
+            }
         }
     }
+    Ok(())
+}
+
+/// Installs a fault-injection plan from the `--fault-*` flags (same knobs
+/// as the `DCN_FAULT_*` environment variables). When none are given the
+/// ambient environment configuration, if any, stays in effect.
+fn apply_fault_flags(flags: &HashMap<String, String>) -> Result<(), DcnError> {
+    let keys = [
+        "fault-seed",
+        "fault-io",
+        "fault-nan",
+        "fault-latency-ns",
+        "fault-budget",
+        "fault-short-write",
+        "fault-abort-epochs",
+    ];
+    if !keys.iter().any(|k| flags.contains_key(*k)) {
+        return Ok(());
+    }
+    let plan = FaultPlan {
+        seed: parse_num(flag_or(flags, "fault-seed", "0"), "--fault-seed")?,
+        io_error_rate: parse_num(flag_or(flags, "fault-io", "0"), "--fault-io")?,
+        nan_rate: parse_num(flag_or(flags, "fault-nan", "0"), "--fault-nan")?,
+        latency_ns: parse_num(flag_or(flags, "fault-latency-ns", "0"), "--fault-latency-ns")?,
+        vote_budget: flags
+            .get("fault-budget")
+            .map(|v| parse_num(v, "--fault-budget"))
+            .transpose()?,
+        short_write: flags
+            .get("fault-short-write")
+            .map(|v| parse_num(v, "--fault-short-write"))
+            .transpose()?,
+        abort_after_epochs: flags
+            .get("fault-abort-epochs")
+            .map(|v| parse_num(v, "--fault-abort-epochs"))
+            .transpose()?,
+    };
+    for (rate, name) in [
+        (plan.io_error_rate, "--fault-io"),
+        (plan.nan_rate, "--fault-nan"),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(DcnError::Config(format!(
+                "{name} expects a probability in [0, 1], got {rate}"
+            )));
+        }
+    }
+    dcn_fault::set_plan(Some(plan));
     Ok(())
 }
 
@@ -119,56 +180,103 @@ observability (any command; also via DCN_OBS=1 / DCN_OBS_JSON=1 env vars):
   --obs 1|0            collect pipeline metrics and print a summary table
   --obs-json DIR       also export the snapshot as DIR/OBS_cli_<cmd>.json
 
+fault injection (any command; same knobs as the DCN_FAULT_* env vars):
+  --fault-seed N         decision-stream seed (default 0)
+  --fault-io P           probability of a synthetic IO error per IO site
+  --fault-nan P          probability of poisoning a logit with NaN
+  --fault-latency-ns N   virtual ns per corrector vote (deterministic clock)
+  --fault-budget V       forced cap on corrector votes per query
+  --fault-short-write B  tear checkpoint writes after B bytes
+  --fault-abort-epochs E abort resumable training after E epochs
+
 train:  --n EXAMPLES (2000)  --epochs E (8)
+        --checkpoint PATH    checkpoint each epoch; rerun to resume
 eval:   --model PATH  --n EXAMPLES (500)
 attack: --model PATH  --attack l-bfgs|fgsm|igsm|jsma|deepfool|cw-l0|cw-l2|cw-linf
         --seeds S (5)  --kappa K (0)  --eps E (0.3)
 build:  --model PATH  --det-seeds S (40)
-defend: --dcn PATH  --pool PATH"
+defend: --dcn PATH  --pool PATH
+        --deadline-ms D      per-query corrector deadline (degrades, not fails)
+        --max-votes V        per-query cap on corrector votes
+        --quorum Q (1)       min votes before falling back to the base network
+
+exit codes: 0 ok, 2 configuration, 3 io, 4 corrupt state, 5 non-finite, 1 other"
         .to_string()
 }
 
 /// Parses `--key value` pairs; rejects unknown shapes early.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, DcnError> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(k) = it.next() {
         let Some(key) = k.strip_prefix("--") else {
-            return Err(format!("expected --flag, got {k:?}"));
+            return Err(DcnError::Config(format!("expected --flag, got {k:?}")));
         };
         let Some(v) = it.next() else {
-            return Err(format!("flag --{key} needs a value"));
+            return Err(DcnError::Config(format!("flag --{key} needs a value")));
         };
         flags.insert(key.to_string(), v.clone());
     }
     Ok(flags)
 }
 
-fn flag<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+fn flag<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, DcnError> {
     flags
         .get(key)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing required flag --{key}"))
+        .ok_or_else(|| DcnError::Config(format!("missing required flag --{key}")))
 }
 
 fn flag_or<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
     flags.get(key).map(String::as_str).unwrap_or(default)
 }
 
-fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, DcnError> {
     s.parse()
-        .map_err(|_| format!("cannot parse {what} from {s:?}"))
+        .map_err(|_| DcnError::Config(format!("cannot parse {what} from {s:?}")))
 }
 
-fn dataset(task: &str, n: usize, rng: &mut StdRng) -> Result<Dataset, String> {
+fn dataset(task: &str, n: usize, rng: &mut StdRng) -> Result<Dataset, DcnError> {
     match task {
         "mnist" => Ok(synth_mnist(n, &SynthConfig::default(), rng)),
         "cifar" => Ok(synth_cifar(n, &SynthConfig::default(), rng)),
-        other => Err(format!("unknown task {other:?} (mnist or cifar)")),
+        other => Err(DcnError::Config(format!(
+            "unknown task {other:?} (mnist or cifar)"
+        ))),
     }
 }
 
-fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Reads a JSON artifact with bounded retries on transient IO failures.
+fn read_artifact(path: &str, site: &'static str) -> Result<String, DcnError> {
+    dcn_fault::read_with_retry(path, &dcn_fault::RetryPolicy::default(), site)
+        .map_err(|e| DcnError::Io {
+            site: site.to_string(),
+            kind: e.kind(),
+            msg: format!("{path}: {e}"),
+        })
+}
+
+/// Writes a JSON artifact atomically (temp file + rename): a crash mid-write
+/// never leaves a torn artifact at `path`.
+fn write_artifact(path: &str, json: &str, site: &'static str) -> Result<(), DcnError> {
+    dcn_fault::write_atomic(path, json.as_bytes(), site).map_err(|e| DcnError::Io {
+        site: site.to_string(),
+        kind: e.kind(),
+        msg: format!("{path}: {e}"),
+    })
+}
+
+/// A machine-written artifact that fails to parse is corrupt, not a config
+/// problem: the bytes on disk no longer mean what `save` wrote.
+fn parse_artifact<T: serde::Deserialize>(json: &str, what: &str) -> Result<T, DcnError> {
+    serde_json::from_str(json).map_err(|e| DcnError::Corrupt(format!("{what}: {e}")))
+}
+
+fn encode_artifact<T: serde::Serialize>(value: &T, what: &str) -> Result<String, DcnError> {
+    serde_json::to_string(value).map_err(|e| DcnError::Corrupt(format!("encoding {what}: {e}")))
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), DcnError> {
     let task = flag_or(flags, "task", "mnist");
     let n: usize = parse_num(flag_or(flags, "n", "2000"), "--n")?;
     let epochs: usize = parse_num(flag_or(flags, "epochs", "8"), "--epochs")?;
@@ -181,30 +289,48 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let fresh = match task {
         "mnist" => models::mnist_cnn(&mut rng),
         _ => models::cifar_cnn(&mut rng),
-    }
-    .map_err(|e| e.to_string())?;
-    let net = models::train_classifier(fresh, &train, epochs, 0.002, &mut rng)
-        .map_err(|e| e.to_string())?;
-    let acc = models::accuracy_on(&net, &test).map_err(|e| e.to_string())?;
-    net.save(out).map_err(|e| e.to_string())?;
+    }?;
+    let net = if let Some(ckpt) = flags.get("checkpoint") {
+        // Resumable path: checkpoint after every epoch; rerunning the same
+        // command continues from the last completed epoch.
+        let mut net = fresh;
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs,
+            batch_size: 32,
+            ..Default::default()
+        });
+        trainer.fit_resumable(
+            &mut net,
+            train.images(),
+            train.labels(),
+            &mut Adam::new(0.002),
+            seed,
+            ckpt,
+        )?;
+        net
+    } else {
+        models::train_classifier(fresh, &train, epochs, 0.002, &mut rng)?
+    };
+    let acc = models::accuracy_on(&net, &test)?;
+    net.save(out)?;
     println!("saved {out}; held-out accuracy {:.2}%", acc * 100.0);
     Ok(())
 }
 
-fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), DcnError> {
     let task = flag_or(flags, "task", "mnist");
     let n: usize = parse_num(flag_or(flags, "n", "500"), "--n")?;
     let seed: u64 = parse_num(flag_or(flags, "seed", "42"), "--seed")?;
-    let net = Network::load(flag(flags, "model")?).map_err(|e| e.to_string())?;
+    let net = Network::load(flag(flags, "model")?)?;
     // Offset the stream so eval data differs from the training default.
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
     let test = dataset(task, n, &mut rng)?;
-    let acc = models::accuracy_on(&net, &test).map_err(|e| e.to_string())?;
+    let acc = models::accuracy_on(&net, &test)?;
     println!("accuracy on {n} fresh {task} examples: {:.2}%", acc * 100.0);
     Ok(())
 }
 
-fn make_attack(name: &str, kappa: f32, eps: f32) -> Result<Box<dyn TargetedAttack>, String> {
+fn make_attack(name: &str, kappa: f32, eps: f32) -> Result<Box<dyn TargetedAttack>, DcnError> {
     Ok(match name {
         "l-bfgs" => Box::new(Lbfgs::new()),
         "fgsm" => Box::new(Fgsm::new(eps)),
@@ -213,18 +339,18 @@ fn make_attack(name: &str, kappa: f32, eps: f32) -> Result<Box<dyn TargetedAttac
         "cw-l0" => Box::new(CwL0::new(kappa)),
         "cw-l2" => Box::new(CwL2::new(kappa)),
         "cw-linf" => Box::new(CwLinf::new(kappa)),
-        other => return Err(format!("unknown attack {other:?}")),
+        other => return Err(DcnError::Config(format!("unknown attack {other:?}"))),
     })
 }
 
-fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), DcnError> {
     let task = flag_or(flags, "task", "mnist");
     let seeds_n: usize = parse_num(flag_or(flags, "seeds", "5"), "--seeds")?;
     let kappa: f32 = parse_num(flag_or(flags, "kappa", "0"), "--kappa")?;
     let eps: f32 = parse_num(flag_or(flags, "eps", "0.3"), "--eps")?;
     let seed: u64 = parse_num(flag_or(flags, "seed", "42"), "--seed")?;
     let attack_name = flag_or(flags, "attack", "cw-l2");
-    let net = Network::load(flag(flags, "model")?).map_err(|e| e.to_string())?;
+    let net = Network::load(flag(flags, "model")?)?;
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
     let test = dataset(task, seeds_n * 3 + 30, &mut rng)?;
     let seeds: Vec<Tensor> = (0..test.len())
@@ -235,18 +361,17 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
         .take(seeds_n)
         .collect();
     if seeds.len() < seeds_n {
-        return Err(format!(
+        return Err(DcnError::Config(format!(
             "model only classifies {} of the requested {seeds_n} seeds correctly",
             seeds.len()
-        ));
+        )));
     }
     eprintln!("running {attack_name} on {seeds_n} seeds × all targets…");
     let (stats, pool) = if attack_name == "deepfool" {
-        dcn_attacks::evaluate_native_untargeted(&DeepFool::default(), &net, &seeds)
-            .map_err(|e| e.to_string())?
+        dcn_attacks::evaluate_native_untargeted(&DeepFool::default(), &net, &seeds)?
     } else {
         let attack = make_attack(attack_name, kappa, eps)?;
-        evaluate_targeted(attack.as_ref(), &net, &seeds).map_err(|e| e.to_string())?
+        evaluate_targeted(attack.as_ref(), &net, &seeds)?
     };
     println!(
         "{}: {}/{} succeeded ({:.1}%), mean L0 {:.1} px, L2 {:.3}, Linf {:.3}",
@@ -259,23 +384,22 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
         stats.mean_linf
     );
     if let Some(out) = flags.get("out") {
-        std::fs::write(out, serde_json::to_string(&pool).map_err(|e| e.to_string())?)
-            .map_err(|e| e.to_string())?;
+        write_artifact(out, &encode_artifact(&pool, "pool")?, "cli.pool.write")?;
         println!("wrote {} adversarial examples to {out}", pool.len());
     }
     Ok(())
 }
 
-fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_build(flags: &HashMap<String, String>) -> Result<(), DcnError> {
     let task = flag_or(flags, "task", "mnist");
     let det_seeds: usize = parse_num(flag_or(flags, "det-seeds", "40"), "--det-seeds")?;
     let seed: u64 = parse_num(flag_or(flags, "seed", "42"), "--seed")?;
     let out = flag(flags, "out")?;
-    let net = Network::load(flag(flags, "model")?).map_err(|e| e.to_string())?;
+    let net = Network::load(flag(flags, "model")?)?;
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
     let data = dataset(task, det_seeds + 20, &mut rng)?;
     let seeds: Vec<Tensor> = (0..det_seeds)
-        .map(|i| data.example(i).map_err(|e| e.to_string()))
+        .map(|i| data.example(i))
         .collect::<Result<_, _>>()?;
     eprintln!("training the detector against CW-L2 on {det_seeds} seeds (slow)…");
     let detector = Detector::train_against(
@@ -284,15 +408,13 @@ fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
         &CwL2::new(0.0),
         &DetectorConfig::default(),
         &mut rng,
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     let corrector = match task {
         "mnist" => Corrector::mnist_default(),
         _ => Corrector::cifar_default(),
     };
     let dcn = Dcn::new(net, detector, corrector);
-    std::fs::write(out, serde_json::to_string(&dcn).map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
+    write_artifact(out, &encode_artifact(&dcn, "dcn")?, "cli.dcn.write")?;
     println!(
         "saved DCN to {out} (corrector r = {}, m = {})",
         dcn.corrector().radius(),
@@ -301,47 +423,93 @@ fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_defend(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Builds the per-query corrector budget from `--deadline-ms`, `--max-votes`
+/// and `--quorum`. Returns `None` when no bound is requested, keeping the
+/// legacy (bitwise-identical) evaluation path.
+fn vote_budget(flags: &HashMap<String, String>) -> Result<Option<VoteBudget>, DcnError> {
+    let deadline_ms: Option<u64> = flags
+        .get("deadline-ms")
+        .map(|v| parse_num(v, "--deadline-ms"))
+        .transpose()?;
+    let max_votes: Option<usize> = flags
+        .get("max-votes")
+        .map(|v| parse_num(v, "--max-votes"))
+        .transpose()?;
+    let quorum: Option<usize> = flags
+        .get("quorum")
+        .map(|v| parse_num(v, "--quorum"))
+        .transpose()?;
+    if deadline_ms.is_none() && max_votes.is_none() && quorum.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(VoteBudget {
+        max_votes,
+        deadline: deadline_ms.map(Duration::from_millis),
+        min_quorum: quorum.unwrap_or(1).max(1),
+    }))
+}
+
+fn cmd_defend(flags: &HashMap<String, String>) -> Result<(), DcnError> {
     let seed: u64 = parse_num(flag_or(flags, "seed", "42"), "--seed")?;
-    let dcn: Dcn = serde_json::from_str(
-        &std::fs::read_to_string(flag(flags, "dcn")?).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
-    let pool: Vec<AdversarialExample> = serde_json::from_str(
-        &std::fs::read_to_string(flag(flags, "pool")?).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
+    let dcn: Dcn = parse_artifact(&read_artifact(flag(flags, "dcn")?, "cli.dcn.read")?, "dcn")?;
+    let pool: Vec<AdversarialExample> = parse_artifact(
+        &read_artifact(flag(flags, "pool")?, "cli.pool.read")?,
+        "pool",
+    )?;
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(4));
     let standard = StandardDefense::new(dcn.base().clone());
-    let s_std =
-        attack_success_against(&standard, &pool, &mut rng).map_err(|e| e.to_string())?;
-    let s_dcn = attack_success_against(&dcn, &pool, &mut rng).map_err(|e| e.to_string())?;
+    let s_std = attack_success_against(&standard, &pool, &mut rng)?;
+    let (s_dcn, degraded) = match vote_budget(flags)? {
+        Some(budget) => {
+            let mut successes = 0usize;
+            let mut degraded = 0usize;
+            for ex in &pool {
+                let report = dcn.try_classify_bounded(&ex.adversarial, &mut rng, &budget)?;
+                if report.label != ex.original_label {
+                    successes += 1;
+                }
+                if report.degraded {
+                    degraded += 1;
+                }
+            }
+            let rate = if pool.is_empty() {
+                0.0
+            } else {
+                successes as f32 / pool.len() as f32
+            };
+            (rate, Some(degraded))
+        }
+        None => (attack_success_against(&dcn, &pool, &mut rng)?, None),
+    };
     println!(
         "pool of {}: success {:.1}% against the bare network, {:.1}% against the DCN",
         pool.len(),
         s_std * 100.0,
         s_dcn * 100.0
     );
+    if let Some(d) = degraded {
+        println!(
+            "{d}/{} answers degraded (vote truncated by deadline/budget or base fallback)",
+            pool.len()
+        );
+    }
     Ok(())
 }
 
-fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), DcnError> {
     if let Some(path) = flags.get("model") {
-        let net = Network::load(path).map_err(|e| e.to_string())?;
+        let net = Network::load(path)?;
         println!(
             "model {path}: input {:?}, {} classes, {} parameters, {} layers",
             net.input_shape(),
-            net.num_classes().map_err(|e| e.to_string())?,
+            net.num_classes()?,
             net.num_params(),
             net.layers().len()
         );
         return Ok(());
     }
     if let Some(path) = flags.get("dcn") {
-        let dcn: Dcn = serde_json::from_str(
-            &std::fs::read_to_string(path).map_err(|e| e.to_string())?,
-        )
-        .map_err(|e| e.to_string())?;
+        let dcn: Dcn = parse_artifact(&read_artifact(path, "cli.dcn.read")?, "dcn")?;
         println!(
             "dcn {path}: base input {:?}, corrector r = {}, m = {}, detector {} params",
             dcn.base().input_shape(),
@@ -351,7 +519,7 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
         );
         return Ok(());
     }
-    Err("info needs --model or --dcn".into())
+    Err(DcnError::Config("info needs --model or --dcn".into()))
 }
 
 #[cfg(test)]
@@ -378,7 +546,7 @@ mod tests {
     fn flag_helpers_report_missing_keys() {
         let f = flags_of(&[("a", "1")]);
         assert_eq!(flag(&f, "a").unwrap(), "1");
-        assert!(flag(&f, "b").is_err());
+        assert!(matches!(flag(&f, "b"), Err(DcnError::Config(_))));
         assert_eq!(flag_or(&f, "b", "x"), "x");
     }
 
@@ -401,6 +569,33 @@ mod tests {
         // Only shapes that leave global state untouched are exercised here.
         assert!(apply_obs_flags(&flags_of(&[("obs", "maybe")])).is_err());
         assert!(apply_obs_flags(&flags_of(&[])).is_ok());
+    }
+
+    #[test]
+    fn fault_flags_validate_rates_without_installing_a_plan() {
+        // Bad values error out before set_plan is reached, so global state
+        // stays untouched for sibling tests.
+        assert!(matches!(
+            apply_fault_flags(&flags_of(&[("fault-io", "1.5")])),
+            Err(DcnError::Config(_))
+        ));
+        assert!(matches!(
+            apply_fault_flags(&flags_of(&[("fault-nan", "nope")])),
+            Err(DcnError::Config(_))
+        ));
+        assert!(apply_fault_flags(&flags_of(&[])).is_ok());
+    }
+
+    #[test]
+    fn vote_budget_builds_only_when_bounded() {
+        assert!(vote_budget(&flags_of(&[])).unwrap().is_none());
+        let b = vote_budget(&flags_of(&[("deadline-ms", "25"), ("quorum", "3")]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(b.deadline, Some(Duration::from_millis(25)));
+        assert_eq!(b.min_quorum, 3);
+        assert_eq!(b.max_votes, None);
+        assert!(vote_budget(&flags_of(&[("max-votes", "x")])).is_err());
     }
 
     #[test]

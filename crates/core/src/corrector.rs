@@ -1,6 +1,8 @@
 //! The corrector (§4): hypercube sampling + majority vote, i.e. the
 //! Region-based Classifier re-parameterized with a much smaller sample count.
 
+use std::time::Duration;
+
 use dcn_nn::Classifier;
 use dcn_tensor::{par, scratch, Tensor};
 use rand::Rng;
@@ -8,6 +10,63 @@ use rand_distr::{Distribution, Uniform};
 use serde::{Deserialize, Serialize};
 
 use crate::{DefenseError, Result};
+
+/// Per-query resource bound on a corrector vote: a cap on votes, a
+/// deadline, or both. The default is unbounded — exactly the historic
+/// behavior.
+///
+/// Budgets are passed per call rather than stored on the [`Corrector`], so
+/// serialized models are unchanged and one model can serve traffic classes
+/// with different latency targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteBudget {
+    /// Hard cap on votes cast for this query (`None` = the corrector's
+    /// configured `m`).
+    pub max_votes: Option<usize>,
+    /// Wall-clock deadline for the vote loop; when it expires the vote is
+    /// truncated and the mode of the votes cast so far is returned. Under
+    /// injected latency the clock is virtual, making the truncation point
+    /// deterministic.
+    pub deadline: Option<Duration>,
+    /// Minimum votes for a partial result to count as a (degraded) vote;
+    /// below this the DCN falls back to the base network's prediction.
+    pub min_quorum: usize,
+}
+
+impl VoteBudget {
+    /// No cap, no deadline: the full configured vote.
+    pub fn unbounded() -> Self {
+        VoteBudget {
+            max_votes: None,
+            deadline: None,
+            min_quorum: 1,
+        }
+    }
+
+    /// Whether this budget can never truncate a vote of `m` samples.
+    pub fn is_unbounded_for(&self, m: usize) -> bool {
+        self.deadline.is_none() && self.max_votes.is_none_or(|cap| cap >= m)
+    }
+}
+
+impl Default for VoteBudget {
+    fn default() -> Self {
+        VoteBudget::unbounded()
+    }
+}
+
+/// Outcome of a budget-bounded majority vote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedVote {
+    /// Modal label over the votes actually cast (`0` when none were).
+    pub mode: usize,
+    /// Per-class vote histogram over the votes actually cast.
+    pub counts: Vec<usize>,
+    /// Votes actually cast (`counts` sums to this).
+    pub votes_cast: usize,
+    /// Whether the budget stopped the vote before all `m` samples.
+    pub truncated: bool,
+}
 
 /// Majority-vote label recovery over a hypercube around the input.
 ///
@@ -194,6 +253,134 @@ impl Corrector {
         }
         Ok((mode, counts))
     }
+
+    /// Budget-bounded majority vote: like [`Corrector::vote_counts`] but
+    /// stops early when `budget`'s vote cap or deadline is hit, returning
+    /// the mode of the votes cast so far.
+    ///
+    /// Two properties callers rely on:
+    ///
+    /// * **Identical rng stream.** All `m` noise samples are drawn up front
+    ///   exactly as the unbounded path draws them, whether or not the vote
+    ///   later truncates — so a bounded and an unbounded call consume the
+    ///   same rng state, and an unbounded budget is bitwise-identical to
+    ///   [`Corrector::vote_counts`] (it literally delegates to it).
+    /// * **Deterministic truncation under test.** Each vote ticks a
+    ///   [`dcn_fault::FaultClock`]; under injected latency the clock is
+    ///   virtual, so the deadline cuts the vote at the same sample index on
+    ///   every run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classifier errors.
+    pub fn vote_counts_bounded<C: Classifier + Sync + ?Sized, R: Rng + ?Sized>(
+        &self,
+        base: &C,
+        x: &Tensor,
+        rng: &mut R,
+        budget: &VoteBudget,
+    ) -> Result<BoundedVote> {
+        let m = self.samples;
+        // The injector can force a cap to exercise budget exhaustion.
+        let forced = dcn_fault::forced_vote_budget();
+        let cap = budget
+            .max_votes
+            .unwrap_or(m)
+            .min(forced.unwrap_or(m))
+            .min(m);
+        if cap >= m && budget.deadline.is_none() && forced.is_none() && !dcn_fault::enabled() {
+            // Unbounded and no injection: the historic fast path, bitwise.
+            let (mode, counts) = self.vote_counts(base, x, rng)?;
+            let votes_cast = counts.iter().sum();
+            return Ok(BoundedVote {
+                mode,
+                counts,
+                votes_cast,
+                truncated: false,
+            });
+        }
+        let _span = dcn_obs::span("corrector.vote_bounded");
+        // Draw ALL m samples up front with the exact loop the unbounded
+        // path uses: the rng stream does not depend on where we truncate.
+        let len = x.len();
+        let dist = Uniform::new(-self.radius, self.radius);
+        let xd = x.data();
+        let mut batch_buf = scratch::take(m * len);
+        for sample in batch_buf.chunks_exact_mut(len) {
+            for (o, &v) in sample.iter_mut().zip(xd) {
+                *o = (v + dist.sample(rng)).clamp(-0.5, 0.5);
+            }
+        }
+        // Classify in fixed-size chunks, checking the deadline between
+        // chunks and ticking the fault clock per vote. Chunked serial
+        // classification is bitwise-identical per example to one batched
+        // call (the PR 1 invariant), so truncation is the only divergence.
+        const CHUNK: usize = 8;
+        let mut clock = dcn_fault::FaultClock::start();
+        let mut labels: Vec<usize> = Vec::with_capacity(cap);
+        let mut start = 0;
+        while start < cap {
+            if let Some(deadline) = budget.deadline {
+                if clock.elapsed() >= deadline {
+                    break;
+                }
+            }
+            let n = CHUNK.min(cap - start);
+            let mut shape = Vec::with_capacity(x.rank() + 1);
+            shape.push(n);
+            shape.extend_from_slice(x.shape());
+            let chunk =
+                Tensor::from_vec(shape, batch_buf[start * len..(start + n) * len].to_vec())?;
+            labels.extend(base.predict_batch(&chunk)?);
+            scratch::recycle(chunk.into_vec());
+            for _ in 0..n {
+                clock.tick();
+            }
+            start += n;
+        }
+        scratch::recycle(batch_buf);
+        let votes_cast = labels.len();
+        let truncated = votes_cast < m;
+        let k = base
+            .class_count()
+            .max(labels.iter().copied().max().unwrap_or(0) + 1);
+        let mut counts = vec![0usize; k];
+        for l in labels {
+            counts[l] += 1;
+        }
+        let mode = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if dcn_obs::enabled() {
+            use dcn_obs::names;
+            dcn_obs::counter(names::CORRECTOR_INVOCATIONS_TOTAL).inc();
+            dcn_obs::counter(names::CORRECTOR_VOTES_TOTAL).add(votes_cast as u64);
+            if truncated {
+                dcn_obs::counter(names::CORRECTOR_TRUNCATED_TOTAL).inc();
+            }
+            if votes_cast > 0 {
+                let top = counts[mode];
+                let runner_up = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != mode)
+                    .map(|(_, &c)| c)
+                    .max()
+                    .unwrap_or(0);
+                dcn_obs::histogram(names::CORRECTOR_VOTE_MARGIN, dcn_obs::FRACTION)
+                    .observe((top - runner_up) as f64 / votes_cast as f64);
+            }
+        }
+        Ok(BoundedVote {
+            mode,
+            counts,
+            votes_cast,
+            truncated,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +476,97 @@ mod tests {
         assert_eq!(counts, counts_old);
         assert_eq!(counts[mode], *counts_old.iter().max().unwrap());
         assert_eq!(rng_new.gen::<f32>(), rng_old.gen::<f32>());
+    }
+
+    #[test]
+    fn unbounded_budget_matches_legacy_vote_bitwise() {
+        let net = threshold_net();
+        let x = Tensor::from_slice(&[0.04]);
+        let corrector = Corrector::new(0.3, 60).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let (mode, counts) = corrector.vote_counts(&net, &x, &mut rng_a).unwrap();
+        let bounded = corrector
+            .vote_counts_bounded(&net, &x, &mut rng_b, &VoteBudget::unbounded())
+            .unwrap();
+        assert_eq!(bounded.mode, mode);
+        assert_eq!(bounded.counts, counts);
+        assert_eq!(bounded.votes_cast, 60);
+        assert!(!bounded.truncated);
+        // Same rng consumption on both paths.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn vote_cap_truncates_but_preserves_rng_stream() {
+        let net = threshold_net();
+        let x = Tensor::from_slice(&[0.4]);
+        let corrector = Corrector::new(0.1, 40).unwrap();
+        let budget = VoteBudget {
+            max_votes: Some(13),
+            ..VoteBudget::unbounded()
+        };
+        let mut rng_a = StdRng::seed_from_u64(6);
+        let mut rng_b = StdRng::seed_from_u64(6);
+        let bounded = corrector
+            .vote_counts_bounded(&net, &x, &mut rng_a, &budget)
+            .unwrap();
+        assert!(bounded.truncated);
+        assert_eq!(bounded.votes_cast, 13);
+        assert_eq!(bounded.counts.iter().sum::<usize>(), 13);
+        assert_eq!(bounded.mode, 1);
+        // All m noise draws happen even when truncated: the stream matches
+        // an unbounded call's.
+        let _ = corrector.vote_counts(&net, &x, &mut rng_b).unwrap();
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn virtual_deadline_truncates_deterministically() {
+        let net = threshold_net();
+        let x = Tensor::from_slice(&[0.4]);
+        let corrector = Corrector::new(0.1, 32).unwrap();
+        // 1ms of virtual latency per vote, 10ms deadline: the clock crosses
+        // the deadline after the second chunk of 8 (16 ticks ≥ 10ms checked
+        // before chunk 3), so exactly 16 votes are cast — on every run.
+        dcn_fault::set_plan(Some(dcn_fault::FaultPlan {
+            latency_ns: 1_000_000,
+            ..dcn_fault::FaultPlan::default()
+        }));
+        let budget = VoteBudget {
+            deadline: Some(std::time::Duration::from_millis(10)),
+            ..VoteBudget::unbounded()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = corrector
+            .vote_counts_bounded(&net, &x, &mut rng, &budget)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = corrector
+            .vote_counts_bounded(&net, &x, &mut rng, &budget)
+            .unwrap();
+        dcn_fault::set_plan(None);
+        assert_eq!(a, b, "virtual-clock truncation must be deterministic");
+        assert!(a.truncated);
+        assert_eq!(a.votes_cast, 16);
+    }
+
+    #[test]
+    fn forced_budget_injection_caps_votes() {
+        let net = threshold_net();
+        let x = Tensor::from_slice(&[0.4]);
+        let corrector = Corrector::new(0.1, 25).unwrap();
+        dcn_fault::set_plan(Some(dcn_fault::FaultPlan {
+            vote_budget: Some(5),
+            ..dcn_fault::FaultPlan::default()
+        }));
+        let mut rng = StdRng::seed_from_u64(8);
+        let v = corrector
+            .vote_counts_bounded(&net, &x, &mut rng, &VoteBudget::unbounded())
+            .unwrap();
+        dcn_fault::set_plan(None);
+        assert_eq!(v.votes_cast, 5);
+        assert!(v.truncated);
     }
 
     #[test]

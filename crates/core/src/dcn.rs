@@ -5,7 +5,7 @@ use dcn_tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Corrector, Detector, Result};
+use crate::{Corrector, DcnError, Detector, Result, VoteBudget};
 
 /// How the DCN arrived at a label — useful for cost accounting and the
 /// paper's workflow figures (Figs. 2 and 3).
@@ -31,6 +31,10 @@ pub struct DcnReport {
     /// Base-network forward passes this query consumed: 1 for a
     /// pass-through, 1 + (votes actually cast) for a correction.
     pub base_passes: usize,
+    /// Whether the answer is degraded: the vote was truncated by a budget
+    /// or deadline, or fell below quorum and the base network's prediction
+    /// was returned instead. Always `false` on the unbounded path.
+    pub degraded: bool,
 }
 
 /// The Detector-Corrector Network: an unmodified base classifier guarded by
@@ -84,21 +88,80 @@ impl Dcn {
         x: &Tensor,
         rng: &mut R,
     ) -> Result<DcnReport> {
+        self.classify_bounded(x, rng, &VoteBudget::unbounded())
+    }
+
+    /// Classifies `x` under a per-query [`VoteBudget`], degrading gracefully
+    /// instead of blowing a latency target:
+    ///
+    /// 1. **Full vote** — budget never fired: the normal corrected answer.
+    /// 2. **Partial vote** — the cap or deadline truncated the vote but at
+    ///    least `min_quorum` votes were cast: the mode of those votes, with
+    ///    `degraded = true`.
+    /// 3. **Base fallback** — fewer than `min_quorum` votes: the base
+    ///    network's own prediction, with `degraded = true`.
+    ///
+    /// Non-finite base logits fail *closed*: the input is treated as
+    /// detected-adversarial and routed to the corrector (whose vote samples
+    /// are classified independently), never argmax-ed into a garbage label
+    /// on the pass-through path.
+    ///
+    /// With an unbounded budget and no fault injection this is
+    /// bitwise-identical to [`Dcn::classify_with_report`]'s historic
+    /// behavior, including rng consumption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-network and detector errors.
+    pub fn classify_bounded<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+        budget: &VoteBudget,
+    ) -> Result<DcnReport> {
         let _span = dcn_obs::span("dcn.classify");
         let logits = self.base.logits_one(x)?;
-        let report = if self.detector.is_adversarial(&logits)? {
-            let (label, counts) = self.corrector.vote_counts(&self.base, x, rng)?;
-            let votes: usize = counts.iter().sum();
-            DcnReport {
-                label,
-                verdict: DcnVerdict::Corrected,
-                base_passes: 1 + votes,
+        let finite = logits.all_finite();
+        let flagged = if finite {
+            self.detector.is_adversarial(&logits)?
+        } else {
+            // Fail closed: a non-finite logit vector is exactly the kind of
+            // anomaly an evasion or a corrupted model produces.
+            if dcn_obs::enabled() {
+                dcn_obs::counter(dcn_obs::names::DCN_NONFINITE_TOTAL).inc();
+            }
+            true
+        };
+        let report = if flagged {
+            let vote = self
+                .corrector
+                .vote_counts_bounded(&self.base, x, rng, budget)?;
+            if vote.votes_cast >= budget.min_quorum.max(1) {
+                DcnReport {
+                    label: vote.mode,
+                    verdict: DcnVerdict::Corrected,
+                    base_passes: 1 + vote.votes_cast,
+                    degraded: vote.truncated,
+                }
+            } else {
+                // Below quorum: the partial vote is too thin to trust, so
+                // return the base network's own answer, marked degraded.
+                if dcn_obs::enabled() {
+                    dcn_obs::counter(dcn_obs::names::DCN_FALLBACK_TOTAL).inc();
+                }
+                DcnReport {
+                    label: logits.argmax().map_err(dcn_nn::NnError::from)?,
+                    verdict: DcnVerdict::Corrected,
+                    base_passes: 1 + vote.votes_cast,
+                    degraded: true,
+                }
             }
         } else {
             DcnReport {
                 label: logits.argmax().map_err(dcn_nn::NnError::from)?,
                 verdict: DcnVerdict::PassedThrough,
                 base_passes: 1,
+                degraded: false,
             }
         };
         if dcn_obs::enabled() {
@@ -113,8 +176,40 @@ impl Dcn {
                 }
             }
             dcn_obs::counter(names::DCN_BASE_PASSES_TOTAL).add(report.base_passes as u64);
+            if report.degraded {
+                dcn_obs::counter(names::DCN_DEGRADED_TOTAL).inc();
+            }
         }
         Ok(report)
+    }
+
+    /// Panic-free classification returning the unified [`DcnError`]
+    /// taxonomy — the entry point a serving binary should call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcnError`] classified by failure class.
+    pub fn try_classify<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+    ) -> std::result::Result<usize, DcnError> {
+        Ok(self.classify_with_report(x, rng)?.label)
+    }
+
+    /// Panic-free budget-bounded classification with the unified
+    /// [`DcnError`] taxonomy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DcnError`] classified by failure class.
+    pub fn try_classify_bounded<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+        budget: &VoteBudget,
+    ) -> std::result::Result<DcnReport, DcnError> {
+        Ok(self.classify_bounded(x, rng, budget)?)
     }
 
     /// Classifies `x`.
@@ -255,6 +350,82 @@ mod tests {
         assert_eq!(verdict, report.verdict);
         // Identical rng consumption: a second draw from each stream matches.
         assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn bounded_budget_degrades_gracefully() {
+        let (dcn, _) = setup();
+        let adv = Tensor::from_slice(&[0.004]); // flagged → corrected path
+        // Partial vote: cap at 7 of 200 samples.
+        let budget = crate::VoteBudget {
+            max_votes: Some(7),
+            deadline: None,
+            min_quorum: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let report = dcn.classify_bounded(&adv, &mut rng, &budget).unwrap();
+        assert_eq!(report.verdict, DcnVerdict::Corrected);
+        assert!(report.degraded);
+        assert_eq!(report.base_passes, 1 + 7);
+
+        // Below quorum: 7 votes < quorum 50 → base fallback.
+        let strict = crate::VoteBudget {
+            max_votes: Some(7),
+            deadline: None,
+            min_quorum: 50,
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let report = dcn.classify_bounded(&adv, &mut rng, &strict).unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.base_passes, 1 + 7);
+        assert_eq!(report.label, dcn.base().predict_one(&adv).unwrap());
+
+        // Unbounded budget: never degraded.
+        let mut rng = StdRng::seed_from_u64(31);
+        let report = dcn
+            .classify_bounded(&adv, &mut rng, &crate::VoteBudget::unbounded())
+            .unwrap();
+        assert!(!report.degraded);
+        assert_eq!(report.base_passes, 1 + 200);
+    }
+
+    #[test]
+    fn nonfinite_logits_fail_closed_to_the_corrector() {
+        let (dcn, _) = setup();
+        // Poison the single-example logit path: rate 1.0 fires on every
+        // call at the hooked site.
+        dcn_fault::set_plan(Some(dcn_fault::FaultPlan {
+            nan_rate: 1.0,
+            ..dcn_fault::FaultPlan::default()
+        }));
+        let benign = Tensor::from_slice(&[-0.4]);
+        let mut rng = StdRng::seed_from_u64(33);
+        let report = dcn.classify_with_report(&benign, &mut rng).unwrap();
+        dcn_fault::set_plan(None);
+        // Would have passed through; with poisoned logits it must be routed
+        // to the corrector (fail closed), whose clean batch votes still
+        // recover the right label.
+        assert_eq!(report.verdict, DcnVerdict::Corrected);
+        assert_eq!(report.label, 0);
+
+        // The detector itself refuses non-finite logits with a typed error.
+        let bad = Tensor::from_slice(&[f32::NAN, 1.0]);
+        assert!(matches!(
+            dcn.detector().is_adversarial(&bad),
+            Err(crate::DefenseError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn try_classify_returns_typed_errors() {
+        let (dcn, mut rng) = setup();
+        let x = Tensor::from_slice(&[-0.4]);
+        assert_eq!(dcn.try_classify(&x, &mut rng).unwrap(), 0);
+        // Wrong input shape surfaces as a typed DcnError, never a panic.
+        let bad = Tensor::from_slice(&[0.0, 0.0]);
+        let err = dcn.try_classify(&bad, &mut rng).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let _ = err.to_string();
     }
 
     #[test]

@@ -230,7 +230,12 @@ impl Detector {
     ///
     /// # Errors
     ///
-    /// Propagates forward-pass errors (wrong logit width).
+    /// Returns [`DefenseError::NonFinite`] for logits containing NaN or
+    /// infinity — the detector's statistics are meaningless on them, and a
+    /// garbage verdict would silently defeat the defense. (The serving path
+    /// in [`crate::Dcn`] treats non-finite logits as detected-adversarial
+    /// *before* consulting the detector, failing closed instead of
+    /// erroring.) Also propagates forward-pass errors (wrong logit width).
     pub fn is_adversarial(&self, logits: &Tensor) -> Result<bool> {
         if logits.len() != self.mean.len() || logits.rank() != 1 {
             return Err(DefenseError::BadData(format!(
@@ -238,6 +243,11 @@ impl Detector {
                 self.mean.len(),
                 logits.shape()
             )));
+        }
+        if !logits.all_finite() {
+            return Err(DefenseError::NonFinite(
+                "logit vector contains NaN or infinity; refusing to score it".into(),
+            ));
         }
         let flagged = self.net.predict_one(&self.canonicalize(logits))? == ADVERSARIAL;
         if dcn_obs::enabled() {

@@ -1,0 +1,187 @@
+//! The unified serving-path error taxonomy.
+//!
+//! Every crate in the pipeline has its own error type shaped by its domain
+//! (`TensorError`, `NnError`, `DataError`, `AttackError`, `DefenseError`).
+//! [`DcnError`] is the top of that hierarchy: the one type a serving binary
+//! matches on, organized by *failure class* rather than by crate, so the
+//! operational response — fix the config, retry the IO, restore the file,
+//! page someone — falls out of the variant. [`DcnError::exit_code`] maps the
+//! classes onto distinct process exit codes for scripting.
+
+use std::fmt;
+
+use dcn_attacks::AttackError;
+use dcn_data::DataError;
+use dcn_nn::NnError;
+use dcn_tensor::TensorError;
+
+use crate::DefenseError;
+
+/// Top-level error for DCN serving and training, organized by failure
+/// class. Wrapping variants keep the original error for diagnostics; the
+/// classifying `From` impls promote per-crate IO/corruption/non-finite
+/// errors into the matching class so callers never need to dig.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DcnError {
+    /// The caller asked for something invalid: bad flag value, mismatched
+    /// shapes in a request, degenerate hyper-parameters. Fix the input.
+    Config(String),
+    /// A filesystem or OS operation failed after retries. The site names
+    /// where; the kind says what the OS reported.
+    Io {
+        /// Stable name of the IO site (e.g. `"nn.load"`).
+        site: String,
+        /// The underlying [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Persisted state is provably damaged (CRC mismatch, truncation,
+    /// malformed serialization of a file that should be machine-written).
+    Corrupt(String),
+    /// NaN or infinity where finite numbers are required — poisoned
+    /// weights, overflowed activations. The serving path fails closed on
+    /// these rather than classifying garbage.
+    NonFinite(String),
+    /// An unclassified tensor-level failure.
+    Tensor(TensorError),
+    /// An unclassified network-level failure.
+    Nn(NnError),
+    /// An unclassified dataset-level failure.
+    Data(DataError),
+    /// An unclassified attack-level failure.
+    Attack(AttackError),
+    /// An unclassified defense-level failure.
+    Defense(DefenseError),
+}
+
+impl DcnError {
+    /// The process exit code for this failure class, for CLI scripting:
+    /// `2` config, `3` IO, `4` corrupt state, `5` non-finite values, `1`
+    /// anything else. (`0` is success and never returned here.)
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            DcnError::Config(_) => 2,
+            DcnError::Io { .. } => 3,
+            DcnError::Corrupt(_) => 4,
+            DcnError::NonFinite(_) => 5,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for DcnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcnError::Config(msg) => write!(f, "configuration error: {msg}"),
+            DcnError::Io { site, kind, msg } => {
+                write!(f, "io error at {site} ({kind:?}): {msg}")
+            }
+            DcnError::Corrupt(msg) => write!(f, "corrupt state: {msg}"),
+            DcnError::NonFinite(msg) => write!(f, "non-finite values: {msg}"),
+            DcnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DcnError::Nn(e) => write!(f, "network error: {e}"),
+            DcnError::Data(e) => write!(f, "data error: {e}"),
+            DcnError::Attack(e) => write!(f, "attack error: {e}"),
+            DcnError::Defense(e) => write!(f, "defense error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DcnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcnError::Tensor(e) => Some(e),
+            DcnError::Nn(e) => Some(e),
+            DcnError::Data(e) => Some(e),
+            DcnError::Attack(e) => Some(e),
+            DcnError::Defense(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for DcnError {
+    fn from(e: NnError) -> Self {
+        match e {
+            NnError::Io { site, kind, msg } => DcnError::Io { site, kind, msg },
+            NnError::Corrupt(msg) => DcnError::Corrupt(msg),
+            NnError::NonFinite(msg) => DcnError::NonFinite(msg),
+            NnError::InvalidConfig(msg) => DcnError::Config(msg),
+            other => DcnError::Nn(other),
+        }
+    }
+}
+
+impl From<TensorError> for DcnError {
+    fn from(e: TensorError) -> Self {
+        DcnError::Tensor(e)
+    }
+}
+
+impl From<DataError> for DcnError {
+    fn from(e: DataError) -> Self {
+        match e {
+            DataError::Io { site, kind, msg } => DcnError::Io { site, kind, msg },
+            DataError::Corrupt(msg) => DcnError::Corrupt(msg),
+            other => DcnError::Data(other),
+        }
+    }
+}
+
+impl From<AttackError> for DcnError {
+    fn from(e: AttackError) -> Self {
+        DcnError::Attack(e)
+    }
+}
+
+impl From<DefenseError> for DcnError {
+    fn from(e: DefenseError) -> Self {
+        match e {
+            DefenseError::Nn(inner) => DcnError::from(inner),
+            DefenseError::Tensor(inner) => DcnError::Tensor(inner),
+            DefenseError::NonFinite(msg) => DcnError::NonFinite(msg),
+            DefenseError::BadConfig(msg) => DcnError::Config(msg),
+            other => DcnError::Defense(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_separate_failure_classes() {
+        assert_eq!(DcnError::Config("x".into()).exit_code(), 2);
+        assert_eq!(
+            DcnError::Io {
+                site: "s".into(),
+                kind: std::io::ErrorKind::NotFound,
+                msg: "m".into()
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(DcnError::Corrupt("x".into()).exit_code(), 4);
+        assert_eq!(DcnError::NonFinite("x".into()).exit_code(), 5);
+        assert_eq!(DcnError::Tensor(TensorError::Empty).exit_code(), 1);
+    }
+
+    #[test]
+    fn from_impls_classify_by_failure_class() {
+        let e: DcnError = NnError::Corrupt("crc".into()).into();
+        assert!(matches!(e, DcnError::Corrupt(_)));
+        let e: DcnError = NnError::NonFinite("nan".into()).into();
+        assert!(matches!(e, DcnError::NonFinite(_)));
+        let e: DcnError = DefenseError::Nn(NnError::Io {
+            site: "nn.load".into(),
+            kind: std::io::ErrorKind::NotFound,
+            msg: "gone".into(),
+        })
+        .into();
+        assert!(matches!(e, DcnError::Io { .. }));
+        let e: DcnError = DefenseError::BadConfig("radius".into()).into();
+        assert!(matches!(e, DcnError::Config(_)));
+    }
+}

@@ -56,15 +56,17 @@ mod dcn;
 mod defense;
 mod detector;
 mod distill;
+mod error;
 mod magnet;
 pub mod models;
 mod region;
 mod squeeze;
 
 pub use adaptive::AdaptiveCwL2;
-pub use corrector::Corrector;
+pub use corrector::{BoundedVote, Corrector, VoteBudget};
 pub use cost::CountingClassifier;
 pub use dcn::{Dcn, DcnReport, DcnVerdict};
+pub use error::DcnError;
 pub use defense::{attack_success_against, defense_accuracy, Defense, StandardDefense};
 pub use detector::{Detector, DetectorConfig, DetectorReport};
 pub use distill::{distill, DistillConfig};
@@ -91,6 +93,10 @@ pub enum DefenseError {
     BadConfig(String),
     /// Training data for a component was empty or degenerate.
     BadData(String),
+    /// Logits or activations contained NaN/infinity where the component
+    /// requires finite numbers. The serving path treats this as a detected
+    /// attack (fail closed) rather than classifying garbage.
+    NonFinite(String),
 }
 
 impl fmt::Display for DefenseError {
@@ -101,6 +107,7 @@ impl fmt::Display for DefenseError {
             DefenseError::Attack(e) => write!(f, "attack error: {e}"),
             DefenseError::BadConfig(msg) => write!(f, "bad config: {msg}"),
             DefenseError::BadData(msg) => write!(f, "bad data: {msg}"),
+            DefenseError::NonFinite(msg) => write!(f, "non-finite values: {msg}"),
         }
     }
 }

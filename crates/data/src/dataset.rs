@@ -1,6 +1,9 @@
+use std::path::Path;
+
 use dcn_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::{DataError, Result};
 
@@ -10,7 +13,7 @@ use crate::{DataError, Result};
 /// `Dataset` is deliberately passive — generation lives in
 /// [`crate::synth_mnist`] / [`crate::synth_cifar`], training in `dcn-nn`,
 /// and attack bookkeeping in `dcn-attacks`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     images: Tensor,
     labels: Vec<usize>,
@@ -137,6 +140,48 @@ impl Dataset {
         Ok((self.subset(&order[..cut])?, self.subset(&order[cut..])?))
     }
 
+    /// Writes the dataset to `path` as CRC-sealed JSON, atomically
+    /// (temp-file-then-rename): after a crash the destination holds either
+    /// the old content or the new content in full, never a torn mixture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Serialization`] on encoder failure and
+    /// [`DataError::Io`] on filesystem failure (real or injected via
+    /// `DCN_FAULT_IO` / `DCN_FAULT_SHORT_WRITE` at site `"data.save"`).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let json =
+            serde_json::to_string(self).map_err(|e| DataError::Serialization(e.to_string()))?;
+        dcn_fault::write_atomic(path, dcn_fault::seal(&json).as_bytes(), "data.save")
+            .map_err(|e| DataError::io("data.save", &e))
+    }
+
+    /// Loads a dataset written by [`Dataset::save`], retrying transient
+    /// read failures, verifying the CRC footer, and re-running the
+    /// [`Dataset::new`] invariants plus a finite-pixel check — a corrupted
+    /// or hand-edited file can never yield an invalid in-memory dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Io`] when reads keep failing,
+    /// [`DataError::Corrupt`] on CRC mismatch or non-finite pixel values,
+    /// [`DataError::Serialization`] on malformed JSON, and the usual
+    /// [`Dataset::new`] errors when the decoded fields are inconsistent.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let content =
+            dcn_fault::read_with_retry(path, &dcn_fault::RetryPolicy::default(), "data.load")
+                .map_err(|e| DataError::io("data.load", &e))?;
+        let payload = dcn_fault::unseal(&content).map_err(DataError::Corrupt)?;
+        let raw: Dataset =
+            serde_json::from_str(payload).map_err(|e| DataError::Serialization(e.to_string()))?;
+        if !raw.images.all_finite() {
+            return Err(DataError::Corrupt(
+                "stored images contain NaN or infinity".into(),
+            ));
+        }
+        Dataset::new(raw.images, raw.labels, raw.num_classes)
+    }
+
     /// Draws `n` example indices uniformly without replacement.
     ///
     /// # Errors
@@ -219,6 +264,49 @@ mod tests {
         assert_eq!(tr.len() + te.len(), ds.len());
         assert_eq!(tr.len(), 2);
         assert!(ds.split(1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let dir = std::env::temp_dir().join("dcn_data_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.json");
+        let ds = toy();
+        ds.save(&path).unwrap();
+        let back = Dataset::load(&path).unwrap();
+        assert_eq!(back, ds);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn load_rejects_tampered_and_invalid_files() {
+        let dir = std::env::temp_dir().join("dcn_data_tamper_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.json");
+        let ds = toy();
+        ds.save(&path).unwrap();
+
+        // Flip payload bytes under the CRC footer: must be caught as corrupt.
+        let sealed = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, sealed.replacen("num_classes", "num_classez", 1)).unwrap();
+        assert!(matches!(Dataset::load(&path), Err(DataError::Corrupt(_))));
+
+        // Garbage that is not JSON at all.
+        std::fs::write(&path, "not json {{{").unwrap();
+        assert!(matches!(
+            Dataset::load(&path),
+            Err(DataError::Serialization(_))
+        ));
+
+        // Valid JSON whose fields violate the Dataset invariants.
+        let bad = "{\"images\": {\"shape\": [2, 1, 1, 1], \"data\": [0.5, 0.5]}, \
+                   \"labels\": [0, 7], \"num_classes\": 3}";
+        std::fs::write(&path, bad).unwrap();
+        assert!(matches!(
+            Dataset::load(&path),
+            Err(DataError::OutOfRange(_))
+        ));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -16,6 +16,19 @@ pub enum DataError {
     },
     /// An index or split parameter is out of range.
     OutOfRange(String),
+    /// A filesystem operation failed (after any retries were exhausted).
+    Io {
+        /// Stable name of the IO site (e.g. `"data.load"`).
+        site: String,
+        /// The underlying [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// Human-readable description of the failure.
+        msg: String,
+    },
+    /// A persisted dataset failed an integrity or format check.
+    Corrupt(String),
+    /// JSON encoding or decoding failed.
+    Serialization(String),
 }
 
 impl fmt::Display for DataError {
@@ -26,6 +39,22 @@ impl fmt::Display for DataError {
                 write!(f, "{images} images but {labels} labels")
             }
             DataError::OutOfRange(msg) => write!(f, "out of range: {msg}"),
+            DataError::Io { site, kind, msg } => {
+                write!(f, "io error at {site} ({kind:?}): {msg}")
+            }
+            DataError::Corrupt(msg) => write!(f, "corrupt dataset: {msg}"),
+            DataError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl DataError {
+    /// Wraps a [`std::io::Error`] with the stable site name where it arose.
+    pub fn io(site: &str, e: &std::io::Error) -> Self {
+        DataError::Io {
+            site: site.to_string(),
+            kind: e.kind(),
+            msg: e.to_string(),
         }
     }
 }

@@ -1,0 +1,184 @@
+//! Crash-safe IO primitives: atomic write-temp-then-rename, CRC32 integrity
+//! footers, and retrying reads.
+//!
+//! These are the untyped building blocks; `dcn-nn` and `dcn-data` wrap them
+//! in their own error taxonomies. Everything funnels through the injection
+//! hooks in this crate, so one `DCN_FAULT_*` plan exercises every IO path
+//! in the workspace.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::RetryPolicy;
+
+/// Footer line prefix marking a sealed (CRC-protected) payload. The full
+/// footer is this prefix followed by eight lowercase hex digits.
+pub const CRC_FOOTER_PREFIX: &str = "#dcn-checkpoint-crc32:";
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `bytes`.
+///
+/// Bitwise implementation — checkpoints are small JSON documents, so table
+/// generation would cost more than it saves.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends the CRC32 integrity footer to a payload.
+pub fn seal(payload: &str) -> String {
+    format!(
+        "{payload}\n{CRC_FOOTER_PREFIX}{:08x}",
+        crc32(payload.as_bytes())
+    )
+}
+
+/// Verifies and strips the CRC32 footer, returning the payload.
+///
+/// Content without a footer is treated as a legacy unsealed payload and
+/// returned unchanged — later parsing decides whether it is valid.
+///
+/// # Errors
+///
+/// Returns a corruption description when a footer is present but malformed
+/// or its CRC does not match the payload.
+pub fn unseal(content: &str) -> Result<&str, String> {
+    let Some((payload, footer)) = content.rsplit_once('\n') else {
+        return Ok(content);
+    };
+    let Some(hex) = footer.strip_prefix(CRC_FOOTER_PREFIX) else {
+        return Ok(content);
+    };
+    let expected = u32::from_str_radix(hex.trim_end(), 16)
+        .map_err(|_| format!("unreadable CRC footer {footer:?}"))?;
+    let actual = crc32(payload.as_bytes());
+    if actual != expected {
+        return Err(format!(
+            "CRC mismatch: footer says {expected:08x}, payload hashes to {actual:08x}"
+        ));
+    }
+    Ok(payload)
+}
+
+/// The sibling temporary path [`write_atomic`] stages into before renaming.
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` atomically: stage into a sibling `.tmp` file,
+/// flush, then rename over the destination. After a crash at any point the
+/// destination holds either its previous content or the new content in
+/// full, never a torn mixture — rename within a directory is atomic on
+/// POSIX filesystems.
+///
+/// `site` names this call for deterministic fault injection (`DCN_FAULT_IO`
+/// can fail it, `DCN_FAULT_SHORT_WRITE` can tear the staged write before
+/// the rename — the destination is never torn).
+///
+/// # Errors
+///
+/// Returns the underlying [`std::io::Error`] (real or injected).
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8], site: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(e) = crate::maybe_io_error(site) {
+        return Err(e);
+    }
+    let tmp = temp_path(path);
+    let mut file = fs::File::create(&tmp)?;
+    // A torn write stops mid-stream *before* the rename: the staged temp
+    // file is garbage but the destination is untouched — exactly the state
+    // a real crash leaves behind.
+    if let Some(cap) = crate::short_write_cap(site) {
+        let cut = cap.min(bytes.len());
+        file.write_all(&bytes[..cut])?;
+        file.sync_all()?;
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            format!("injected torn write after {cut} of {} bytes", bytes.len()),
+        ));
+    }
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    if dcn_obs::enabled() {
+        dcn_obs::counter(dcn_obs::names::CHECKPOINT_WRITES_TOTAL).inc();
+    }
+    Ok(())
+}
+
+/// Reads `path` to a string, retrying transient failures under `policy`.
+///
+/// # Errors
+///
+/// Returns the last attempt's [`std::io::Error`] when every attempt fails.
+pub fn read_with_retry(
+    path: impl AsRef<Path>,
+    policy: &RetryPolicy,
+    site: &str,
+) -> std::io::Result<String> {
+    let path = path.as_ref();
+    crate::retry(site, policy, |_attempt| {
+        if let Some(e) = crate::maybe_io_error(site) {
+            return Err(e);
+        }
+        fs::read_to_string(path)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_unseal_round_trips() {
+        let payload = "{\"k\": [1, 2, 3]}";
+        let sealed = seal(payload);
+        assert!(sealed.contains(CRC_FOOTER_PREFIX));
+        assert_eq!(unseal(&sealed).unwrap(), payload);
+    }
+
+    #[test]
+    fn unseal_passes_legacy_payloads_through() {
+        assert_eq!(unseal("plain json").unwrap(), "plain json");
+        assert_eq!(unseal("two\nlines").unwrap(), "two\nlines");
+    }
+
+    #[test]
+    fn unseal_rejects_flipped_bits() {
+        let sealed = seal("important weights");
+        let tampered = sealed.replace("important", "impostant");
+        assert!(unseal(&tampered).is_err());
+        let bad_footer = format!("payload\n{CRC_FOOTER_PREFIX}zzzzzzzz");
+        assert!(unseal(&bad_footer).is_err());
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = std::env::temp_dir().join("dcn_fault_io_atomic_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        write_atomic(&path, b"first version", "t.io.atomic").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first version");
+        write_atomic(&path, b"second", "t.io.atomic").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        assert!(!temp_path(&path).exists(), "temp file must not linger");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,497 @@
+//! # dcn-fault
+//!
+//! Deterministic, seedable fault injection for the DCN pipeline, plus the
+//! bounded-retry primitive the IO paths recover with.
+//!
+//! The serving stack makes hard guarantees — typed errors instead of panics,
+//! atomic checkpoints, deadline-bounded correction — and those guarantees
+//! are only testable if failures can be produced on demand, repeatably. This
+//! crate provides that, in the style of `dcn-obs`:
+//!
+//! * **Off by default, near-zero cost.** Every hook is guarded by
+//!   [`enabled`] — a single relaxed atomic load. When disabled no
+//!   configuration is read, no decision is drawn, no clock is touched.
+//! * **Deterministic.** Injection decisions come from a counter-based
+//!   SplitMix64 stream keyed by `(seed, site, per-site call index)`, never
+//!   from wall-clock or OS entropy: the same program run twice with the same
+//!   plan injects the same faults at the same call sites.
+//! * **Bitwise non-interfering when off.** With no plan installed, every
+//!   hook returns its "no fault" answer without touching pipeline data, so
+//!   all outputs are bit-identical to a build without the hooks.
+//!
+//! Injector classes (each independently configurable):
+//!
+//! | class   | env var                 | effect at hooked sites                      |
+//! |---------|-------------------------|---------------------------------------------|
+//! | io      | `DCN_FAULT_IO`          | probability of a synthetic `io::Error`      |
+//! | nan     | `DCN_FAULT_NAN`         | probability of poisoning one value with NaN |
+//! | latency | `DCN_FAULT_LATENCY_NS`  | virtual ns added per [`FaultClock::tick`]   |
+//! | budget  | `DCN_FAULT_BUDGET`      | forced cap on corrector votes per query     |
+//! | short   | `DCN_FAULT_SHORT_WRITE` | byte cap simulating a torn checkpoint write |
+//! | abort   | `DCN_FAULT_ABORT_AFTER_EPOCHS` | training aborts after N epochs       |
+//!
+//! `DCN_FAULT_SEED` seeds the decision stream (default 0). Setting any of
+//! the class variables enables injection; `DCN_FAULT=0` force-disables it.
+//! Programs can also install a plan programmatically with [`set_plan`],
+//! which overrides the environment (tests do this so they never depend on
+//! ambient state).
+//!
+//! Injected latency is *virtual*: [`FaultClock`] switches from wall-clock to
+//! a deterministic virtual timeline the moment a latency plan is active, so
+//! a deadline-bounded vote truncates at the same point on every run.
+
+#![deny(missing_docs)]
+
+mod io;
+mod retry;
+
+pub use io::{crc32, read_with_retry, seal, temp_path, unseal, write_atomic, CRC_FOOTER_PREFIX};
+pub use retry::{retry, RetryPolicy};
+
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Well-known fault-injection metric names (registered in `dcn-obs` when
+/// observability is enabled, so snapshots show exactly what was injected).
+pub mod names {
+    /// Synthetic IO errors injected.
+    pub const INJECTED_IO_TOTAL: &str = "fault.injected_io_total";
+    /// Tensor values poisoned with NaN.
+    pub const INJECTED_NAN_TOTAL: &str = "fault.injected_nan_total";
+    /// Virtual-latency clock ticks applied.
+    pub const LATENCY_TICKS_TOTAL: &str = "fault.latency_ticks_total";
+    /// Writes truncated by the short-write injector.
+    pub const SHORT_WRITES_TOTAL: &str = "fault.short_writes_total";
+    /// Retry attempts consumed after a failure (successful first tries do
+    /// not count).
+    pub const RETRIES_TOTAL: &str = "fault.retries_total";
+}
+
+/// A complete injection plan: which injector classes are active and how
+/// aggressively. The default plan injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the deterministic decision stream.
+    pub seed: u64,
+    /// Probability in `[0, 1]` of a synthetic IO error at each IO hook.
+    pub io_error_rate: f64,
+    /// Probability in `[0, 1]` of poisoning one value with NaN at each
+    /// corruption hook.
+    pub nan_rate: f64,
+    /// Virtual nanoseconds added per [`FaultClock::tick`]; `0` leaves the
+    /// clock on wall time.
+    pub latency_ns: u64,
+    /// Forced upper bound on corrector votes per query (budget exhaustion).
+    pub vote_budget: Option<usize>,
+    /// Byte cap on checkpoint writes: the write stops after this many bytes
+    /// and reports an error, simulating a crash mid-write.
+    pub short_write: Option<usize>,
+    /// Abort resumable training with an injected error after this many
+    /// epochs have been checkpointed (deterministic crash simulation).
+    pub abort_after_epochs: Option<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            io_error_rate: 0.0,
+            nan_rate: 0.0,
+            latency_ns: 0,
+            vote_budget: None,
+            short_write: None,
+            abort_after_epochs: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Builds a plan from the `DCN_FAULT_*` environment variables. Returns
+    /// `None` when no injector class is configured (or `DCN_FAULT=0`).
+    pub fn from_env() -> Option<Self> {
+        if let Ok(v) = std::env::var("DCN_FAULT") {
+            if v == "0" || v.eq_ignore_ascii_case("false") {
+                return None;
+            }
+        }
+        let plan = FaultPlan {
+            seed: env_u64("DCN_FAULT_SEED").unwrap_or(0),
+            io_error_rate: env_f64("DCN_FAULT_IO").unwrap_or(0.0),
+            nan_rate: env_f64("DCN_FAULT_NAN").unwrap_or(0.0),
+            latency_ns: env_u64("DCN_FAULT_LATENCY_NS").unwrap_or(0),
+            vote_budget: env_u64("DCN_FAULT_BUDGET").map(|v| v as usize),
+            short_write: env_u64("DCN_FAULT_SHORT_WRITE").map(|v| v as usize),
+            abort_after_epochs: env_u64("DCN_FAULT_ABORT_AFTER_EPOCHS").map(|v| v as usize),
+        };
+        plan.is_active().then_some(plan)
+    }
+
+    /// Whether any injector class would ever fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.io_error_rate > 0.0
+            || self.nan_rate > 0.0
+            || self.latency_ns > 0
+            || self.vote_budget.is_some()
+            || self.short_write.is_some()
+            || self.abort_after_epochs.is_some()
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    std::env::var(var).ok().and_then(|v| v.parse().ok())
+}
+
+fn env_f64(var: &str) -> Option<f64> {
+    std::env::var(var).ok().and_then(|v| v.parse().ok())
+}
+
+// 0 = unresolved (consult the environment once), 1 = forced off,
+// 2 = forced on (plan installed), 3 = environment said off,
+// 4 = environment said on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+struct PlanCell {
+    plan: Mutex<Option<FaultPlan>>,
+}
+
+fn plan_cell() -> &'static PlanCell {
+    static CELL: OnceLock<PlanCell> = OnceLock::new();
+    CELL.get_or_init(|| PlanCell {
+        plan: Mutex::new(None),
+    })
+}
+
+fn plan_guard() -> MutexGuard<'static, Option<FaultPlan>> {
+    plan_cell()
+        .plan
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Whether fault injection is active. One relaxed atomic load on the fast
+/// path — the only cost every hook pays when injection is off.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => {
+            let env_plan = FaultPlan::from_env();
+            let on = env_plan.is_some();
+            if on {
+                *plan_guard() = env_plan;
+            }
+            // Cache the environment verdict; a concurrent racer stores the
+            // same value, so the race is benign.
+            ENABLED.store(if on { 4 } else { 3 }, Ordering::Relaxed);
+            on
+        }
+        2 | 4 => true,
+        _ => false,
+    }
+}
+
+/// Installs (or with `None` removes) an injection plan, overriding the
+/// `DCN_FAULT_*` environment. Also resets the per-site decision counters so
+/// a freshly installed plan starts its deterministic stream from zero.
+pub fn set_plan(plan: Option<FaultPlan>) {
+    let active = plan.is_some_and(|p| p.is_active());
+    *plan_guard() = if active { plan } else { None };
+    reset_sites();
+    ENABLED.store(if active { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The currently active plan, if any.
+pub fn plan() -> Option<FaultPlan> {
+    if !enabled() {
+        return None;
+    }
+    *plan_guard()
+}
+
+/// SplitMix64 — the standard 64-bit mixing finalizer; one step is enough to
+/// decorrelate `(seed, site, index)` keys.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the site name, so each site gets an independent stream.
+pub(crate) fn site_hash(site: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in site.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+struct SiteCounters {
+    counters: Mutex<std::collections::BTreeMap<String, &'static AtomicU64>>,
+}
+
+fn site_counters() -> &'static SiteCounters {
+    static CELL: OnceLock<SiteCounters> = OnceLock::new();
+    CELL.get_or_init(|| SiteCounters {
+        counters: Mutex::new(std::collections::BTreeMap::new()),
+    })
+}
+
+fn site_counter(site: &str) -> &'static AtomicU64 {
+    let mut map = site_counters()
+        .counters
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(c) = map.get(site) {
+        return c;
+    }
+    let leaked: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    map.insert(site.to_string(), leaked);
+    leaked
+}
+
+fn reset_sites() {
+    let map = site_counters()
+        .counters
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for c in map.values() {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Deterministic Bernoulli draw for this site: the `n`-th call at a given
+/// site under a given seed always returns the same verdict.
+fn should_fire(seed: u64, site: &str, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        site_counter(site).fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    let n = site_counter(site).fetch_add(1, Ordering::Relaxed);
+    let x = splitmix64(seed ^ site_hash(site) ^ n);
+    // 53 uniform mantissa bits → [0, 1).
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    u < rate
+}
+
+fn count(name: &str) {
+    if dcn_obs::enabled() {
+        dcn_obs::counter(name).inc();
+    }
+}
+
+/// IO hook: returns a synthetic [`std::io::Error`] when the io injector
+/// decides this call should fail. Call before performing real IO and
+/// propagate the error as if the filesystem produced it.
+pub fn maybe_io_error(site: &str) -> Option<std::io::Error> {
+    if !enabled() {
+        return None;
+    }
+    let p = plan()?;
+    if should_fire(p.seed, site, p.io_error_rate) {
+        count(names::INJECTED_IO_TOTAL);
+        return Some(std::io::Error::other(format!("injected fault at {site}")));
+    }
+    None
+}
+
+/// Corruption hook: poisons one deterministic element of `data` with NaN
+/// when the nan injector fires. Returns whether a value was poisoned.
+pub fn maybe_corrupt(site: &str, data: &mut [f32]) -> bool {
+    if !enabled() || data.is_empty() {
+        return false;
+    }
+    let Some(p) = plan() else { return false };
+    if should_fire(p.seed, site, p.nan_rate) {
+        let idx = (splitmix64(p.seed ^ site_hash(site)) as usize) % data.len();
+        data[idx] = f32::NAN;
+        count(names::INJECTED_NAN_TOTAL);
+        return true;
+    }
+    false
+}
+
+/// The forced corrector vote cap, when the budget-exhaustion injector is
+/// active.
+pub fn forced_vote_budget() -> Option<usize> {
+    plan().and_then(|p| p.vote_budget)
+}
+
+/// The byte cap for the short-write injector at this site. The first call
+/// per site wins; later calls at the same site do not re-truncate, so a
+/// retry after the simulated crash succeeds (matching a real crash-then-
+/// restart sequence).
+pub fn short_write_cap(site: &str) -> Option<usize> {
+    let p = plan()?;
+    let cap = p.short_write?;
+    if site_counter(site).fetch_add(1, Ordering::Relaxed) == 0 {
+        count(names::SHORT_WRITES_TOTAL);
+        Some(cap)
+    } else {
+        None
+    }
+}
+
+/// The epoch count after which resumable training should abort with an
+/// injected error (deterministic crash simulation for resume tests).
+pub fn abort_after_epochs() -> Option<usize> {
+    plan().and_then(|p| p.abort_after_epochs)
+}
+
+/// A deadline stopwatch that is wall-clock in production and *virtual* under
+/// injected latency.
+///
+/// While a latency plan is active, [`FaultClock::elapsed`] reports only the
+/// accumulated virtual time (`latency_ns × ticks`) and ignores the real
+/// clock entirely — that is what makes a deadline-truncated vote land on the
+/// same vote index on every run, on any machine.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    start: Instant,
+    virtual_ns: u64,
+    /// ns added per tick; 0 means wall-clock mode.
+    tick_ns: u64,
+}
+
+impl FaultClock {
+    /// Starts the stopwatch, capturing whether latency injection is active.
+    pub fn start() -> Self {
+        let tick_ns = plan().map_or(0, |p| p.latency_ns);
+        FaultClock {
+            start: Instant::now(),
+            virtual_ns: 0,
+            tick_ns,
+        }
+    }
+
+    /// Records one unit of hooked work (e.g. one corrector vote). Under
+    /// latency injection this advances the virtual clock; otherwise it is
+    /// free.
+    pub fn tick(&mut self) {
+        if self.tick_ns > 0 {
+            self.virtual_ns = self.virtual_ns.saturating_add(self.tick_ns);
+            count(names::LATENCY_TICKS_TOTAL);
+        }
+    }
+
+    /// Whether the clock is running on the deterministic virtual timeline.
+    pub fn is_virtual(&self) -> bool {
+        self.tick_ns > 0
+    }
+
+    /// Elapsed time: virtual when latency injection is active, wall-clock
+    /// otherwise.
+    pub fn elapsed(&self) -> Duration {
+        if self.is_virtual() {
+            Duration::from_nanos(self.virtual_ns)
+        } else {
+            self.start.elapsed()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that install global plans.
+    fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_plan_injects_nothing() {
+        let _g = lock();
+        set_plan(None);
+        assert!(maybe_io_error("t.io").is_none());
+        let mut data = [1.0f32, 2.0];
+        assert!(!maybe_corrupt("t.nan", &mut data));
+        assert_eq!(data, [1.0, 2.0]);
+        assert_eq!(forced_vote_budget(), None);
+        assert_eq!(short_write_cap("t.sw"), None);
+        let mut clock = FaultClock::start();
+        clock.tick();
+        assert!(!clock.is_virtual());
+    }
+
+    #[test]
+    fn io_decisions_are_deterministic_per_seed() {
+        let _g = lock();
+        let plan = FaultPlan {
+            seed: 7,
+            io_error_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        set_plan(Some(plan));
+        let a: Vec<bool> = (0..64).map(|_| maybe_io_error("t.det").is_some()).collect();
+        set_plan(Some(plan)); // reinstall resets the per-site stream
+        let b: Vec<bool> = (0..64).map(|_| maybe_io_error("t.det").is_some()).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "rate 0.5 should fire within 64 draws");
+        assert!(!a.iter().all(|&x| x), "rate 0.5 should also pass sometimes");
+        set_plan(None);
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_sites_are_independent() {
+        let _g = lock();
+        set_plan(Some(FaultPlan {
+            io_error_rate: 1.0,
+            nan_rate: 1.0,
+            ..FaultPlan::default()
+        }));
+        assert!(maybe_io_error("t.always").is_some());
+        let mut data = [0.5f32; 8];
+        assert!(maybe_corrupt("t.poison", &mut data));
+        assert_eq!(data.iter().filter(|v| v.is_nan()).count(), 1);
+        set_plan(None);
+    }
+
+    #[test]
+    fn virtual_clock_counts_ticks_not_wall_time() {
+        let _g = lock();
+        set_plan(Some(FaultPlan {
+            latency_ns: 1_000_000, // 1ms per tick
+            ..FaultPlan::default()
+        }));
+        let mut clock = FaultClock::start();
+        assert!(clock.is_virtual());
+        assert_eq!(clock.elapsed(), Duration::ZERO);
+        for _ in 0..5 {
+            clock.tick();
+        }
+        assert_eq!(clock.elapsed(), Duration::from_millis(5));
+        set_plan(None);
+    }
+
+    #[test]
+    fn short_write_cap_fires_once_per_site() {
+        let _g = lock();
+        set_plan(Some(FaultPlan {
+            short_write: Some(10),
+            ..FaultPlan::default()
+        }));
+        assert_eq!(short_write_cap("t.sw_once"), Some(10));
+        assert_eq!(short_write_cap("t.sw_once"), None);
+        set_plan(None);
+    }
+
+    #[test]
+    fn plan_from_env_requires_an_active_class() {
+        // No DCN_FAULT_* variables are set in the test environment, so the
+        // parsed plan must be inactive. (Environment mutation is avoided —
+        // these tests run in parallel threads.)
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert!(FaultPlan {
+            vote_budget: Some(3),
+            ..plan
+        }
+        .is_active());
+    }
+}

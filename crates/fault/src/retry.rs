@@ -1,0 +1,177 @@
+//! Bounded retry with deterministic, jittered exponential backoff.
+//!
+//! Dataset and model IO go through [`retry`] so a transient failure (a
+//! filesystem hiccup, an injected fault) is absorbed instead of surfacing to
+//! the serving path. The backoff schedule is fully deterministic: the jitter
+//! for attempt `k` is derived from `(policy.jitter_seed, site, k)` with the
+//! same SplitMix64 stream the injectors use, so tests can predict — and
+//! assert — the exact sleep sequence.
+
+use std::time::Duration;
+
+/// Retry schedule: `attempts` tries total, exponential delay doubling from
+/// `base_delay` up to `max_delay`, each delay jittered by up to ±50%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (including the first); at least 1.
+    pub attempts: u32,
+    /// Delay before the second attempt.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(100),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeping).
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry `attempt` (1-based: the delay after the first
+    /// failure is `delay_for(1)`). Exponential with deterministic ±50%
+    /// jitter, capped at `max_delay`.
+    pub fn delay_for(&self, site: &str, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_delay);
+        let key = self
+            .jitter_seed
+            .wrapping_add(crate::site_hash(site))
+            .wrapping_add(u64::from(attempt));
+        // Jitter factor in [0.5, 1.5), deterministic in (seed, site, attempt).
+        let u = (crate::splitmix64(key) >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = capped.as_secs_f64() * (0.5 + u);
+        Duration::from_secs_f64(jittered.min(self.max_delay.as_secs_f64()))
+    }
+}
+
+/// Runs `op` up to `policy.attempts` times, sleeping the jittered backoff
+/// delay between failures. The final error is returned unchanged when every
+/// attempt fails.
+///
+/// `op` receives the 0-based attempt index, which IO hooks use as part of
+/// their site key so the fault injector can fail the first attempt and pass
+/// the retry.
+///
+/// # Errors
+///
+/// Returns the last attempt's error after `policy.attempts` failures.
+pub fn retry<T, E, F>(site: &str, policy: &RetryPolicy, mut op: F) -> Result<T, E>
+where
+    F: FnMut(u32) -> Result<T, E>,
+{
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= attempts {
+                    return Err(e);
+                }
+                if dcn_obs::enabled() {
+                    dcn_obs::counter(crate::names::RETRIES_TOTAL).inc();
+                }
+                std::thread::sleep(policy.delay_for(site, attempt));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_success_needs_no_retry() {
+        let mut calls = 0;
+        let r: Result<u32, ()> = retry("t.ok", &RetryPolicy::default(), |_| {
+            calls += 1;
+            Ok(5)
+        });
+        assert_eq!(r, Ok(5));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn transient_failure_is_absorbed() {
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+            jitter_seed: 1,
+        };
+        let r: Result<&str, &str> = retry("t.flaky", &policy, |attempt| {
+            if attempt < 2 {
+                Err("transient")
+            } else {
+                Ok("recovered")
+            }
+        });
+        assert_eq!(r, Ok("recovered"));
+    }
+
+    #[test]
+    fn persistent_failure_returns_last_error() {
+        let policy = RetryPolicy {
+            attempts: 2,
+            base_delay: Duration::from_micros(1),
+            max_delay: Duration::from_micros(2),
+            jitter_seed: 0,
+        };
+        let mut calls = 0;
+        let r: Result<(), u32> = retry("t.dead", &policy, |attempt| {
+            calls += 1;
+            Err(attempt)
+        });
+        assert_eq!(r, Err(1));
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn delays_are_deterministic_bounded_and_grow() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(4),
+            max_delay: Duration::from_millis(20),
+            jitter_seed: 9,
+        };
+        let a: Vec<Duration> = (1..5).map(|k| policy.delay_for("t.site", k)).collect();
+        let b: Vec<Duration> = (1..5).map(|k| policy.delay_for("t.site", k)).collect();
+        assert_eq!(a, b, "jitter must be deterministic");
+        for d in &a {
+            assert!(*d <= policy.max_delay, "delay {d:?} exceeds cap");
+            assert!(*d >= policy.base_delay / 2, "delay {d:?} below half base");
+        }
+        // A different site draws a different jitter stream.
+        assert_ne!(policy.delay_for("t.site", 1), policy.delay_for("t.other", 1));
+    }
+
+    #[test]
+    fn zero_attempt_policy_still_runs_once() {
+        let policy = RetryPolicy {
+            attempts: 0,
+            ..RetryPolicy::default()
+        };
+        let r: Result<u32, ()> = retry("t.zero", &policy, |_| Ok(1));
+        assert_eq!(r, Ok(1));
+    }
+}

@@ -1,0 +1,160 @@
+//! Crash-safe persistence: atomic writes, CRC32 integrity footers, and
+//! resumable training checkpoints.
+//!
+//! The failure model is a process that can die at any instruction (SIGKILL,
+//! OOM, power loss) plus a filesystem that can transiently fail. Guarantees:
+//!
+//! * **Atomicity.** [`write_atomic`] writes to a temporary file in the same
+//!   directory and renames it over the destination. A reader sees either the
+//!   complete old state or the complete new state, never a torn mixture —
+//!   rename within a directory is atomic on POSIX filesystems.
+//! * **Integrity.** [`seal`] appends a CRC32 footer line; [`unseal`] verifies
+//!   it and distinguishes "corrupt" (bytes changed) from "malformed" (never
+//!   valid). Legacy payloads without a footer pass through unchanged, so
+//!   pre-existing model files keep loading.
+//! * **Recovery.** [`read_with_retry`] absorbs transient read failures with
+//!   the bounded, deterministically-jittered backoff from `dcn-fault`.
+//!
+//! The untyped primitives live in `dcn_fault::io` (shared with `dcn-data`);
+//! this module wraps them in [`NnError`]. All IO funnels through `dcn_fault`
+//! hooks so the fault-injection harness can produce synthetic errors, torn
+//! writes, and corrupted bytes on demand.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Network, NnError, Result};
+
+pub use dcn_fault::{crc32, seal, RetryPolicy, CRC_FOOTER_PREFIX};
+
+/// Verifies and strips the CRC32 footer, returning the payload.
+///
+/// Content without a footer is treated as a legacy unsealed payload and
+/// returned unchanged — later parsing decides whether it is valid.
+///
+/// # Errors
+///
+/// Returns [`NnError::Corrupt`] when a footer is present but malformed or
+/// its CRC does not match the payload.
+pub fn unseal(content: &str) -> Result<&str> {
+    dcn_fault::unseal(content).map_err(NnError::Corrupt)
+}
+
+/// Writes `bytes` to `path` atomically: stage into a sibling `.tmp` file,
+/// flush, then rename over the destination. After a crash at any point the
+/// destination holds either its previous content or the new content in full.
+///
+/// `site` names this call for diagnostics and deterministic fault injection
+/// (`DCN_FAULT_IO` can fail it, `DCN_FAULT_SHORT_WRITE` can tear the staged
+/// write before the rename — the destination is never torn).
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on filesystem failure (real or injected).
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8], site: &str) -> Result<()> {
+    dcn_fault::write_atomic(path, bytes, site).map_err(|e| NnError::io(site, &e))
+}
+
+/// Reads `path` to a string, retrying transient failures under `policy`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] when every attempt fails.
+pub fn read_with_retry(
+    path: impl AsRef<Path>,
+    policy: &RetryPolicy,
+    site: &str,
+) -> Result<String> {
+    dcn_fault::read_with_retry(path, policy, site).map_err(|e| NnError::io(site, &e))
+}
+
+/// A resumable training checkpoint: everything
+/// [`crate::Trainer::fit_resumable`] needs to continue a run as if it was
+/// never interrupted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Number of epochs fully completed (the next epoch to run).
+    pub epoch: usize,
+    /// Mean loss of each completed epoch, in order.
+    pub epoch_losses: Vec<f32>,
+    /// The model after `epoch` epochs.
+    pub net: Network,
+    /// Optimizer state from [`crate::Optimizer::export_state`], JSON-encoded.
+    pub optimizer: String,
+}
+
+impl TrainCheckpoint {
+    /// Writes the checkpoint atomically with a CRC32 integrity footer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] on encoder failure and
+    /// [`NnError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let json =
+            serde_json::to_string(self).map_err(|e| NnError::Serialization(e.to_string()))?;
+        write_atomic(path, seal(&json).as_bytes(), "nn.checkpoint.write")
+    }
+
+    /// Loads and verifies a checkpoint written by [`TrainCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on read failure, [`NnError::Corrupt`] on CRC
+    /// mismatch, [`NnError::Serialization`] on malformed JSON, and
+    /// [`NnError::NonFinite`] if the stored weights contain NaN/inf.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let content = read_with_retry(path, &RetryPolicy::default(), "nn.checkpoint.read")?;
+        let payload = unseal(&content)?;
+        let ckpt: TrainCheckpoint =
+            serde_json::from_str(payload).map_err(|e| NnError::Serialization(e.to_string()))?;
+        ckpt.net.validate_finite()?;
+        Ok(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    #[test]
+    fn seal_unseal_round_trips() {
+        let payload = "{\"k\": [1, 2, 3]}";
+        let sealed = seal(payload);
+        assert!(sealed.contains(CRC_FOOTER_PREFIX));
+        assert_eq!(unseal(&sealed).unwrap(), payload);
+    }
+
+    #[test]
+    fn unseal_passes_legacy_payloads_through() {
+        assert_eq!(unseal("plain json").unwrap(), "plain json");
+        assert_eq!(unseal("two\nlines").unwrap(), "two\nlines");
+    }
+
+    #[test]
+    fn unseal_rejects_flipped_bits() {
+        let sealed = seal("important weights");
+        let tampered = sealed.replace("important", "impostant");
+        assert!(matches!(unseal(&tampered), Err(NnError::Corrupt(_))));
+        let bad_footer = format!("payload\n{CRC_FOOTER_PREFIX}zzzzzzzz");
+        assert!(matches!(unseal(&bad_footer), Err(NnError::Corrupt(_))));
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = std::env::temp_dir().join("dcn_nn_ckpt_atomic_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        write_atomic(&path, b"first version", "t.atomic").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first version");
+        write_atomic(&path, b"second", "t.atomic").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        assert!(
+            !dcn_fault::temp_path(path.as_ref()).exists(),
+            "temp file must not linger"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+}

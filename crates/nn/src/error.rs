@@ -22,6 +22,23 @@ pub enum NnError {
     Serialization(String),
     /// The network has no layers or a configuration that cannot run.
     InvalidConfig(String),
+    /// A filesystem operation failed (after any retries were exhausted).
+    Io {
+        /// Stable name of the IO site (e.g. `"nn.load"`), for diagnostics
+        /// and deterministic fault injection.
+        site: String,
+        /// The underlying [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+        /// Human-readable description of the failure.
+        msg: String,
+    },
+    /// Persisted state failed an integrity check (CRC mismatch, truncated
+    /// checkpoint, footer damage). Distinct from [`NnError::Serialization`]:
+    /// the bytes were readable but provably not what was written.
+    Corrupt(String),
+    /// Loaded or computed values contain NaN or infinity where finite
+    /// numbers are required (e.g. model weights on load).
+    NonFinite(String),
 }
 
 impl fmt::Display for NnError {
@@ -36,6 +53,22 @@ impl fmt::Display for NnError {
             NnError::Labels(msg) => write!(f, "label error: {msg}"),
             NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::Io { site, kind, msg } => {
+                write!(f, "io error at {site} ({kind:?}): {msg}")
+            }
+            NnError::Corrupt(msg) => write!(f, "corrupt persisted state: {msg}"),
+            NnError::NonFinite(msg) => write!(f, "non-finite values: {msg}"),
+        }
+    }
+}
+
+impl NnError {
+    /// Wraps a [`std::io::Error`] with the stable site name where it arose.
+    pub fn io(site: &str, e: &std::io::Error) -> Self {
+        NnError::Io {
+            site: site.to_string(),
+            kind: e.kind(),
+            msg: e.to_string(),
         }
     }
 }

@@ -49,6 +49,7 @@
 
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 mod classifier;
 mod error;
 mod layers;
@@ -58,6 +59,7 @@ mod network;
 mod optim;
 mod train;
 
+pub use checkpoint::{RetryPolicy, TrainCheckpoint};
 pub use classifier::Classifier;
 pub use error::NnError;
 pub use layers::{Conv2d, Dense, Flatten, Layer, LayerCache, MaxPool2d, Relu, Sigmoid, Tanh};

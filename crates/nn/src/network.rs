@@ -1,12 +1,11 @@
 //! Sequential feed-forward networks with exact reverse-mode gradients.
 
-use std::fs;
 use std::path::Path;
 
 use dcn_tensor::{par, scratch, Tensor};
 use serde::{Deserialize, Serialize};
 
-use crate::{Layer, LayerCache, NnError, Result};
+use crate::{checkpoint, Layer, LayerCache, NnError, Result};
 
 /// A sequential feed-forward network `C(x) = softmax(H(x))`, following the
 /// paper's notation: the network computes *logits* `H(x)`; the softmax is a
@@ -279,7 +278,15 @@ impl Network {
     pub fn logits_one(&self, x: &Tensor) -> Result<Tensor> {
         let batched = Tensor::stack(std::slice::from_ref(x)).map_err(NnError::from)?;
         let out = self.forward(&batched)?;
-        out.row(0).map_err(NnError::from)
+        let mut row = out.row(0).map_err(NnError::from)?;
+        // Fault-injection hook: the nan injector can poison one logit here
+        // (the single-example path that feeds the detector), letting tests
+        // drive the serving stack's fail-closed non-finite handling. Inert
+        // unless a nan plan is active.
+        if dcn_fault::enabled() {
+            dcn_fault::maybe_corrupt("nn.logits_one", row.data_mut());
+        }
+        Ok(row)
     }
 
     /// Predicted label of a single (unbatched) example.
@@ -324,25 +331,78 @@ impl Network {
         serde_json::from_str(json).map_err(|e| NnError::Serialization(e.to_string()))
     }
 
-    /// Writes the model to `path` as JSON.
+    /// Writes the model to `path` as JSON, atomically: the bytes stage into
+    /// a sibling temp file and rename over the destination, so a crash
+    /// mid-save leaves either the previous model or the new one, never a
+    /// torn mixture. The final bytes are plain JSON, identical to what this
+    /// method has always produced.
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::Serialization`] on I/O or encoder failure.
+    /// Returns [`NnError::Serialization`] on encoder failure and
+    /// [`NnError::Io`] on filesystem failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        fs::write(path.as_ref(), self.to_json()?)
-            .map_err(|e| NnError::Serialization(e.to_string()))
+        checkpoint::write_atomic(path, self.to_json()?.as_bytes(), "nn.save")
     }
 
-    /// Reads a model previously written by [`Network::save`].
+    /// Writes the model atomically *with* a CRC32 integrity footer, so
+    /// [`Network::load`] can distinguish bit rot from a file that was never
+    /// a model.
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::Serialization`] on I/O or decoder failure.
+    /// As [`Network::save`].
+    pub fn save_sealed(&self, path: impl AsRef<Path>) -> Result<()> {
+        let sealed = checkpoint::seal(&self.to_json()?);
+        checkpoint::write_atomic(path, sealed.as_bytes(), "nn.save")
+    }
+
+    /// Reads a model previously written by [`Network::save`] or
+    /// [`Network::save_sealed`] (the CRC footer is auto-detected), retrying
+    /// transient read failures, and rejects models whose weights are not
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] on read failure, [`NnError::Corrupt`] on CRC
+    /// mismatch, [`NnError::Serialization`] on malformed JSON, and
+    /// [`NnError::NonFinite`] if any weight is NaN or infinite.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
-        let json =
-            fs::read_to_string(path.as_ref()).map_err(|e| NnError::Serialization(e.to_string()))?;
-        Network::from_json(&json)
+        let content = checkpoint::read_with_retry(
+            path,
+            &checkpoint::RetryPolicy::default(),
+            "nn.load",
+        )?;
+        let payload = checkpoint::unseal(&content)?;
+        let mut net = Network::from_json(payload)?;
+        // Fault-injection hook: the nan injector can poison a loaded weight
+        // here, which the finiteness gate below must then reject.
+        if dcn_fault::enabled() {
+            for p in net.params_mut() {
+                dcn_fault::maybe_corrupt("nn.load.weights", p.data_mut());
+            }
+        }
+        net.validate_finite()?;
+        Ok(net)
+    }
+
+    /// Checks that every trainable parameter is finite (no NaN/inf). Loaded
+    /// models must pass this before serving: a single poisoned weight turns
+    /// every logit non-finite and silently defeats the detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NonFinite`] naming the first offending tensor.
+    pub fn validate_finite(&self) -> Result<()> {
+        for (i, p) in self.params().iter().enumerate() {
+            if !p.all_finite() {
+                return Err(NnError::NonFinite(format!(
+                    "parameter tensor {i} (shape {:?}) contains NaN or infinity",
+                    p.shape()
+                )));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 //! first step so optimizers can be constructed before the model.
 
 use dcn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
 
 use crate::{NnError, Result};
 
@@ -28,6 +29,22 @@ pub trait Optimizer {
 
     /// Replaces the learning rate (for simple schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Serializes the optimizer's complete state — hyper-parameters plus any
+    /// accumulated moments — to JSON, for resumable-training checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] on encoder failure.
+    fn export_state(&self) -> Result<String>;
+
+    /// Restores state previously produced by [`Optimizer::export_state`] on
+    /// the same optimizer type, replacing all current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] on malformed or mismatched input.
+    fn import_state(&mut self, json: &str) -> Result<()>;
 }
 
 fn check_aligned(params: &[&mut Tensor], grads: &[Tensor]) -> Result<()> {
@@ -50,8 +67,16 @@ fn check_aligned(params: &[&mut Tensor], grads: &[Tensor]) -> Result<()> {
     Ok(())
 }
 
+fn export_json<T: Serialize>(opt: &T) -> Result<String> {
+    serde_json::to_string(opt).map_err(|e| NnError::Serialization(e.to_string()))
+}
+
+fn import_json<T: Deserialize>(json: &str) -> Result<T> {
+    serde_json::from_str(json).map_err(|e| NnError::Serialization(e.to_string()))
+}
+
 /// Plain stochastic gradient descent: `p ← p − lr·g`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sgd {
     lr: f32,
 }
@@ -79,10 +104,19 @@ impl Optimizer for Sgd {
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn export_state(&self) -> Result<String> {
+        export_json(self)
+    }
+
+    fn import_state(&mut self, json: &str) -> Result<()> {
+        *self = import_json(json)?;
+        Ok(())
+    }
 }
 
 /// SGD with classical momentum: `v ← µ·v − lr·g; p ← p + v`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Momentum {
     lr: f32,
     mu: f32,
@@ -132,11 +166,20 @@ impl Optimizer for Momentum {
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn export_state(&self) -> Result<String> {
+        export_json(self)
+    }
+
+    fn import_state(&mut self, json: &str) -> Result<()> {
+        *self = import_json(json)?;
+        Ok(())
+    }
 }
 
 /// Adam (Kingma & Ba) with bias correction — also the inner optimizer of the
 /// CW attacks, as in the original implementation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     lr: f32,
     beta1: f32,
@@ -212,6 +255,15 @@ impl Optimizer for Adam {
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn export_state(&self) -> Result<String> {
+        export_json(self)
+    }
+
+    fn import_state(&mut self, json: &str) -> Result<()> {
+        *self = import_json(json)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -272,5 +324,38 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         opt.set_learning_rate(0.01);
         assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn adam_state_round_trips_exactly() {
+        // Warm up an Adam instance so it carries non-trivial moments, export
+        // its state, import into a fresh instance, and check both produce
+        // bitwise-identical updates — the property epoch resume relies on.
+        let mut warm = Adam::new(0.05);
+        let mut p = Tensor::from_slice(&[1.0, -2.0, 0.5]);
+        for step in 0..7 {
+            let g = Tensor::from_slice(&[0.3 * step as f32, -0.1, 0.7]);
+            let mut refs = [&mut p];
+            warm.step(&mut refs, &[g]).unwrap();
+        }
+        let state = warm.export_state().unwrap();
+        let mut restored = Adam::new(999.0); // wrong lr, must be overwritten
+        restored.import_state(&state).unwrap();
+        assert_eq!(restored.learning_rate(), warm.learning_rate());
+
+        let g = Tensor::from_slice(&[0.2, 0.2, -0.4]);
+        let mut a = p.clone();
+        let mut b = p.clone();
+        let mut ra = [&mut a];
+        let mut rb = [&mut b];
+        warm.step(&mut ra, std::slice::from_ref(&g)).unwrap();
+        restored.step(&mut rb, std::slice::from_ref(&g)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn import_state_rejects_garbage() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        assert!(opt.import_state("not json").is_err());
     }
 }

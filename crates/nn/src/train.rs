@@ -1,11 +1,15 @@
-//! Mini-batch training loop.
+//! Mini-batch training loop, including crash-safe epoch-granular resume.
+
+use std::path::Path;
 
 use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::{
     cross_entropy_soft, mse_loss, softmax_cross_entropy, Network, NnError, Optimizer, Result,
+    TrainCheckpoint,
 };
 
 /// Configuration for [`Trainer`].
@@ -126,6 +130,131 @@ impl Trainer {
         self.run(net, x, Targets::Soft(targets), opt, rng)
     }
 
+    /// Trains `net` on `(x, labels)` with hard labels, checkpointing after
+    /// every epoch so an interrupted run can continue where it stopped.
+    ///
+    /// Unlike [`Trainer::fit`], randomness comes from `seed` rather than a
+    /// caller-owned rng: the shuffle order of epoch `e` is derived from
+    /// `(seed, e)` alone, so a run killed after epoch `k` and resumed from
+    /// the checkpoint replays epochs `k+1..` with exactly the rng streams an
+    /// uninterrupted run would have used — final weights are bitwise
+    /// identical either way.
+    ///
+    /// If `checkpoint` exists it is loaded (CRC-verified) and training
+    /// resumes from the recorded epoch; `net` and `opt` are overwritten with
+    /// the checkpointed state. Otherwise training starts fresh. The returned
+    /// report covers all epochs, including those completed before a resume.
+    ///
+    /// # Errors
+    ///
+    /// As [`Trainer::fit`], plus [`NnError::Io`] / [`NnError::Corrupt`] /
+    /// [`NnError::NonFinite`] from checkpoint IO, and
+    /// [`NnError::InvalidConfig`] if an existing checkpoint disagrees with
+    /// the requested topology.
+    pub fn fit_resumable(
+        &mut self,
+        net: &mut Network,
+        x: &Tensor,
+        labels: &[usize],
+        opt: &mut dyn Optimizer,
+        seed: u64,
+        checkpoint: impl AsRef<Path>,
+    ) -> Result<TrainReport> {
+        if self.config.batch_size == 0 {
+            return Err(NnError::InvalidConfig("batch_size must be positive".into()));
+        }
+        let n = x.shape().first().copied().unwrap_or(0);
+        if labels.len() != n {
+            return Err(NnError::Labels(format!(
+                "{} labels for {n} examples",
+                labels.len()
+            )));
+        }
+        if n == 0 {
+            return Err(NnError::Labels("empty training set".into()));
+        }
+
+        let ckpt_path = checkpoint.as_ref();
+        let mut start_epoch = 0usize;
+        let mut epoch_losses: Vec<f32> = Vec::with_capacity(self.config.epochs);
+        if ckpt_path.exists() {
+            let ckpt = TrainCheckpoint::load(ckpt_path)?;
+            if ckpt.net.input_shape() != net.input_shape() {
+                return Err(NnError::InvalidConfig(format!(
+                    "checkpoint input shape {:?} != model input shape {:?}",
+                    ckpt.net.input_shape(),
+                    net.input_shape()
+                )));
+            }
+            opt.import_state(&ckpt.optimizer)?;
+            *net = ckpt.net;
+            start_epoch = ckpt.epoch;
+            epoch_losses = ckpt.epoch_losses;
+            if dcn_obs::enabled() {
+                dcn_obs::counter(dcn_obs::names::CHECKPOINT_RESUMES_TOTAL).inc();
+            }
+        }
+
+        let examples = x.unstack()?;
+        let mut completed_this_run = 0usize;
+        for epoch in start_epoch..self.config.epochs {
+            let epoch_start = dcn_obs::enabled().then(std::time::Instant::now);
+            // Shuffle order depends only on (seed, epoch): resume replays
+            // the exact stream a fresh run would draw for this epoch.
+            let mut rng = StdRng::seed_from_u64(epoch_seed(seed, epoch));
+            let mut order: Vec<usize> = (0..n).collect();
+            if self.config.shuffle {
+                order.shuffle(&mut rng);
+            }
+            let mut total = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let batch: Vec<Tensor> = chunk.iter().map(|&i| examples[i].clone()).collect();
+                let bx = Tensor::stack(&batch)?;
+                let (logits, caches) = net.forward_train(&bx)?;
+                let bl: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                let loss_out = softmax_cross_entropy(&logits, &bl, self.config.temperature)?;
+                let (_, grads) = net.backward(&loss_out.grad, &caches)?;
+                let mut params = net.params_mut();
+                opt.step(&mut params, &grads)?;
+                total += loss_out.loss;
+                batches += 1;
+            }
+            let mean_loss = total / batches as f32;
+            if let Some(start) = epoch_start {
+                use dcn_obs::names;
+                dcn_obs::counter(names::TRAIN_EPOCHS_TOTAL).inc();
+                dcn_obs::counter(names::TRAIN_BATCHES_TOTAL).add(batches as u64);
+                dcn_obs::histogram(names::TRAIN_EPOCH_LOSS, dcn_obs::MAGNITUDE)
+                    .observe(f64::from(mean_loss));
+                dcn_obs::histogram(names::TRAIN_EPOCH_SECONDS, dcn_obs::LATENCY_SECONDS)
+                    .observe(start.elapsed().as_secs_f64());
+            }
+            epoch_losses.push(mean_loss);
+            TrainCheckpoint {
+                epoch: epoch + 1,
+                epoch_losses: epoch_losses.clone(),
+                net: net.clone(),
+                optimizer: opt.export_state()?,
+            }
+            .save(ckpt_path)?;
+            completed_this_run += 1;
+            // Deterministic crash simulation: the fault harness kills the
+            // run here, after the checkpoint landed, exactly like a SIGKILL
+            // between epochs.
+            if let Some(limit) = dcn_fault::abort_after_epochs() {
+                if completed_this_run >= limit && epoch + 1 < self.config.epochs {
+                    return Err(NnError::Io {
+                        site: "train.fit_resumable".to_string(),
+                        kind: std::io::ErrorKind::Interrupted,
+                        msg: format!("injected crash after {completed_this_run} epochs"),
+                    });
+                }
+            }
+        }
+        Ok(TrainReport { epoch_losses })
+    }
+
     fn run<R: Rng + ?Sized>(
         &mut self,
         net: &mut Network,
@@ -225,6 +354,15 @@ enum Targets<'a> {
     Hard(&'a [usize]),
     Soft(&'a Tensor),
     Regression(&'a Tensor),
+}
+
+/// Mixes `(seed, epoch)` into one 64-bit rng seed (SplitMix64 finalizer), so
+/// each epoch draws an independent, reproducible shuffle stream.
+fn epoch_seed(seed: u64, epoch: usize) -> u64 {
+    let mut z = seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -349,6 +487,93 @@ mod tests {
         assert!(trainer
             .fit_regression(&mut net, &x, &bad_targets, &mut Sgd::new(0.1), &mut rng)
             .is_err());
+    }
+
+    #[test]
+    fn resumed_training_matches_uninterrupted_run_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (x, y) = two_blob_data(24, &mut rng);
+        let net0 = small_net(&mut rng);
+        let config = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let dir = std::env::temp_dir().join("dcn_nn_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Reference: uninterrupted 6-epoch run.
+        let full_ckpt = dir.join("full.ckpt");
+        let _ = std::fs::remove_file(&full_ckpt);
+        let mut full_net = net0.clone();
+        let mut full_opt = Adam::new(0.01);
+        let full_report = Trainer::new(config.clone())
+            .fit_resumable(&mut full_net, &x, &y, &mut full_opt, 42, &full_ckpt)
+            .unwrap();
+
+        // Interrupted: crash (injected) after 3 epochs, then resume.
+        let part_ckpt = dir.join("part.ckpt");
+        let _ = std::fs::remove_file(&part_ckpt);
+        let mut part_net = net0.clone();
+        let mut part_opt = Adam::new(0.01);
+        dcn_fault::set_plan(Some(dcn_fault::FaultPlan {
+            abort_after_epochs: Some(3),
+            ..dcn_fault::FaultPlan::default()
+        }));
+        let crash = Trainer::new(config.clone()).fit_resumable(
+            &mut part_net,
+            &x,
+            &y,
+            &mut part_opt,
+            42,
+            &part_ckpt,
+        );
+        dcn_fault::set_plan(None);
+        assert!(matches!(crash, Err(NnError::Io { .. })), "got {crash:?}");
+
+        let mut resumed_net = net0.clone();
+        let mut resumed_opt = Adam::new(0.01);
+        let resumed_report = Trainer::new(config)
+            .fit_resumable(&mut resumed_net, &x, &y, &mut resumed_opt, 42, &part_ckpt)
+            .unwrap();
+
+        assert_eq!(full_net, resumed_net, "weights must match bitwise");
+        assert_eq!(full_report, resumed_report);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fit_resumable_rejects_mismatched_checkpoint() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (x, y) = two_blob_data(8, &mut rng);
+        let dir = std::env::temp_dir().join("dcn_nn_resume_mismatch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("model.ckpt");
+        let _ = std::fs::remove_file(&ckpt);
+
+        // Checkpoint trained on a 3-input model, resumed with a 2-input one.
+        let mut wide = Network::new(vec![3]);
+        wide.push(Layer::Dense(Dense::new(3, 2, &mut rng).unwrap()));
+        crate::TrainCheckpoint {
+            epoch: 1,
+            epoch_losses: vec![1.0],
+            net: wide,
+            optimizer: Adam::new(0.01).export_state().unwrap(),
+        }
+        .save(&ckpt)
+        .unwrap();
+
+        let mut net = small_net(&mut rng);
+        let r = Trainer::new(TrainConfig::default()).fit_resumable(
+            &mut net,
+            &x,
+            &y,
+            &mut Adam::new(0.01),
+            0,
+            &ckpt,
+        );
+        assert!(matches!(r, Err(NnError::InvalidConfig(_))), "got {r:?}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

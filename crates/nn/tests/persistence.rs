@@ -1,0 +1,125 @@
+//! Property-based tests for crash-safe persistence: truncated, bit-flipped
+//! and garbage inputs to `Network::load` and `TrainCheckpoint::load` must
+//! come back as typed errors — never a panic, and never a network holding
+//! non-finite weights.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dcn_nn::{Adam, Dense, Layer, Network, Optimizer, TrainCheckpoint};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_net() -> Network {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut net = Network::new(vec![4]);
+    net.push(Layer::Dense(Dense::new(4, 3, &mut rng).unwrap()));
+    net
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dcn_nn_persistence_fuzz");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn tiny_checkpoint() -> TrainCheckpoint {
+    TrainCheckpoint {
+        epoch: 1,
+        epoch_losses: vec![0.5],
+        net: tiny_net(),
+        optimizer: Adam::new(0.01).export_state().unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn truncated_model_files_error_cleanly(cut_frac in 0.0f64..1.0) {
+        let path = scratch("truncated_model.json");
+        tiny_net().save(&path).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        let cut = ((full.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < full.len());
+        fs::write(&path, &full[..cut]).unwrap();
+        prop_assert!(Network::load(&path).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_model_files_never_yield_nonfinite_weights(
+        byte_idx in 0usize..4096,
+        mask in 1u8..=255,
+    ) {
+        let path = scratch("flipped_model.json");
+        tiny_net().save(&path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let i = byte_idx % bytes.len();
+        bytes[i] ^= mask;
+        fs::write(&path, &bytes).unwrap();
+        // An unsealed (plain JSON) model has no CRC, so a lucky flip can
+        // still parse — but it must never produce NaN/inf weights, and it
+        // must never panic.
+        if let Ok(net) = Network::load(&path) {
+            for p in net.params() {
+                prop_assert!(p.data().iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flipped_checkpoints_always_error(byte_idx in 0usize..8192, mask in 1u8..=255) {
+        let path = scratch("flipped_ckpt.json");
+        tiny_checkpoint().save(&path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let i = byte_idx % bytes.len();
+        bytes[i] ^= mask;
+        fs::write(&path, &bytes).unwrap();
+        // Checkpoints are CRC-sealed: any single-byte change must be caught,
+        // whether it lands in the payload or the footer.
+        prop_assert!(TrainCheckpoint::load(&path).is_err());
+    }
+
+    #[test]
+    fn garbage_files_error_cleanly(bytes in prop::collection::vec(32u8..127, 0..128)) {
+        // Printable ASCII noise: occasionally JSON-ish fragments, never a
+        // valid serialized Network or TrainCheckpoint.
+        let garbage = String::from_utf8(bytes).unwrap();
+        let path = scratch("garbage.json");
+        fs::write(&path, &garbage).unwrap();
+        prop_assert!(Network::load(&path).is_err());
+        prop_assert!(TrainCheckpoint::load(&path).is_err());
+    }
+
+    #[test]
+    fn truncated_checkpoints_error_cleanly(cut_frac in 0.0f64..1.0) {
+        let path = scratch("truncated_ckpt.json");
+        tiny_checkpoint().save(&path).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        let cut = ((full.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < full.len());
+        fs::write(&path, &full[..cut]).unwrap();
+        prop_assert!(TrainCheckpoint::load(&path).is_err());
+    }
+}
+
+#[test]
+fn oversized_float_literals_never_load_as_infinity() {
+    let path = scratch("huge_literal.json");
+    tiny_net().save(&path).unwrap();
+    let json = fs::read_to_string(&path).unwrap();
+    // Blow up the first numeric literal far past f32 range. Whether the
+    // parser rejects it or rounds to infinity, the load must fail — a
+    // network with a non-finite weight may never reach the serving path.
+    let with_huge = json.replacen("0.", "1e9999999.", 1);
+    assert_ne!(json, with_huge, "expected a float literal to patch");
+    fs::write(&path, with_huge).unwrap();
+    assert!(Network::load(&path).is_err());
+}
+
+#[test]
+fn missing_file_is_a_typed_io_error() {
+    let err = Network::load(scratch("does_not_exist.json")).unwrap_err();
+    assert!(matches!(err, dcn_nn::NnError::Io { .. }), "got {err:?}");
+}

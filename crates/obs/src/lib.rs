@@ -100,6 +100,21 @@ pub mod names {
     pub const SCRATCH_TAKES_TOTAL: &str = "scratch.takes_total";
     /// Buffers returned to the per-thread scratch pools for reuse.
     pub const SCRATCH_RECYCLES_TOTAL: &str = "scratch.recycles_total";
+    /// DCN queries answered with a degraded result (partial vote or base
+    /// fallback) because a vote budget or deadline expired.
+    pub const DCN_DEGRADED_TOTAL: &str = "dcn.degraded_total";
+    /// DCN queries that fell below the vote quorum and returned the base
+    /// network's prediction.
+    pub const DCN_FALLBACK_TOTAL: &str = "dcn.fallback_total";
+    /// DCN queries whose base logits contained NaN/inf and were routed to
+    /// the corrector fail-closed.
+    pub const DCN_NONFINITE_TOTAL: &str = "dcn.nonfinite_logits_total";
+    /// Corrector vote loops truncated by a deadline or vote budget.
+    pub const CORRECTOR_TRUNCATED_TOTAL: &str = "corrector.truncated_total";
+    /// Checkpoints written (atomic temp-then-rename completed).
+    pub const CHECKPOINT_WRITES_TOTAL: &str = "checkpoint.writes_total";
+    /// Training runs resumed from an on-disk checkpoint.
+    pub const CHECKPOINT_RESUMES_TOTAL: &str = "checkpoint.resumes_total";
 }
 
 /// Fixed bucket upper bounds for latency histograms, in seconds (an

@@ -193,10 +193,13 @@ pub(crate) struct Registry {
 
 pub(crate) fn registry() -> MutexGuard<'static, Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    // A poisoned registry is still structurally sound (metrics are atomics
+    // mutated outside the lock), so recover instead of propagating a panic
+    // into the serving path.
     REGISTRY
         .get_or_init(|| Mutex::new(Registry::default()))
         .lock()
-        .expect("metric registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Returns (registering on first use) the counter named `name`.

@@ -3,11 +3,14 @@
 //! against them, assemble the full Detector-Corrector Network, and check
 //! both branches of the pipeline on a task small enough to run in seconds.
 
+use std::time::Duration;
+
 use dcn_attacks::{evaluate_untargeted, CwL2};
 use dcn_core::{
     attack_success_against, defense_accuracy, models, Corrector, Dcn, DcnVerdict, Defense,
-    Detector, DetectorConfig, StandardDefense,
+    Detector, DetectorConfig, StandardDefense, VoteBudget,
 };
+use dcn_fault::FaultPlan;
 use dcn_data::Dataset;
 use dcn_nn::Network;
 use dcn_tensor::Tensor;
@@ -150,6 +153,88 @@ fn full_pipeline_trains_attacks_detects_and_corrects() {
         let path = dcn_obs::maybe_export("end_to_end").expect("obs export path");
         assert!(path.exists());
     }
+}
+
+/// Deadline-bounded serving degrades deterministically instead of failing:
+/// under injected per-vote latency the corrector truncates its vote at a
+/// fixed point, flags the answer as degraded, and two identical runs agree
+/// bitwise. With injection off, the bounded entry point is bitwise
+/// identical to the legacy path.
+///
+/// The injected plan is latency-only (no IO/NaN/budget classes), so a
+/// concurrently running sibling test sees identical outcomes — without a
+/// deadline the virtual clock never truncates anything.
+#[test]
+fn deadline_degradation_is_deterministic_and_benign_accuracy_holds() {
+    let (net, _train, test, mut rng) = trained_setup(13);
+    let seeds: Vec<Tensor> = (0..6).map(|i| test.example(i).unwrap()).collect();
+    let detector = Detector::train_against(
+        &net,
+        &seeds,
+        &CwL2::new(0.0),
+        &DetectorConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let dcn = Dcn::new(net, detector, Corrector::new(0.15, 50).unwrap());
+
+    // 2 ms of virtual time per vote against a 20 ms deadline: exactly 10 of
+    // the 50 votes fit, on every run, on any machine.
+    let plan = FaultPlan {
+        latency_ns: 2_000_000,
+        ..FaultPlan::default()
+    };
+    let budget = VoteBudget {
+        max_votes: None,
+        deadline: Some(Duration::from_millis(20)),
+        min_quorum: 1,
+    };
+
+    dcn_fault::set_plan(Some(plan));
+    let run = |seed: u64| -> (Vec<usize>, usize, f32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut labels = Vec::new();
+        let mut degraded = 0usize;
+        let mut correct = 0usize;
+        for i in 0..test.len() {
+            let x = test.example(i).unwrap();
+            let report = dcn.try_classify_bounded(&x, &mut rng, &budget).unwrap();
+            if report.degraded {
+                degraded += 1;
+                assert_eq!(
+                    report.base_passes,
+                    1 + 10,
+                    "virtual deadline must truncate at the same vote index"
+                );
+            }
+            if report.label == test.labels()[i] {
+                correct += 1;
+            }
+            labels.push(report.label);
+        }
+        (labels, degraded, correct as f32 / test.len() as f32)
+    };
+    let (labels_a, degraded_a, acc_a) = run(77);
+    let (labels_b, degraded_b, _) = run(77);
+    dcn_fault::set_plan(None);
+
+    assert_eq!(labels_a, labels_b, "degraded serving must be deterministic");
+    assert_eq!(degraded_a, degraded_b);
+    assert!(
+        acc_a >= 0.8,
+        "benign accuracy under degradation too low: {acc_a}"
+    );
+
+    // Injection off + unbounded budget ≡ the legacy unbounded path.
+    let x = test.example(3).unwrap();
+    let mut rng_a = StdRng::seed_from_u64(9);
+    let mut rng_b = StdRng::seed_from_u64(9);
+    let legacy = dcn.classify(&x, &mut rng_a).unwrap();
+    let report = dcn
+        .classify_bounded(&x, &mut rng_b, &VoteBudget::unbounded())
+        .unwrap();
+    assert_eq!(report.label, legacy);
+    assert!(!report.degraded);
 }
 
 #[test]
