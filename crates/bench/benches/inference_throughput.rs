@@ -33,18 +33,26 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump; every
+// layout/pointer contract `GlobalAlloc` demands is delegated unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded as-is.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller handed us.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract; forwarded as-is.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `System.alloc` with this same layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract; forwarded as-is.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` pair is the caller's live System allocation.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -509,7 +509,7 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), DcnError> {
         return Ok(());
     }
     if let Some(path) = flags.get("dcn") {
-        let dcn: Dcn = parse_artifact(&read_artifact(path, "cli.dcn.read")?, "dcn")?;
+        let dcn: Dcn = parse_artifact(&read_artifact(path, "cli.info.dcn.read")?, "dcn")?;
         println!(
             "dcn {path}: base input {:?}, corrector r = {}, m = {}, detector {} params",
             dcn.base().input_shape(),

@@ -1,0 +1,189 @@
+//! Shrink-only allowlists under `ci/lint/`.
+//!
+//! Each rule owns one allowlist file of `<count> <path>` lines (`#`
+//! comments and blank lines ignored). The semantics are SHRINK-ONLY in
+//! both directions, exactly as the historic `ci/panic_allowlist.txt`:
+//!
+//! * a file with **more** findings than its allowance fails — new
+//!   violations must be fixed, not accumulated;
+//! * a file with **fewer** findings than its allowance also fails — the
+//!   allowance must be lowered so the improvement can never silently
+//!   regress;
+//! * an entry naming a file that no longer exists fails — dead allowances
+//!   are not allowed to linger.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A parsed allowlist: workspace-relative path → allowed finding count.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Allowed findings per file.
+    pub entries: BTreeMap<String, usize>,
+    /// Where the allowlist was loaded from (for messages).
+    pub source: String,
+}
+
+/// A problem with the allowlist itself (as opposed to a source finding).
+#[derive(Debug)]
+pub struct AllowlistViolation {
+    /// Workspace-relative file the violation concerns.
+    pub file: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Unparseable lines are reported as violations
+    /// rather than silently skipped — a typo must not widen the gate.
+    pub fn parse(source: &str, text: &str) -> (Self, Vec<AllowlistViolation>) {
+        let mut entries = BTreeMap::new();
+        let mut violations = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let parsed = match (parts.next(), parts.next()) {
+                (Some(count), Some(file)) => count.parse::<usize>().ok().map(|c| (c, file)),
+                _ => None,
+            };
+            match parsed {
+                Some((count, file)) => {
+                    if entries.insert(file.to_string(), count).is_some() {
+                        violations.push(AllowlistViolation {
+                            file: file.to_string(),
+                            message: format!("{source}:{}: duplicate entry for {file}", idx + 1),
+                        });
+                    }
+                }
+                None => violations.push(AllowlistViolation {
+                    file: source.to_string(),
+                    message: format!(
+                        "{source}:{}: malformed entry {line:?} (want `<count> <path>`)",
+                        idx + 1
+                    ),
+                }),
+            }
+        }
+        (
+            Allowlist {
+                entries,
+                source: source.to_string(),
+            },
+            violations,
+        )
+    }
+
+    /// Applies shrink-only semantics: marks findings covered by an
+    /// allowance as allowlisted and returns the allowlist-level violations
+    /// (over allowance, under allowance, dead entries).
+    pub fn apply(
+        &self,
+        root: &Path,
+        findings: &mut [crate::findings::Finding],
+    ) -> Vec<AllowlistViolation> {
+        let mut per_file: BTreeMap<String, usize> = BTreeMap::new();
+        for f in findings.iter() {
+            *per_file.entry(f.file.clone()).or_insert(0) += 1;
+        }
+        let mut violations = Vec::new();
+        for f in findings.iter_mut() {
+            let allowance = self.entries.get(&f.file).copied().unwrap_or(0);
+            let hits = per_file.get(f.file.as_str()).copied().unwrap_or(0);
+            // Only an exact match is silent; an over-allowance file keeps
+            // every finding visible (the fix could be any of them).
+            f.allowlisted = hits <= allowance;
+        }
+        for (file, &hits) in &per_file {
+            let allowance = self.entries.get(file.as_str()).copied().unwrap_or(0);
+            if hits > allowance {
+                violations.push(AllowlistViolation {
+                    file: file.to_string(),
+                    message: format!(
+                        "{file}: {hits} finding(s), allowance is {allowance} in {}",
+                        self.source
+                    ),
+                });
+            }
+        }
+        for (file, &allowance) in &self.entries {
+            let hits = per_file.get(file.as_str()).copied().unwrap_or(0);
+            if !root.join(file).is_file() {
+                violations.push(AllowlistViolation {
+                    file: file.clone(),
+                    message: format!("{} lists missing file {file}", self.source),
+                });
+            } else if hits < allowance {
+                violations.push(AllowlistViolation {
+                    file: file.clone(),
+                    message: format!(
+                        "{file}: {hits} finding(s) but allowance is {allowance} — shrink the entry in {}",
+                        self.source
+                    ),
+                });
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::Finding;
+
+    fn finding(file: &str) -> Finding {
+        Finding {
+            rule: "panic-free",
+            file: file.into(),
+            line: 1,
+            snippet: String::new(),
+            message: String::new(),
+            allowlisted: false,
+        }
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_rejects_garbage() {
+        let (a, v) = Allowlist::parse("t.txt", "# header\n2 crates/x/src/a.rs\n\nnot-a-count b\n");
+        assert_eq!(a.entries.get("crates/x/src/a.rs"), Some(&2));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn shrink_only_fails_both_directions() {
+        let dir = std::env::temp_dir().join("dcn_lint_allowlist_test");
+        std::fs::create_dir_all(dir.join("crates/x/src")).expect("mkdir");
+        std::fs::write(dir.join("crates/x/src/a.rs"), "").expect("write");
+        std::fs::write(dir.join("crates/x/src/b.rs"), "").expect("write");
+
+        let (a, _) = Allowlist::parse("t.txt", "1 crates/x/src/a.rs\n2 crates/x/src/b.rs\n");
+        // a.rs: exactly at allowance → silent. b.rs: under allowance → fail.
+        let mut f = vec![finding("crates/x/src/a.rs"), finding("crates/x/src/b.rs")];
+        let v = a.apply(&dir, &mut f);
+        assert!(f[0].allowlisted && f[1].allowlisted);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("shrink"));
+
+        // Over allowance → fail, findings stay visible.
+        let mut f = vec![finding("crates/x/src/a.rs"), finding("crates/x/src/a.rs")];
+        let (a1, _) = Allowlist::parse("t.txt", "1 crates/x/src/a.rs\n");
+        let v = a1.apply(&dir, &mut f);
+        assert!(!f[0].allowlisted && !f[1].allowlisted);
+        assert!(v.iter().any(|x| x.message.contains("allowance is 1")));
+    }
+
+    #[test]
+    fn dead_entries_fail() {
+        let dir = std::env::temp_dir().join("dcn_lint_allowlist_dead");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let (a, _) = Allowlist::parse("t.txt", "1 crates/gone/src/x.rs\n");
+        let mut f: Vec<Finding> = Vec::new();
+        let v = a.apply(&dir, &mut f);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("missing file"));
+    }
+}

@@ -1,0 +1,223 @@
+//! The analysis engine: walks the workspace, runs rules over lexed files,
+//! applies shrink-only allowlists, and assembles the report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::Allowlist;
+use crate::findings::{json_escape, Finding};
+use crate::rules::{registry, Rule};
+use crate::source::SourceFile;
+
+/// A fatal engine error (distinct from findings: the run itself failed).
+#[derive(Debug)]
+pub enum LintError {
+    /// Unknown rule name in `--rule`.
+    UnknownRule(String),
+    /// A filesystem operation failed.
+    Io(String),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::UnknownRule(name) => {
+                write!(f, "unknown rule {name:?} (see `dcn-lint list`)")
+            }
+            LintError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Outcome of one rule over its scope.
+pub struct RuleReport {
+    /// The rule's stable name.
+    pub name: &'static str,
+    /// How many files the rule inspected.
+    pub files_scanned: usize,
+    /// Everything the rule found, allowlisted or not.
+    pub findings: Vec<Finding>,
+    /// Allowlist-level failures (over/under allowance, dead entries).
+    pub allowlist_violations: Vec<String>,
+}
+
+impl RuleReport {
+    /// Findings not covered by the allowlist.
+    pub fn live_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowlisted)
+    }
+
+    /// Whether this rule fails the build.
+    pub fn failed(&self) -> bool {
+        self.live_findings().next().is_some() || !self.allowlist_violations.is_empty()
+    }
+}
+
+/// The whole run.
+pub struct Report {
+    /// Workspace root the run analyzed.
+    pub root: PathBuf,
+    /// One entry per executed rule, in registry order.
+    pub rules: Vec<RuleReport>,
+}
+
+impl Report {
+    /// Total count of build-failing problems.
+    pub fn violations(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| r.live_findings().count() + r.allowlist_violations.len())
+            .sum()
+    }
+
+    /// Whether the workspace is clean under every executed rule.
+    pub fn clean(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// The run as a JSON document (findings, violations, per-rule stats).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"root\": \"{}\",\n  \"violations\": {},\n  \"rules\": [\n",
+            json_escape(&self.root.display().to_string()),
+            self.violations()
+        ));
+        for (ri, rule) in self.rules.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\":\"{}\",\"files_scanned\":{},\"failed\":{},\"findings\":[\n",
+                rule.name,
+                rule.files_scanned,
+                rule.failed()
+            ));
+            for (fi, f) in rule.findings.iter().enumerate() {
+                let comma = if fi + 1 < rule.findings.len() { "," } else { "" };
+                out.push_str(&format!("      {}{comma}\n", f.to_json()));
+            }
+            out.push_str("    ],\"allowlist_violations\":[");
+            for (vi, v) in rule.allowlist_violations.iter().enumerate() {
+                let comma = if vi + 1 < rule.allowlist_violations.len() { "," } else { "" };
+                out.push_str(&format!("\"{}\"{comma}", json_escape(v)));
+            }
+            let comma = if ri + 1 < self.rules.len() { "," } else { "" };
+            out.push_str(&format!("]}}{comma}\n"));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Collects the sorted `.rs` files of `crates/<krate>/<dir>` recursively.
+fn rs_files(root: &Path, krate: &str, dir: &str) -> Result<Vec<PathBuf>, LintError> {
+    let base = root.join("crates").join(krate).join(dir);
+    if !base.is_dir() {
+        return Ok(Vec::new()); // e.g. a crate without benches/
+    }
+    let mut files = Vec::new();
+    let mut stack = vec![base];
+    while let Some(d) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&d).map_err(|e| LintError::Io(format!("{}: {e}", d.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| LintError::Io(format!("{}: {e}", d.display())))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Workspace-relative path with forward slashes, for findings/allowlists.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs `rules` (all six when `only` is `None`) over the workspace at
+/// `root`, applying each rule's allowlist from `ci/lint/`.
+pub fn run(root: &Path, only: Option<&[String]>) -> Result<Report, LintError> {
+    let mut rules: Vec<Box<dyn Rule>> = registry();
+    if let Some(names) = only {
+        for name in names {
+            if !rules.iter().any(|r| r.name() == name) {
+                return Err(LintError::UnknownRule(name.clone()));
+            }
+        }
+        rules.retain(|r| names.iter().any(|n| n == r.name()));
+    }
+
+    // Lex each file once, shared by all rules that scope it.
+    let mut cache: BTreeMap<PathBuf, SourceFile> = BTreeMap::new();
+    let mut reports = Vec::new();
+    for rule in &mut rules {
+        let mut findings = Vec::new();
+        let mut files_scanned = 0usize;
+        for krate in rule.crates() {
+            for dir in rule.dirs() {
+                for path in rs_files(root, krate, dir)? {
+                    if !cache.contains_key(&path) {
+                        let src = std::fs::read_to_string(&path)
+                            .map_err(|e| LintError::Io(format!("{}: {e}", path.display())))?;
+                        let rel = rel_path(root, &path);
+                        cache.insert(path.clone(), SourceFile::parse(&rel, &src));
+                    }
+                    if let Some(file) = cache.get(&path) {
+                        rule.check_file(file, &mut findings);
+                        files_scanned += 1;
+                    }
+                }
+            }
+        }
+        rule.finish(&mut findings);
+
+        let allow_path = root.join("ci").join("lint").join(rule.allowlist());
+        let allow_text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| LintError::Io(format!("{}: {e}", allow_path.display())))?;
+        let allow_rel = rel_path(root, &allow_path);
+        let (allowlist, parse_violations) = Allowlist::parse(&allow_rel, &allow_text);
+        let mut allowlist_violations: Vec<String> =
+            parse_violations.into_iter().map(|v| v.message).collect();
+        allowlist_violations.extend(
+            allowlist
+                .apply(root, &mut findings)
+                .into_iter()
+                .map(|v| v.message),
+        );
+
+        reports.push(RuleReport {
+            name: rule.name(),
+            files_scanned,
+            findings,
+            allowlist_violations,
+        });
+    }
+    Ok(Report {
+        root: root.to_path_buf(),
+        rules: reports,
+    })
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` containing
+/// both a `Cargo.toml` and a `crates/` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}

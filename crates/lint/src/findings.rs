@@ -1,0 +1,78 @@
+//! Findings and their machine-readable (JSON) form.
+
+/// One rule hit at a concrete source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that produced the finding (e.g. `panic-free`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Trimmed source line text.
+    pub snippet: String,
+    /// What is wrong and what to do about it.
+    pub message: String,
+    /// Whether a shrink-only allowlist entry covers this finding. Only
+    /// non-allowlisted findings fail the build.
+    pub allowlisted: bool,
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Finding {
+    /// The finding as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"message\":\"{}\",\"allowlisted\":{}}}",
+            json_escape(self.rule),
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.snippet),
+            json_escape(&self.message),
+            self.allowlisted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn finding_serializes_to_one_object() {
+        let f = Finding {
+            rule: "panic-free",
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            snippet: "x.unwrap()".into(),
+            message: "panic site".into(),
+            allowlisted: false,
+        };
+        let j = f.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"line\":3"));
+        assert!(j.contains("\"allowlisted\":false"));
+    }
+}

@@ -1,0 +1,517 @@
+//! A token-level Rust lexer for static analysis.
+//!
+//! This replaces the `sed 's@//.*@@' | grep` pipeline the panic-freedom
+//! gate used to run on: a character-accurate scanner that understands
+//! string/char/byte/raw-string literals, line and (nested) block comments,
+//! raw identifiers, lifetimes, and attributes, so a rule looking for
+//! `panic!` never fires on `"panic!"` inside a string or a doc comment.
+//!
+//! The lexer is *lossy on purpose*: whitespace is dropped (two tokens are
+//! adjacent in the stream iff only whitespace separated them in the
+//! source), attributes are folded into a single [`TokenKind::Attr`] token,
+//! and numeric literals are not validated — rules only ever look at
+//! identifier/punctuation shapes and string contents, and every token keeps
+//! its 1-based source line for reporting.
+
+/// What kind of lexical element a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `fn`, `r#type`, …).
+    Ident,
+    /// Punctuation. Multi-character only for `::`; everything else is one
+    /// character per token.
+    Punct,
+    /// A string literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`). The token text
+    /// is the *content*, without quotes, hashes, or prefix.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`). Text includes quotes.
+    Char,
+    /// A numeric literal. Text is the raw spelling.
+    Num,
+    /// A lifetime (`'a`, `'static`). Text includes the leading quote.
+    Lifetime,
+    /// A line or block comment, doc or not. Text is the raw comment
+    /// including its delimiters.
+    Comment,
+    /// A whole attribute, `#[...]` or `#![...]`, folded into one token.
+    /// Text is the raw attribute source.
+    Attr,
+}
+
+/// One lexical element with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The element's kind.
+    pub kind: TokenKind,
+    /// The element's text (see [`TokenKind`] for what exactly is kept).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    /// Consumes characters while `pred` holds, appending them to `out`.
+    fn take_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+
+    /// Consumes a `//…` line comment (the newline is left in the stream).
+    fn line_comment(&mut self, out: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+
+    /// Consumes a `/* … */` block comment, honouring nesting. The leading
+    /// `/*` has already been consumed into `out`.
+    fn block_comment(&mut self, out: &mut String) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    out.push('/');
+                    out.push('*');
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    out.push('*');
+                    out.push('/');
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(c), _) => {
+                    out.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate, rules still run
+            }
+        }
+    }
+
+    /// Consumes the body of a `"…"` string (opening quote already
+    /// consumed), returning the unescaped-as-written content (escape
+    /// sequences are kept verbatim; rules only compare full contents).
+    fn quoted_string(&mut self) -> String {
+        let mut content = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    content.push(c);
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        content.push(e);
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    content.push(c);
+                    self.bump();
+                }
+            }
+        }
+        content
+    }
+
+    /// Consumes a raw string body starting at the first `#` or `"` after
+    /// the `r`/`br`/`cr` prefix. Returns the content between the quotes.
+    fn raw_string(&mut self) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        // Opening quote.
+        self.bump();
+        let mut content = String::new();
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // A closing quote must be followed by exactly `hashes` '#'.
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        content.push(c);
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                self.bump();
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            content.push(c);
+            self.bump();
+        }
+        content
+    }
+
+    /// Consumes a char/byte literal body (opening `'` already consumed,
+    /// `prefix` holds what was consumed so far, e.g. `b'`).
+    fn char_literal(&mut self, prefix: &str) -> String {
+        let mut text = String::from(prefix);
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => {
+                    text.push(c);
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        text
+    }
+
+    /// Consumes an attribute starting at `#` (with optional `!`), tracking
+    /// bracket depth and skipping over string literals so a `]` inside a
+    /// `#[doc = "]"]` does not close the attribute early.
+    fn attribute(&mut self) -> String {
+        let mut text = String::new();
+        // `#` and optional `!` up to the opening `[`.
+        while let Some(c) = self.peek(0) {
+            text.push(c);
+            self.bump();
+            if c == '[' {
+                break;
+            }
+        }
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek(0) {
+                Some('"') => {
+                    text.push('"');
+                    self.bump();
+                    let inner = self.quoted_string();
+                    text.push_str(&inner);
+                    text.push('"');
+                }
+                Some('[') => {
+                    text.push('[');
+                    self.bump();
+                    depth += 1;
+                }
+                Some(']') => {
+                    text.push(']');
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+                None => break,
+            }
+        }
+        text
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `prefix` + a following quote starts a (possibly raw) string or
+/// byte-string literal, and whether that literal is raw.
+fn string_prefix(prefix: &str) -> Option<bool> {
+    match prefix {
+        "r" | "br" | "cr" => Some(true),
+        "b" | "c" => Some(false),
+        _ => None,
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: malformed source degrades
+/// to best-effort tokens (the workspace it runs on always compiles, so in
+/// practice the stream is exact).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut s = Scanner {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = s.peek(0) {
+        let line = s.line;
+        match c {
+            c if c.is_whitespace() => {
+                s.bump();
+            }
+            '/' if s.peek(1) == Some('/') => {
+                let mut text = String::new();
+                s.line_comment(&mut text);
+                tokens.push(Token { kind: TokenKind::Comment, text, line });
+            }
+            '/' if s.peek(1) == Some('*') => {
+                let mut text = String::from("/*");
+                s.bump();
+                s.bump();
+                s.block_comment(&mut text);
+                tokens.push(Token { kind: TokenKind::Comment, text, line });
+            }
+            '#' if s.peek(1) == Some('[') || (s.peek(1) == Some('!') && s.peek(2) == Some('[')) => {
+                let text = s.attribute();
+                tokens.push(Token { kind: TokenKind::Attr, text, line });
+            }
+            '"' => {
+                s.bump();
+                let text = s.quoted_string();
+                tokens.push(Token { kind: TokenKind::Str, text, line });
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'x…` is a lifetime when `x`
+                // starts an identifier and the literal does not close
+                // immediately after it (`'a'` is a char, `'a` a lifetime).
+                let next = s.peek(1);
+                let is_lifetime = match next {
+                    Some(n) if is_ident_start(n) => s.peek(2) != Some('\''),
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut text = String::from("'");
+                    s.bump();
+                    s.take_while(&mut text, is_ident_continue);
+                    tokens.push(Token { kind: TokenKind::Lifetime, text, line });
+                } else {
+                    s.bump();
+                    let text = s.char_literal("'");
+                    tokens.push(Token { kind: TokenKind::Char, text, line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                s.take_while(&mut text, is_ident_continue);
+                // A decimal point only belongs to the number when a digit
+                // follows — `0..n` keeps its range dots.
+                if s.peek(0) == Some('.') && s.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    text.push('.');
+                    s.bump();
+                    s.take_while(&mut text, is_ident_continue);
+                }
+                tokens.push(Token { kind: TokenKind::Num, text, line });
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                s.take_while(&mut text, is_ident_continue);
+                match string_prefix(&text) {
+                    Some(true) if s.peek(0) == Some('#') || s.peek(0) == Some('"') => {
+                        // Raw (byte/C) string — but `r#ident` is a raw
+                        // identifier, not a string.
+                        if s.peek(0) == Some('#') && s.peek(1).is_some_and(is_ident_start) {
+                            s.bump(); // '#'
+                            let mut ident = String::new();
+                            s.take_while(&mut ident, is_ident_continue);
+                            tokens.push(Token { kind: TokenKind::Ident, text: ident, line });
+                        } else {
+                            let content = s.raw_string();
+                            tokens.push(Token { kind: TokenKind::Str, text: content, line });
+                        }
+                    }
+                    Some(false) if s.peek(0) == Some('"') => {
+                        s.bump();
+                        let content = s.quoted_string();
+                        tokens.push(Token { kind: TokenKind::Str, text: content, line });
+                    }
+                    Some(_) if text == "b" && s.peek(0) == Some('\'') => {
+                        s.bump();
+                        let lit = s.char_literal("b'");
+                        tokens.push(Token { kind: TokenKind::Char, text: lit, line });
+                    }
+                    _ => tokens.push(Token { kind: TokenKind::Ident, text, line }),
+                }
+            }
+            ':' if s.peek(1) == Some(':') => {
+                s.bump();
+                s.bump();
+                tokens.push(Token { kind: TokenKind::Punct, text: "::".into(), line });
+            }
+            c => {
+                s.bump();
+                tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn panic_tokens_in_strings_are_literals_not_idents() {
+        let toks = kinds(r#"let msg = "do not .unwrap() or panic!";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("panic!")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "unwrap" || t == "panic")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let toks = kinds(r####"let s = r#"quote " and panic!"#;"####);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].1, r#"quote " and panic!"#);
+        // Nothing after the raw string leaked into identifiers.
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn byte_and_c_strings_lex_as_strings() {
+        let toks = kinds(r#"let a = b"bytes"; let b = br"raw"; let c = c"cstr";"#);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, ["bytes", "raw", "cstr"]);
+    }
+
+    #[test]
+    fn nested_block_comments_consume_fully() {
+        let toks = kinds("/* outer /* inner unwrap() */ still comment */ fn x() {}");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert!(toks[0].1.contains("inner unwrap()"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn line_and_doc_comments_are_comments() {
+        let toks = kinds("// plain panic!\n/// doc .unwrap()\n//! inner\nlet x = 1;");
+        let comments = toks.iter().filter(|(k, _)| *k == TokenKind::Comment).count();
+        assert_eq!(comments, 3);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn attributes_fold_into_one_token_even_with_brackets_in_strings() {
+        let toks = kinds(r##"#[doc = "tricky ] bracket"] #[cfg(test)] fn f() {}"##);
+        let attrs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Attr)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(attrs.len(), 2);
+        assert!(attrs[0].contains("tricky ] bracket"));
+        assert_eq!(attrs[1], "#[cfg(test)]");
+    }
+
+    #[test]
+    fn inner_attributes_and_raw_identifiers() {
+        let toks = kinds("#![deny(missing_docs)]\nlet r#type = 1;");
+        assert_eq!(toks[0].0, TokenKind::Attr);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'b'; let z = '\\''; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'b'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'\\''"));
+    }
+
+    #[test]
+    fn double_colon_is_one_token_and_lines_are_tracked() {
+        let toks = lex("a::b\nc");
+        assert!(toks[1].is_punct("::"));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[3].line, 2);
+    }
+
+    #[test]
+    fn numbers_keep_range_dots_out() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e3; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "10"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "1.5e3"));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        let toks = kinds(r#"let s = "a \" b .expect( c";"#);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains(".expect("));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "expect"));
+    }
+}

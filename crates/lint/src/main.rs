@@ -1,0 +1,165 @@
+//! `dcn-lint` — the workspace static-analysis gate.
+//!
+//! ```text
+//! dcn-lint check [--rule <name>]... [--json <path>] [--root <dir>]
+//! dcn-lint list
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings or allowlist violations, `2` usage
+//! error, `3` io/engine error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcn_lint::engine;
+use dcn_lint::rules::registry;
+
+const USAGE: &str = "\
+dcn-lint — static analysis for the DCN workspace
+
+USAGE:
+  dcn-lint check [--rule <name>]... [--json <path>] [--root <dir>]
+  dcn-lint list
+
+OPTIONS:
+  --rule <name>   run only the named rule (repeatable)
+  --json <path>   also write the full report as JSON to <path>
+  --root <dir>    workspace root (default: discovered from cwd)
+
+EXIT CODES:
+  0  clean    1  findings    2  usage error    3  io error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("dcn-lint: unknown command {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    for rule in registry() {
+        println!("{:<13} {}", rule.name(), rule.description());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut rules: Vec<String> = Vec::new();
+    let mut json_path: Option<PathBuf> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rule" => match it.next() {
+                Some(name) => rules.push(name.clone()),
+                None => return usage_error("--rule needs a rule name"),
+            },
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => return usage_error("--json needs a file path"),
+            },
+            "--root" => match it.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            other => return usage_error(&format!("unknown option {other:?}")),
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("dcn-lint: cannot read cwd: {e}");
+                    return ExitCode::from(3);
+                }
+            };
+            match engine::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "dcn-lint: no workspace root (Cargo.toml + crates/) above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    };
+
+    let only = if rules.is_empty() { None } else { Some(rules.as_slice()) };
+    let report = match engine::run(&root, only) {
+        Ok(r) => r,
+        Err(engine::LintError::UnknownRule(msg)) => {
+            return usage_error(&format!("unknown rule {msg:?}"));
+        }
+        Err(e) => {
+            eprintln!("dcn-lint: {e}");
+            return ExitCode::from(3);
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("dcn-lint: cannot create {}: {e}", parent.display());
+                    return ExitCode::from(3);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("dcn-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(3);
+        }
+    }
+
+    for rule in &report.rules {
+        let allowed = rule.findings.iter().filter(|f| f.allowlisted).count();
+        let live = rule.findings.len() - allowed;
+        let status = if rule.failed() { "FAIL" } else { "ok" };
+        println!(
+            "{status:>4}  {:<13} {} files, {live} findings, {allowed} allowlisted",
+            rule.name, rule.files_scanned
+        );
+        for f in rule.live_findings() {
+            println!("      {}:{} [{}] {}", f.file, f.line, f.rule, f.message);
+            if !f.snippet.is_empty() {
+                println!("        | {}", f.snippet);
+            }
+        }
+        for v in &rule.allowlist_violations {
+            println!("      allowlist: {v}");
+        }
+    }
+
+    let violations = report.violations();
+    if violations == 0 {
+        println!("dcn-lint: clean ({} rules)", report.rules.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("dcn-lint: {violations} violation(s)");
+        ExitCode::from(1)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("dcn-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,128 @@
+//! `error-site`: typed-error site strings are non-empty, well-formed, and
+//! unique within their file.
+//!
+//! The `DcnError::Io { site, .. }` taxonomy (and the per-crate `*Error::io`
+//! constructors feeding it) promises operators that a site string pins the
+//! failing call site. An empty or duplicated site makes two different
+//! failures indistinguishable in logs and fault plans. The rule audits the
+//! string literals handed to error-site sinks:
+//!
+//! * `…Error::io("site", …)` constructor calls;
+//! * `site: "…"` field initializers (`Io { site: "…".to_string(), … }`);
+//! * the CLI's `read_artifact`/`write_artifact` helpers, whose literal
+//!   flows verbatim into `DcnError::Io`.
+//!
+//! Sites passed as variables are resolved at their own defining literal,
+//! which this rule sees wherever it is spelled.
+
+use std::collections::BTreeMap;
+
+use super::{is_dotted_name, Rule, SERVING_CRATES};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Call sinks whose literal arguments are error sites.
+const SITE_CALL_SINKS: &[&str] = &["io", "read_artifact", "write_artifact"];
+
+/// See the module docs.
+pub struct ErrorSite;
+
+impl Rule for ErrorSite {
+    fn name(&self) -> &'static str {
+        "error-site"
+    }
+
+    fn description(&self) -> &'static str {
+        "error constructions carry non-empty dotted site strings, unique per file"
+    }
+
+    fn crates(&self) -> &'static [&'static str] {
+        SERVING_CRATES
+    }
+
+    fn allowlist(&self) -> &'static str {
+        "error_site_allowlist.txt"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // site string → line of first use in this file.
+        let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+        for i in 0..file.tokens.len() {
+            if !file.is_code(i) {
+                continue;
+            }
+            for lit in site_literals_at(file, i) {
+                let tok = &file.tokens[lit];
+                let site = tok.text.clone();
+                if site.is_empty() {
+                    out.push(finding(file, tok.line, "empty error-site string".to_string()));
+                    continue;
+                }
+                if !is_dotted_name(&site, 2) {
+                    out.push(finding(
+                        file,
+                        tok.line,
+                        format!(
+                            "error site {site:?} is not a dotted snake_case name \
+                             (want e.g. `nn.checkpoint.write`)"
+                        ),
+                    ));
+                    continue;
+                }
+                if let Some(&first) = seen.get(&site) {
+                    out.push(finding(
+                        file,
+                        tok.line,
+                        format!("error site {site:?} already used on line {first} of this file — sites must pin one call site"),
+                    ));
+                } else {
+                    seen.insert(site, tok.line);
+                }
+            }
+        }
+    }
+}
+
+/// String-literal token indices that are error sites introduced at `i`.
+fn site_literals_at(file: &SourceFile, i: usize) -> Vec<usize> {
+    // `X::io("site", …)` and the CLI artifact helpers.
+    for sink in SITE_CALL_SINKS {
+        if file.is_call(i, sink) {
+            // `io` must be a path call (`NnError::io`), not a free fn.
+            if *sink == "io"
+                && !file
+                    .prev_code(i)
+                    .is_some_and(|p| file.tokens[p].is_punct("::"))
+            {
+                return Vec::new();
+            }
+            let lits = file.call_arg_literals(i);
+            // The site is the first literal argument.
+            return lits.into_iter().take(1).collect();
+        }
+    }
+    // `site: "…"` field initializer.
+    if file.tokens[i].is_ident("site") {
+        if let Some(colon) = file.next_code(i) {
+            if file.tokens[colon].is_punct(":") {
+                if let Some(val) = file.next_code(colon) {
+                    if file.tokens[val].kind == crate::lexer::TokenKind::Str {
+                        return vec![val];
+                    }
+                }
+            }
+        }
+    }
+    Vec::new()
+}
+
+fn finding(file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "error-site",
+        file: file.path.clone(),
+        line,
+        snippet: file.snippet(line),
+        message,
+        allowlisted: false,
+    }
+}

@@ -1,0 +1,99 @@
+//! `fault-site`: the deterministic fault-injection site registry.
+//!
+//! `dcn-fault` keys its SplitMix64 decision streams by site name: two hook
+//! sites sharing a name draw from one counter stream, so an injection plan
+//! (`DCN_FAULT_*`) stops pinning *which* call fails — the determinism the
+//! whole fault-injection CI matrix rests on. The rule collects the string
+//! literals handed to fault hooks and the IO primitives that call them:
+//!
+//! * `maybe_io_error("site")`, `maybe_corrupt("site", …)`,
+//!   `short_write_cap("site")`;
+//! * `write_atomic(…, "site")`, `read_with_retry(…, "site")` and the CLI's
+//!   `read_artifact`/`write_artifact` wrappers;
+//!
+//! and enforces that every site matches the dotted snake_case plan grammar
+//! and appears **exactly once** across the workspace.
+
+use std::collections::BTreeMap;
+
+use super::{is_dotted_name, Rule, ALL_CRATES};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Sinks whose literal site argument registers a fault-injection site.
+const FAULT_SINKS: &[&str] = &[
+    "maybe_io_error",
+    "maybe_corrupt",
+    "short_write_cap",
+    "write_atomic",
+    "read_with_retry",
+    "read_artifact",
+    "write_artifact",
+];
+
+/// See the module docs.
+#[derive(Default)]
+pub struct FaultSite {
+    /// site → (file, line) of first registration across the workspace.
+    seen: BTreeMap<String, (String, u32)>,
+}
+
+impl Rule for FaultSite {
+    fn name(&self) -> &'static str {
+        "fault-site"
+    }
+
+    fn description(&self) -> &'static str {
+        "fault-injection hook sites are dotted snake_case and registered exactly once"
+    }
+
+    fn crates(&self) -> &'static [&'static str] {
+        ALL_CRATES
+    }
+
+    fn dirs(&self) -> &'static [&'static str] {
+        &["src", "benches"]
+    }
+
+    fn allowlist(&self) -> &'static str {
+        "fault_site_allowlist.txt"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for i in 0..file.tokens.len() {
+            if !file.is_code(i) || !FAULT_SINKS.iter().any(|s| file.is_call(i, s)) {
+                continue;
+            }
+            // The site argument's position varies by sink (first for hooks,
+            // last for the IO primitives); every *dotted* literal at the
+            // call's top level is a site, and non-site literal arguments
+            // (file contents, paths) do not look like sites.
+            for lit in file.call_arg_literals(i) {
+                let tok = &file.tokens[lit];
+                let site = tok.text.clone();
+                if !is_dotted_name(&site, 2) {
+                    // Not site-shaped: tolerate unless it is plausibly a
+                    // malformed site (single segment, lowercase) — paths
+                    // and payloads contain dots-with-slashes or uppercase.
+                    continue;
+                }
+                if let Some((first_file, first_line)) = self.seen.get(&site) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        file: file.path.clone(),
+                        line: tok.line,
+                        snippet: file.snippet(tok.line),
+                        message: format!(
+                            "fault site {site:?} already registered at {first_file}:{first_line} — \
+                             two hooks sharing a site share one injection stream"
+                        ),
+                        allowlisted: false,
+                    });
+                } else {
+                    self.seen
+                        .insert(site, (file.path.clone(), tok.line));
+                }
+            }
+        }
+    }
+}

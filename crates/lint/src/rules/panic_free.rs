@@ -1,0 +1,75 @@
+//! `panic-free`: no panic sites in serving-path production code.
+//!
+//! Successor to `scripts/check_panic_free.sh`'s grep pipeline, with the
+//! false positives and negatives that pipeline could not avoid fixed by
+//! lexing: panic tokens inside string literals or comments never fire, and
+//! `#[cfg(test)]` items are excluded wherever they sit in the file (the
+//! shell script only stripped a trailing test module).
+
+use super::{Rule, SERVING_CRATES};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Identifiers that panic when called as a method/associated function.
+const PANIC_CALLS: &[&str] = &["unwrap", "expect"];
+/// Macros that unconditionally panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See the module docs.
+pub struct PanicFree;
+
+impl Rule for PanicFree {
+    fn name(&self) -> &'static str {
+        "panic-free"
+    }
+
+    fn description(&self) -> &'static str {
+        "serving-path code must return typed errors, not panic (unwrap/expect/panic!/…)"
+    }
+
+    fn crates(&self) -> &'static [&'static str] {
+        SERVING_CRATES
+    }
+
+    fn allowlist(&self) -> &'static str {
+        "panic_allowlist.txt"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for i in 0..file.tokens.len() {
+            if !file.is_code(i) {
+                continue;
+            }
+            let tok = &file.tokens[i];
+            let hit = if PANIC_CALLS.iter().any(|c| tok.is_ident(c)) {
+                // `.unwrap(` / `::unwrap(` — a *call*, not e.g. a local
+                // named `unwrap` or `unwrap_or_else` (exact ident match).
+                let dotted = file
+                    .prev_code(i)
+                    .is_some_and(|p| file.tokens[p].is_punct(".") || file.tokens[p].is_punct("::"));
+                let called = file
+                    .next_code(i)
+                    .is_some_and(|n| file.tokens[n].is_punct("("));
+                dotted && called
+            } else if PANIC_MACROS.iter().any(|m| tok.is_ident(m)) {
+                file.next_code(i)
+                    .is_some_and(|n| file.tokens[n].is_punct("!"))
+            } else {
+                false
+            };
+            if hit {
+                out.push(Finding {
+                    rule: self.name(),
+                    file: file.path.clone(),
+                    line: tok.line,
+                    snippet: file.snippet(tok.line),
+                    message: format!(
+                        "panic site `{}` on the serving path — return a typed error instead",
+                        tok.text
+                    ),
+                    allowlisted: false,
+                });
+            }
+        }
+    }
+}

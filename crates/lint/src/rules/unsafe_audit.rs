@@ -1,0 +1,91 @@
+//! `unsafe-audit`: every `unsafe` block, function, and impl must be
+//! preceded by a `// SAFETY:` comment stating why the obligations hold
+//! (pointer validity, alignment, feature availability, …).
+//!
+//! The comment must belong to the same statement/item as the `unsafe`
+//! token: scanning backwards from `unsafe`, only attributes and tokens of
+//! the current statement may intervene — crossing a `;`, `{` or `}` means
+//! the nearest comment documents something else, which does not count.
+//! Consecutive comment lines merge, so `SAFETY:` may open a multi-line
+//! justification.
+
+use super::{Rule, ALL_CRATES};
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct UnsafeAudit;
+
+impl Rule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block/fn/impl needs a preceding `// SAFETY:` justification"
+    }
+
+    fn crates(&self) -> &'static [&'static str] {
+        ALL_CRATES
+    }
+
+    fn dirs(&self) -> &'static [&'static str] {
+        // Benches carry real unsafe (the counting allocator); audit them.
+        &["src", "benches"]
+    }
+
+    fn allowlist(&self) -> &'static str {
+        "unsafe_allowlist.txt"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for i in 0..file.tokens.len() {
+            if !file.is_code(i) || !file.tokens[i].is_ident("unsafe") {
+                continue;
+            }
+            if !has_safety_comment(file, i) {
+                let line = file.tokens[i].line;
+                out.push(Finding {
+                    rule: self.name(),
+                    file: file.path.clone(),
+                    line,
+                    snippet: file.snippet(line),
+                    message: "`unsafe` without a preceding `// SAFETY:` comment on the same \
+                              statement — document the proof obligations"
+                        .to_string(),
+                    allowlisted: false,
+                });
+            }
+        }
+    }
+}
+
+/// Walks backwards from the `unsafe` token at `idx` looking for a comment
+/// block containing `SAFETY:` that is attached to the same statement.
+fn has_safety_comment(file: &SourceFile, idx: usize) -> bool {
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let tok = &file.tokens[j];
+        match tok.kind {
+            TokenKind::Comment => {
+                // Merge the contiguous run of comment tokens ending here.
+                let mut start = j;
+                while start > 0 && file.tokens[start - 1].kind == TokenKind::Comment {
+                    start -= 1;
+                }
+                return file.tokens[start..=j]
+                    .iter()
+                    .any(|c| c.text.contains("SAFETY:"));
+            }
+            TokenKind::Attr => {} // attributes may sit between comment and item
+            TokenKind::Punct if matches!(tok.text.as_str(), ";" | "{" | "}") => {
+                // Statement boundary before any comment: undocumented.
+                return false;
+            }
+            _ => {} // tokens of the same statement (`pub`, `let x =`, …)
+        }
+    }
+    false
+}

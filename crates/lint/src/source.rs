@@ -1,0 +1,253 @@
+//! A lexed source file plus the structural facts rules share: which tokens
+//! sit inside `#[cfg(test)]` items, source-line snippets for findings, and
+//! call-argument scanning.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One lexed `.rs` file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (stable across OSes).
+    pub path: String,
+    /// The token stream (no whitespace tokens; see [`crate::lexer`]).
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` — token `i` belongs to a `#[cfg(test)]` item
+    /// (anywhere in the file, not just a trailing module).
+    pub in_test: Vec<bool>,
+    lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes test extents.
+    pub fn parse(path: &str, src: &str) -> Self {
+        let tokens = lex(src);
+        let in_test = mark_test_extents(&tokens);
+        SourceFile {
+            path: path.to_string(),
+            tokens,
+            in_test,
+            lines: src.lines().map(|l| l.to_string()).collect(),
+        }
+    }
+
+    /// The trimmed source text of 1-based `line`, for findings.
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Whether token `i` is production code a rule should look at: not in a
+    /// `#[cfg(test)]` extent and not a comment. Attributes are kept (some
+    /// rules inspect them); rules that don't can skip [`TokenKind::Attr`].
+    pub fn is_code(&self, i: usize) -> bool {
+        !self.in_test[i] && self.tokens[i].kind != TokenKind::Comment
+    }
+
+    /// Index of the previous non-comment, non-attribute token before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        self.tokens[..i]
+            .iter()
+            .rposition(|t| !matches!(t.kind, TokenKind::Comment | TokenKind::Attr))
+    }
+
+    /// Index of the next non-comment, non-attribute token after `i`.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        self.tokens[i + 1..]
+            .iter()
+            .position(|t| !matches!(t.kind, TokenKind::Comment | TokenKind::Attr))
+            .map(|off| i + 1 + off)
+    }
+
+    /// Whether token `i` is a *call* of `name`: the identifier itself,
+    /// immediately followed by `(`, and not a `fn` definition of that name.
+    pub fn is_call(&self, i: usize, name: &str) -> bool {
+        if !self.tokens[i].is_ident(name) {
+            return false;
+        }
+        let follows_fn = self
+            .prev_code(i)
+            .is_some_and(|p| self.tokens[p].is_ident("fn"));
+        let called = self
+            .next_code(i)
+            .is_some_and(|n| self.tokens[n].is_punct("("));
+        called && !follows_fn
+    }
+
+    /// Token indices of string literals at parenthesis depth 1 inside the
+    /// argument list of the call whose name token is at `i` (as accepted by
+    /// [`SourceFile::is_call`]). Literals nested in inner calls are not
+    /// collected — `f(g("inner"), "outer")` yields only `"outer"`.
+    pub fn call_arg_literals(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let Some(open) = self.next_code(i) else {
+            return out;
+        };
+        let mut depth = 0usize;
+        for (j, tok) in self.tokens.iter().enumerate().skip(open) {
+            match tok.kind {
+                TokenKind::Punct if tok.text == "(" => depth += 1,
+                TokenKind::Punct if tok.text == ")" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Str if depth == 1 => out.push(j),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Whether an attribute token gates its item on `cfg(test)` (including
+/// `cfg(all(test, …))` and friends). `cfg_attr` does not count: it
+/// conditions *attributes*, not the item's compilation.
+fn is_cfg_test_attr(attr: &Token) -> bool {
+    if attr.kind != TokenKind::Attr {
+        return false;
+    }
+    let flat: String = attr.text.chars().filter(|c| !c.is_whitespace()).collect();
+    if !(flat.starts_with("#[cfg(") || flat.starts_with("#![cfg(")) {
+        return false;
+    }
+    // `test` must appear as a standalone cfg predicate word.
+    let bytes: Vec<char> = flat.chars().collect();
+    let word: Vec<char> = "test".chars().collect();
+    for start in 0..bytes.len().saturating_sub(word.len() - 1) {
+        if bytes[start..start + word.len()] != word[..] {
+            continue;
+        }
+        let before_ok = start == 0
+            || !(bytes[start - 1].is_alphanumeric() || bytes[start - 1] == '_');
+        let after = start + word.len();
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_alphanumeric() || bytes[after] == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Marks every token belonging to a `#[cfg(test)]` item. The extent of an
+/// item is everything from its attribute to the matching `}` of its first
+/// brace (covering `mod tests { … }` wherever it sits in the file, and
+/// `#[cfg(test)] fn helper() { … }`), or to the first top-level `;` for
+/// brace-less items (`#[cfg(test)] use …;`).
+fn mark_test_extents(tokens: &[Token]) -> Vec<bool> {
+    let mut marked = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_cfg_test_attr(&tokens[i]) || marked[i] {
+            i += 1;
+            continue;
+        }
+        marked[i] = true;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            marked[j] = true;
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_test_module_is_excluded() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn a() {}\n#[cfg(test)]\nmod tests { fn b() { x.unwrap(); } }\n",
+        );
+        let unwrap_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("token present");
+        assert!(f.in_test[unwrap_idx]);
+        let a_idx = f.tokens.iter().position(|t| t.is_ident("a")).expect("token");
+        assert!(!f.in_test[a_idx]);
+    }
+
+    #[test]
+    fn mid_file_test_module_is_excluded_and_code_after_is_not() {
+        // The historic shell gate stopped at the FIRST #[cfg(test)] line and
+        // so never audited `late` at all; the lexer-based extents must both
+        // exclude the module and keep auditing what follows it.
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn late() { y.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let unwraps: Vec<usize> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(f.in_test[unwraps[0]], "module body is test code");
+        assert!(!f.in_test[unwraps[1]], "code after the module is audited");
+    }
+
+    #[test]
+    fn cfg_all_test_counts_but_cfg_attr_and_lookalikes_do_not() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "#[cfg(all(test, feature = \"x\"))]\nmod t { }\n#[cfg(target_arch = \"x86_64\")]\nfn arch() {}\n#[cfg_attr(test, ignore)]\nfn kept() {}\n",
+        );
+        let t_idx = f.tokens.iter().position(|t| t.is_ident("t")).expect("t");
+        assert!(f.in_test[t_idx]);
+        let arch_idx = f.tokens.iter().position(|t| t.is_ident("arch")).expect("a");
+        assert!(!f.in_test[arch_idx]);
+        let kept_idx = f.tokens.iter().position(|t| t.is_ident("kept")).expect("k");
+        assert!(!f.in_test[kept_idx]);
+    }
+
+    #[test]
+    fn call_detection_skips_fn_definitions() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn write_atomic(p: &str) {}\nfn use_it() { write_atomic(\"a.b\"); }\n",
+        );
+        let calls: Vec<usize> = (0..f.tokens.len())
+            .filter(|&i| f.is_call(i, "write_atomic"))
+            .collect();
+        assert_eq!(calls.len(), 1);
+        let lits = f.call_arg_literals(calls[0]);
+        assert_eq!(lits.len(), 1);
+        assert_eq!(f.tokens[lits[0]].text, "a.b");
+    }
+
+    #[test]
+    fn nested_call_literals_are_not_collected() {
+        let f = SourceFile::parse("x.rs", "f(g(\"inner.x\"), \"outer.y\");\n");
+        let i = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("f"))
+            .expect("token");
+        let lits = f.call_arg_literals(i);
+        assert_eq!(lits.len(), 1);
+        assert_eq!(f.tokens[lits[0]].text, "outer.y");
+    }
+}

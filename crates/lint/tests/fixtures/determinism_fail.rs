@@ -1,0 +1,11 @@
+// Fixture: three distinct nondeterminism leaks in non-test numeric code.
+
+pub fn leaky() -> u64 {
+    // Wall-clock read.
+    let t = std::time::Instant::now();
+    // Unordered iteration.
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    // Environment read.
+    let threads = std::env::var("THREADS").ok();
+    t.elapsed().as_nanos() as u64 + m.len() as u64 + threads.map_or(0, |s| s.len() as u64)
+}

@@ -1,0 +1,28 @@
+// Fixture: numeric code staying inside the determinism envelope — ordered
+// maps, explicit seeds, durations handed in by the caller.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+// Mentions of forbidden names in comments (HashMap, Instant::now) or in
+// strings are not reads: "std::env::var(DCN_THREADS)".
+pub fn budget(d: Duration) -> u64 {
+    d.as_millis() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may read clocks.
+    #[test]
+    fn timed() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: empty site, malformed site, and a per-file duplicate.
+
+pub fn bad_empty(e: std::io::Error) -> Error {
+    Error::io("", e)
+}
+
+pub fn bad_grammar(e: std::io::Error) -> Error {
+    Error::io("NotDotted", e)
+}
+
+pub fn first(e: std::io::Error) -> Error {
+    Error::io("fixture.dup", e)
+}
+
+pub fn second(e: std::io::Error) -> Error {
+    Error::io("fixture.dup", e)
+}

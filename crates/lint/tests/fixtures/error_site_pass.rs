@@ -1,0 +1,16 @@
+// Fixture: well-formed, per-file-unique error sites.
+
+pub fn load(path: &str) -> Result<Vec<u8>, Error> {
+    std::fs::read(path).map_err(|e| Error::io("fixture.load", e))
+}
+
+pub fn store(path: &str, data: &[u8]) -> Result<(), Error> {
+    std::fs::write(path, data).map_err(|e| Error::io("fixture.store", e))
+}
+
+pub fn wrap(e: std::io::Error) -> Error {
+    Error::Io {
+        site: "fixture.wrap".to_string(),
+        source: e,
+    }
+}

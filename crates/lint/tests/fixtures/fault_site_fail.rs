@@ -1,0 +1,6 @@
+// Fixture: two hooks sharing one site — their injection streams collide.
+
+pub fn save(path: &str, data: &[u8]) -> Result<(), Error> {
+    maybe_io_error("fixture.shared")?;
+    write_atomic(path, data, "fixture.shared")
+}

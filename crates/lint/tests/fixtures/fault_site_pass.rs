@@ -1,0 +1,11 @@
+// Fixture: each fault-injection hook site registered exactly once.
+
+pub fn save(path: &str, data: &[u8]) -> Result<(), Error> {
+    maybe_io_error("fixture.save")?;
+    write_atomic(path, data, "fixture.save.atomic")
+}
+
+pub fn load(path: &str) -> Result<Vec<u8>, Error> {
+    let bytes = read_with_retry(path, "fixture.load")?;
+    maybe_corrupt("fixture.load.payload", bytes)
+}

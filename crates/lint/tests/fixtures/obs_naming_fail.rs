@@ -1,0 +1,12 @@
+// Fixture: a grammar violation and a name minted twice.
+
+pub mod names {
+    pub const DUP: &str = "fixture.dup_total";
+}
+
+pub fn record() {
+    // CamelCase breaks the snake_case.dotted grammar.
+    counter("Fixture.BadName", 1);
+    // Same value as names::DUP — minted twice.
+    counter("fixture.dup_total", 1);
+}

@@ -1,0 +1,13 @@
+// Fixture: names minted once in a registry module, reused via constants.
+
+pub mod names {
+    pub const FORWARD: &str = "fixture.forward_total";
+    pub const LATENCY: &str = "fixture.latency_us";
+    pub const LEGACY: &str = "legacy_single_segment_total";
+}
+
+pub fn record() {
+    counter(names::FORWARD, 1);
+    histogram(names::LATENCY, 42);
+    counter(names::LEGACY, 1);
+}

@@ -1,0 +1,24 @@
+// Fixture: live panic sites, one of them AFTER a non-trailing
+// `#[cfg(test)]` module — the false-negative the old pipeline missed.
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod mid_tests {
+    #[test]
+    fn fine() {
+        assert_eq!(super::first(Some(1)), 1);
+    }
+}
+
+// The old awk pipeline stopped at the first `#[cfg(test)]` line and never
+// saw this site.
+pub fn second(v: Option<u32>) -> u32 {
+    v.expect("must not reach the gate")
+}
+
+pub fn third() -> ! {
+    unreachable!("nor this one")
+}

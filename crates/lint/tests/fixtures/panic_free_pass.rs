@@ -1,0 +1,27 @@
+// Fixture: no live panic sites. Panic-shaped text appears only inside
+// strings, comments, and `#[cfg(test)]` modules — including a module that
+// is NOT at end-of-file, the old grep pipeline's blind spot.
+
+pub fn describe() -> &'static str {
+    // .unwrap() in a comment is not a call.
+    "call .unwrap() and panic!(now)" // neither is this string
+}
+
+#[cfg(test)]
+mod early_tests {
+    #[test]
+    fn allowed_here() {
+        super::describe().to_string().pop().unwrap();
+        panic!("test-only");
+    }
+}
+
+// Real code AFTER the test module must still be scanned (and is clean).
+pub fn after_tests(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn raw(s: &str) -> String {
+    let r = r#"lit with .expect( inside"#;
+    format!("{s}{r}")
+}

@@ -1,0 +1,9 @@
+// Fixture: undocumented unsafe. A comment elsewhere in the function does
+// not count — the SAFETY comment must precede the unsafe on its statement.
+
+pub fn read_first(xs: &[f32]) -> f32 {
+    // This block skips the bounds check for speed.
+    let first = xs.first();
+    drop(first);
+    unsafe { *xs.get_unchecked(0) }
+}

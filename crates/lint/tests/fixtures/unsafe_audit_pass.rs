@@ -1,0 +1,14 @@
+// Fixture: every `unsafe` carries a SAFETY justification.
+
+pub fn read_first(xs: &[f32]) -> f32 {
+    // SAFETY: caller guarantees `xs` is non-empty; bounds proven above.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+// SAFETY: `unsafe fn` solely because of `#[target_feature]`; body is safe
+// code and callers verify AVX2 at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn widened(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}

@@ -1,0 +1,140 @@
+//! Drives every rule over its fixture pair: the `*_pass.rs` fixture must
+//! produce zero findings, the `*_fail.rs` fixture at least one, and the
+//! fail-side findings must be the expected ones.
+
+use dcn_lint::findings::Finding;
+use dcn_lint::rules::registry;
+use dcn_lint::SourceFile;
+
+/// Lexes a fixture and runs the named rule over it with fresh state.
+fn run_rule(rule_name: &str, fixture: &str) -> Vec<Finding> {
+    let path = format!(
+        "{}/tests/fixtures/{fixture}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(&path).expect("fixture exists");
+    let file = SourceFile::parse(&format!("tests/fixtures/{fixture}"), &src);
+    let mut rule = registry()
+        .into_iter()
+        .find(|r| r.name() == rule_name)
+        .expect("rule registered");
+    let mut out = Vec::new();
+    rule.check_file(&file, &mut out);
+    rule.finish(&mut out);
+    out
+}
+
+fn assert_pass(rule: &str, fixture: &str) {
+    let findings = run_rule(rule, fixture);
+    assert!(
+        findings.is_empty(),
+        "{fixture} should be clean under {rule}, got: {:#?}",
+        findings
+    );
+}
+
+#[test]
+fn panic_free_pass_fixture_is_clean() {
+    assert_pass("panic-free", "panic_free_pass.rs");
+}
+
+#[test]
+fn panic_free_fail_fixture_trips_including_after_mid_file_test_module() {
+    let findings = run_rule("panic-free", "panic_free_fail.rs");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    // The `.expect` after the mid-file `#[cfg(test)]` module — the old
+    // pipeline's false negative — must be among them.
+    assert!(
+        findings.iter().any(|f| f.snippet.contains("must not reach the gate")),
+        "site after mid-file test module missed: {findings:#?}"
+    );
+    assert!(findings.iter().any(|f| f.snippet.contains("unreachable!")));
+}
+
+#[test]
+fn determinism_pass_fixture_is_clean() {
+    assert_pass("determinism", "determinism_pass.rs");
+}
+
+#[test]
+fn determinism_fail_fixture_trips_all_three_leaks() {
+    let findings = run_rule("determinism", "determinism_fail.rs");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    let text = format!("{findings:?}");
+    assert!(text.contains("Instant"));
+    assert!(text.contains("HashMap"));
+    assert!(text.contains("var"));
+}
+
+#[test]
+fn unsafe_audit_pass_fixture_is_clean() {
+    assert_pass("unsafe-audit", "unsafe_audit_pass.rs");
+}
+
+#[test]
+fn unsafe_audit_fail_fixture_trips() {
+    let findings = run_rule("unsafe-audit", "unsafe_audit_fail.rs");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn deleting_a_safety_comment_fails_the_gate() {
+    // Acceptance demo: strip the SAFETY comments from the pass fixture and
+    // the same code now fails.
+    let path = format!(
+        "{}/tests/fixtures/unsafe_audit_pass.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(&path).expect("fixture exists");
+    let tampered = src.replace("SAFETY:", "NOTE:");
+    let file = SourceFile::parse("tampered.rs", &tampered);
+    let mut rule = registry()
+        .into_iter()
+        .find(|r| r.name() == "unsafe-audit")
+        .expect("rule registered");
+    let mut out = Vec::new();
+    rule.check_file(&file, &mut out);
+    assert_eq!(out.len(), 2, "{out:#?}");
+}
+
+#[test]
+fn error_site_pass_fixture_is_clean() {
+    assert_pass("error-site", "error_site_pass.rs");
+}
+
+#[test]
+fn error_site_fail_fixture_trips_empty_grammar_and_duplicate() {
+    let findings = run_rule("error-site", "error_site_fail.rs");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    let text = format!("{findings:?}");
+    assert!(text.contains("empty"));
+    assert!(text.contains("NotDotted"));
+    assert!(text.contains("already used"));
+}
+
+#[test]
+fn obs_naming_pass_fixture_is_clean() {
+    assert_pass("obs-naming", "obs_naming_pass.rs");
+}
+
+#[test]
+fn obs_naming_fail_fixture_trips_grammar_and_duplicate() {
+    let findings = run_rule("obs-naming", "obs_naming_fail.rs");
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    let text = format!("{findings:?}");
+    assert!(text.contains("Fixture.BadName"));
+    assert!(text.contains("already minted"));
+}
+
+#[test]
+fn fault_site_pass_fixture_is_clean() {
+    assert_pass("fault-site", "fault_site_pass.rs");
+}
+
+#[test]
+fn fault_site_fail_fixture_trips_duplicate_registration() {
+    let findings = run_rule("fault-site", "fault_site_fail.rs");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("already registered"));
+}

@@ -354,7 +354,7 @@ impl Network {
     /// As [`Network::save`].
     pub fn save_sealed(&self, path: impl AsRef<Path>) -> Result<()> {
         let sealed = checkpoint::seal(&self.to_json()?);
-        checkpoint::write_atomic(path, sealed.as_bytes(), "nn.save")
+        checkpoint::write_atomic(path, sealed.as_bytes(), "nn.save_sealed")
     }
 
     /// Reads a model previously written by [`Network::save`] or

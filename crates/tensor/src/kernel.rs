@@ -96,6 +96,8 @@ pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k:
     gemm_nn_impl(a, b, out, i0, rows, k, n);
 }
 
+// SAFETY: `unsafe fn` solely because of `#[target_feature]`; the body is
+// safe code. Callers must verify AVX2 at runtime before calling.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_nn_avx2(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
@@ -236,6 +238,8 @@ pub fn gemm_tn(
     gemm_tn_impl(a, b, out, i0, rows, m, k, n);
 }
 
+// SAFETY: `unsafe fn` solely because of `#[target_feature]`; the body is
+// safe code. Callers must verify AVX2 at runtime before calling.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
@@ -382,6 +386,8 @@ pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k:
     gemm_nt_impl(a, b, out, i0, rows, k, n);
 }
 
+// SAFETY: `unsafe fn` solely because of `#[target_feature]`; the body is
+// safe code. Callers must verify AVX2 at runtime before calling.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_nt_avx2(a: &[f32], b: &[f32], out: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
