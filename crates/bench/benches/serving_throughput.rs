@@ -1,0 +1,55 @@
+//! Serving-engine scaling: closed-loop throughput of `dcn-serve` at 1 and
+//! 4 concurrent clients, through real sockets and the real batcher. The
+//! recorded `BENCH_serving_throughput.json` carries the two throughput
+//! figures, their ratio, and the host core count; the CI bench-smoke leg
+//! asserts the 4-client run reaches ≥ 1.5× the single-client throughput on
+//! hosts with ≥ 4 cores (on smaller hosts the ratio is recorded but only
+//! reported — batching still helps, but the win is queueing, not compute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_serve::bench::{run, BenchConfig};
+
+fn bench_serving_throughput(c: &mut Criterion) {
+    let report = run(&BenchConfig {
+        clients: vec![1, 4],
+        requests_per_client: 40,
+        corrector_samples: 24,
+        ..BenchConfig::default()
+    })
+    .expect("serving bench sweep");
+
+    let mut rps = [0.0f64; 2];
+    for (slot, point) in report.points.iter().enumerate() {
+        assert_eq!(point.errors, 0, "bench requests must not fail");
+        rps[slot] = point.throughput_rps;
+        c.record_metric(
+            format!("serving_throughput/rps/{}", point.clients),
+            point.throughput_rps,
+        );
+        c.record_metric(
+            format!("serving_throughput/p50_ms/{}", point.clients),
+            point.p50_ms,
+        );
+        c.record_metric(
+            format!("serving_throughput/p99_ms/{}", point.clients),
+            point.p99_ms,
+        );
+    }
+    let speedup = if rps[0] > 0.0 { rps[1] / rps[0] } else { 0.0 };
+    c.record_metric("serving_throughput/speedup/4v1", speedup);
+    c.record_metric("serving_throughput/cores", report.cores as f64);
+    eprintln!(
+        "serving throughput: {:.1} req/s @ 1 client, {:.1} req/s @ 4 clients \
+         ({speedup:.2}x, {} cores available)",
+        rps[0], rps[1], report.cores
+    );
+    if report.cores < 4 {
+        eprintln!(
+            "note: only {} cores — the 1.5x scaling floor is not asserted here",
+            report.cores
+        );
+    }
+}
+
+criterion_group!(serving_throughput, bench_serving_throughput);
+criterion_main!(serving_throughput);

@@ -140,6 +140,30 @@ impl Corrector {
         Corrector::new(self.radius, samples)
     }
 
+    /// Fills `out` (length `m × x.len()`) with the `m` hypercube sample
+    /// points for one vote: noise is drawn sample-major, element-ascending,
+    /// and applied add-then-clamp to the valid pixel box `[-0.5, 0.5]`.
+    ///
+    /// This is *the* draw loop — every vote path (unbounded, bounded, and
+    /// the cross-request batch in [`crate::Dcn::try_classify_batch`]) goes
+    /// through it, so two paths handed rngs in the same state produce
+    /// bitwise-identical sample batches and leave the rngs in the same
+    /// state, no matter how the classification work is later chunked.
+    pub(crate) fn fill_vote_samples<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+        out: &mut [f32],
+    ) {
+        let dist = Uniform::new(-self.radius, self.radius);
+        let xd = x.data();
+        for sample in out.chunks_exact_mut(x.len().max(1)) {
+            for (o, &v) in sample.iter_mut().zip(xd) {
+                *o = (v + dist.sample(rng)).clamp(-0.5, 0.5);
+            }
+        }
+    }
+
     /// Recovers a label for `x` by majority vote.
     ///
     /// # Errors
@@ -177,14 +201,8 @@ impl Corrector {
         // matter how many threads classify the samples below.
         let m = self.samples;
         let len = x.len();
-        let dist = Uniform::new(-self.radius, self.radius);
-        let xd = x.data();
         let mut batch_buf = scratch::take(m * len);
-        for sample in batch_buf.chunks_exact_mut(len) {
-            for (o, &v) in sample.iter_mut().zip(xd) {
-                *o = (v + dist.sample(rng)).clamp(-0.5, 0.5);
-            }
-        }
+        self.fill_vote_samples(x, rng, &mut batch_buf);
         let mut batch_shape = Vec::with_capacity(x.rank() + 1);
         batch_shape.push(m);
         batch_shape.extend_from_slice(x.shape());
@@ -303,14 +321,8 @@ impl Corrector {
         // Draw ALL m samples up front with the exact loop the unbounded
         // path uses: the rng stream does not depend on where we truncate.
         let len = x.len();
-        let dist = Uniform::new(-self.radius, self.radius);
-        let xd = x.data();
         let mut batch_buf = scratch::take(m * len);
-        for sample in batch_buf.chunks_exact_mut(len) {
-            for (o, &v) in sample.iter_mut().zip(xd) {
-                *o = (v + dist.sample(rng)).clamp(-0.5, 0.5);
-            }
-        }
+        self.fill_vote_samples(x, rng, &mut batch_buf);
         // Classify in fixed-size chunks, checking the deadline between
         // chunks and ticking the fault clock per vote. Chunked serial
         // classification is bitwise-identical per example to one batched

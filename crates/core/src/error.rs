@@ -43,6 +43,17 @@ pub enum DcnError {
     /// weights, overflowed activations. The serving path fails closed on
     /// these rather than classifying garbage.
     NonFinite(String),
+    /// The serving engine refused the request at admission: its bounded
+    /// queue was full. Nothing was computed; retry with backoff or add
+    /// capacity. (Load *shedding* — answering with a degraded base
+    /// prediction — is not an error; this variant is the rung below it on
+    /// the QoS ladder, when even a degraded answer cannot be queued.)
+    Overloaded {
+        /// Requests queued when the request was refused.
+        queued: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
     /// An unclassified tensor-level failure.
     Tensor(TensorError),
     /// An unclassified network-level failure.
@@ -57,14 +68,16 @@ pub enum DcnError {
 
 impl DcnError {
     /// The process exit code for this failure class, for CLI scripting:
-    /// `2` config, `3` IO, `4` corrupt state, `5` non-finite values, `1`
-    /// anything else. (`0` is success and never returned here.)
+    /// `2` config, `3` IO, `4` corrupt state, `5` non-finite values, `6`
+    /// overloaded, `1` anything else. (`0` is success and never returned
+    /// here.)
     pub fn exit_code(&self) -> i32 {
         match self {
             DcnError::Config(_) => 2,
             DcnError::Io { .. } => 3,
             DcnError::Corrupt(_) => 4,
             DcnError::NonFinite(_) => 5,
+            DcnError::Overloaded { .. } => 6,
             _ => 1,
         }
     }
@@ -79,6 +92,10 @@ impl fmt::Display for DcnError {
             }
             DcnError::Corrupt(msg) => write!(f, "corrupt state: {msg}"),
             DcnError::NonFinite(msg) => write!(f, "non-finite values: {msg}"),
+            DcnError::Overloaded { queued, capacity } => write!(
+                f,
+                "overloaded: admission queue full ({queued}/{capacity} requests queued)"
+            ),
             DcnError::Tensor(e) => write!(f, "tensor error: {e}"),
             DcnError::Nn(e) => write!(f, "network error: {e}"),
             DcnError::Data(e) => write!(f, "data error: {e}"),
@@ -165,6 +182,14 @@ mod tests {
         );
         assert_eq!(DcnError::Corrupt("x".into()).exit_code(), 4);
         assert_eq!(DcnError::NonFinite("x".into()).exit_code(), 5);
+        assert_eq!(
+            DcnError::Overloaded {
+                queued: 8,
+                capacity: 8
+            }
+            .exit_code(),
+            6
+        );
         assert_eq!(DcnError::Tensor(TensorError::Empty).exit_code(), 1);
     }
 

@@ -50,6 +50,7 @@
 #![deny(missing_docs)]
 
 mod adaptive;
+mod batch;
 mod corrector;
 mod cost;
 mod dcn;
@@ -63,6 +64,7 @@ mod region;
 mod squeeze;
 
 pub use adaptive::AdaptiveCwL2;
+pub use batch::BatchRequest;
 pub use corrector::{BoundedVote, Corrector, VoteBudget};
 pub use cost::CountingClassifier;
 pub use dcn::{Dcn, DcnReport, DcnVerdict};

@@ -58,11 +58,11 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
 /// the linter itself — it gates the workspace, so it holds itself to the
 /// same bar.
 pub const SERVING_CRATES: &[&str] =
-    &["tensor", "nn", "data", "core", "fault", "obs", "cli", "lint"];
+    &["tensor", "nn", "data", "core", "fault", "obs", "cli", "serve", "lint"];
 
 /// Every workspace crate under `crates/`.
 pub const ALL_CRATES: &[&str] = &[
-    "tensor", "nn", "data", "core", "attacks", "fault", "obs", "cli", "bench", "lint",
+    "tensor", "nn", "data", "core", "attacks", "fault", "obs", "cli", "serve", "bench", "lint",
 ];
 
 /// The numeric crates whose outputs must be bitwise reproducible.

@@ -1,0 +1,385 @@
+//! Closed-loop load generator (`dcn-serve bench`).
+//!
+//! Spawns `N` client threads against an in-process server; each thread
+//! sends its next request only after receiving the previous answer
+//! (closed-loop), so measured latency is honest queueing-plus-service time
+//! and throughput saturates where the batcher does. Per-client-count
+//! results — throughput plus exact p50/p99 over every recorded request
+//! latency — land in `results/BENCH_serving.json`.
+//!
+//! The demo model is deliberately tiny (the same three-Gaussian-blobs MLP
+//! the fault-tolerance suite trains) so the bench measures the *serving
+//! engine* — batching, queueing, socket turnaround — not GEMM throughput.
+
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use dcn_core::{models, Corrector, Dcn, DcnError, Detector, DetectorConfig, VoteBudget};
+use dcn_data::Dataset;
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::client::Client;
+use crate::protocol::{Request, Response, WireMode};
+use crate::server::{Server, ServerConfig};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Concurrent-client counts to sweep.
+    pub clients: Vec<usize>,
+    /// Requests each client sends (closed-loop).
+    pub requests_per_client: usize,
+    /// Corrector sample count for the demo model.
+    pub corrector_samples: usize,
+    /// Per-request vote budget (unbounded by default).
+    pub budget: VoteBudget,
+    /// Batcher coalescing limit.
+    pub max_batch: usize,
+    /// Wire encoding.
+    pub mode: WireMode,
+    /// Seed for the demo model and the request streams.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            clients: vec![1, 4, 16, 64],
+            requests_per_client: 50,
+            corrector_samples: 24,
+            budget: VoteBudget::unbounded(),
+            max_batch: 16,
+            mode: WireMode::Binary,
+            seed: 11,
+        }
+    }
+}
+
+/// One client-count's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchPoint {
+    /// Concurrent clients in this run.
+    pub clients: usize,
+    /// Requests completed successfully.
+    pub requests: usize,
+    /// Responses flagged degraded (shed or truncated vote).
+    pub degraded: usize,
+    /// Per-request failures (admission rejections, IO errors).
+    pub errors: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency, milliseconds (exact, from all samples).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds (exact).
+    pub p99_ms: f64,
+    /// Mean request latency, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Logical cores on the host (context for the scaling numbers).
+    pub cores: usize,
+    /// Corrector sample count served.
+    pub corrector_samples: usize,
+    /// Requests each client sent.
+    pub requests_per_client: usize,
+    /// One point per swept client count.
+    pub points: Vec<BenchPoint>,
+}
+
+/// Three separable Gaussian blobs in a 4-dim box — the fault-tolerance
+/// suite's dataset, reused so the serving demo model needs no artifacts.
+pub fn demo_dataset(n: usize, rng: &mut StdRng) -> Result<Dataset, DcnError> {
+    const CENTERS: [[f32; 4]; 3] = [
+        [-0.3, -0.3, 0.25, 0.0],
+        [0.3, -0.3, -0.25, 0.1],
+        [0.0, 0.35, 0.0, -0.3],
+    ];
+    let mut data = Vec::with_capacity(n * 4);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 3;
+        for &c in &CENTERS[class] {
+            let v: f32 = c + rng.gen_range(-0.06..0.06);
+            data.push(v.clamp(-0.5, 0.5));
+        }
+        labels.push(class);
+    }
+    let images = Tensor::from_vec(vec![n, 4], data)?;
+    Ok(Dataset::new(images, labels, 3)?)
+}
+
+/// A small trained DCN for serving demos, benches, and tests: blobs MLP
+/// base, detector fit on synthetic logit families, `m`-vote corrector.
+pub fn demo_dcn(seed: u64, corrector_samples: usize) -> Result<Dcn, DcnError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = demo_dataset(120, &mut rng)?;
+    let net = models::mlp(4, 12, 3, &mut rng)?;
+    let net = models::train_classifier(net, &train, 25, 0.01, &mut rng)?;
+    let benign: Vec<Tensor> = (0..6)
+        .map(|i| {
+            let mut v = [-2.0f32; 3];
+            v[i % 3] = 6.0 + 0.1 * i as f32;
+            Tensor::from_slice(&v)
+        })
+        .collect();
+    let adversarial: Vec<Tensor> = (0..6)
+        .map(|i| {
+            let base = 1.0 + 0.05 * i as f32;
+            Tensor::from_slice(&[base, base - 0.1, base - 0.2])
+        })
+        .collect();
+    let detector =
+        Detector::train_from_logits(&benign, &adversarial, &DetectorConfig::default(), &mut rng)?;
+    Ok(Dcn::new(
+        net,
+        detector,
+        Corrector::new(0.12, corrector_samples.max(1))?,
+    ))
+}
+
+/// A deterministic pool of request inputs: blob points plus near-boundary
+/// midpoints so some requests pass through and some trigger votes.
+pub fn demo_inputs(n: usize, seed: u64) -> Result<Vec<Tensor>, DcnError> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(17));
+    let data = demo_dataset(n.max(1), &mut rng)?;
+    let mut inputs = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = data.example(i % data.len())?;
+        if i % 3 == 2 {
+            // Blend toward the box center: a low-margin, detector-prone
+            // input that exercises the corrector path.
+            let blended: Vec<f32> = x.data().iter().map(|&v| v * 0.25).collect();
+            inputs.push(Tensor::from_vec(x.shape().to_vec(), blended)?);
+        } else {
+            inputs.push(x);
+        }
+    }
+    Ok(inputs)
+}
+
+/// Runs the closed-loop sweep against an in-process server.
+///
+/// # Errors
+///
+/// Model construction or server start failures; per-request failures are
+/// *counted*, not fatal.
+pub fn run(config: &BenchConfig) -> Result<BenchReport, DcnError> {
+    let dcn = Arc::new(demo_dcn(config.seed, config.corrector_samples)?);
+    let inputs = Arc::new(demo_inputs(30, config.seed)?);
+    let mut points = Vec::with_capacity(config.clients.len());
+    for &clients in &config.clients {
+        let clients = clients.max(1);
+        let server = Server::start(
+            Arc::clone(&dcn),
+            ServerConfig {
+                mode: config.mode,
+                max_batch: config.max_batch,
+                // Generous queue: the bench measures batching throughput,
+                // not admission control.
+                queue_capacity: (clients * 4).max(64),
+                shed_mark: usize::MAX,
+                ..ServerConfig::default()
+            },
+        )?;
+        let addr = server.addr().to_string();
+        let barrier = Arc::new(Barrier::new(clients + 1));
+        let outcomes: Arc<Mutex<Vec<ClientOutcome>>> =
+            Arc::new(Mutex::new(Vec::with_capacity(clients)));
+        let mut handles = Vec::with_capacity(clients);
+        for c in 0..clients {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let inputs = Arc::clone(&inputs);
+            let outcomes = Arc::clone(&outcomes);
+            let requests = config.requests_per_client;
+            let budget = config.budget;
+            let mode = config.mode;
+            let seed = config.seed;
+            handles.push(std::thread::spawn(move || {
+                let outcome = client_loop(&addr, mode, c, requests, seed, &inputs, budget, &barrier);
+                outcomes
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(outcome);
+            }));
+        }
+        barrier.wait();
+        let started = Instant::now();
+        for h in handles {
+            let _ = h.join();
+        }
+        let elapsed = started.elapsed();
+        server.shutdown();
+        let collected = outcomes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect::<Vec<_>>();
+        points.push(summarize(clients, &collected, elapsed));
+    }
+    Ok(BenchReport {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        corrector_samples: config.corrector_samples,
+        requests_per_client: config.requests_per_client,
+        points,
+    })
+}
+
+struct ClientOutcome {
+    latencies_ms: Vec<f64>,
+    degraded: usize,
+    errors: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    addr: &str,
+    mode: WireMode,
+    client_idx: usize,
+    requests: usize,
+    seed: u64,
+    inputs: &[Tensor],
+    budget: VoteBudget,
+    barrier: &Barrier,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome {
+        latencies_ms: Vec::with_capacity(requests),
+        degraded: 0,
+        errors: 0,
+    };
+    let mut client = match Client::connect(addr, mode) {
+        Ok(c) => c,
+        Err(_) => {
+            barrier.wait();
+            outcome.errors = requests;
+            return outcome;
+        }
+    };
+    barrier.wait();
+    for i in 0..requests {
+        let global = (client_idx * requests + i) as u64;
+        let request = Request {
+            id: global + 1,
+            seed: seed.wrapping_add(1000).wrapping_add(global),
+            budget,
+            x: inputs[(global as usize) % inputs.len()].clone(),
+        };
+        let sent = Instant::now();
+        match client.classify(&request) {
+            Ok(Response::Ok(r)) => {
+                outcome
+                    .latencies_ms
+                    .push(sent.elapsed().as_secs_f64() * 1e3);
+                if r.degraded {
+                    outcome.degraded += 1;
+                }
+            }
+            Ok(Response::Err(_)) | Err(_) => outcome.errors += 1,
+        }
+    }
+    outcome
+}
+
+fn summarize(clients: usize, outcomes: &[ClientOutcome], elapsed: Duration) -> BenchPoint {
+    let mut latencies: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ms.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let requests = latencies.len();
+    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+    BenchPoint {
+        clients,
+        requests,
+        degraded: outcomes.iter().map(|o| o.degraded).sum(),
+        errors: outcomes.iter().map(|o| o.errors).sum(),
+        elapsed_s,
+        throughput_rps: requests as f64 / elapsed_s,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        mean_ms: if requests == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / requests as f64
+        },
+    }
+}
+
+/// Exact percentile over sorted samples (nearest-rank on the inclusive
+/// index scale) — no histogram-bucket approximation.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Serializes a report and writes it atomically.
+///
+/// # Errors
+///
+/// Serialization or IO failures.
+pub fn write_report(report: &BenchReport, path: &str) -> Result<(), DcnError> {
+    let json =
+        serde_json::to_string(report).map_err(|e| DcnError::Corrupt(format!("encoding report: {e}")))?;
+    dcn_fault::write_atomic(path, json.as_bytes(), "serve.bench.write").map_err(|e| {
+        DcnError::Io {
+            site: "serve.bench.write_report".to_string(),
+            kind: e.kind(),
+            msg: format!("{path}: {e}"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_exact_on_small_samples() {
+        let s = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 99.0), 100.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn demo_model_serves_sane_labels() {
+        let dcn = demo_dcn(3, 8).unwrap();
+        let inputs = demo_inputs(6, 3).unwrap();
+        assert_eq!(inputs.len(), 6);
+        let mut rng = StdRng::seed_from_u64(1);
+        for x in &inputs {
+            let label = dcn.try_classify(x, &mut rng).unwrap();
+            assert!(label < 3);
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_produces_a_full_report() {
+        let report = run(&BenchConfig {
+            clients: vec![1, 2],
+            requests_per_client: 4,
+            corrector_samples: 4,
+            ..BenchConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.points.len(), 2);
+        for point in &report.points {
+            assert_eq!(point.errors, 0);
+            assert!(point.requests > 0);
+            assert!(point.throughput_rps > 0.0);
+            assert!(point.p99_ms >= point.p50_ms);
+        }
+    }
+}

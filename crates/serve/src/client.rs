@@ -1,0 +1,94 @@
+//! A minimal blocking client for the serving protocol — used by the load
+//! generator, the integration tests, and scriptable from user code.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use dcn_core::DcnError;
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, WireMode,
+};
+
+/// A blocking connection to a `dcn-serve` server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    mode: WireMode,
+}
+
+impl Client {
+    /// Connects to `addr` speaking `mode`.
+    ///
+    /// # Errors
+    ///
+    /// [`DcnError::Io`] when the connection fails.
+    pub fn connect(addr: &str, mode: WireMode) -> Result<Client, DcnError> {
+        let stream = TcpStream::connect(addr).map_err(|e| DcnError::Io {
+            site: "serve.client.connect".to_string(),
+            kind: e.kind(),
+            msg: format!("{addr}: {e}"),
+        })?;
+        let reader = stream.try_clone().map_err(|e| DcnError::Io {
+            site: "serve.client.clone".to_string(),
+            kind: e.kind(),
+            msg: e.to_string(),
+        })?;
+        Ok(Client {
+            writer: stream,
+            reader: BufReader::new(reader),
+            mode,
+        })
+    }
+
+    /// Sends a request without waiting for its response (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Encode or IO failures.
+    pub fn send(&mut self, request: &Request) -> Result<(), DcnError> {
+        let payload = encode_request(request, self.mode)?;
+        write_frame(&mut self.writer, &payload, self.mode).map_err(|e| DcnError::Io {
+            site: "serve.client.send".to_string(),
+            kind: e.kind(),
+            msg: e.to_string(),
+        })
+    }
+
+    /// Reads the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`DcnError::Io`] when the server hung up, [`DcnError::Corrupt`] on a
+    /// malformed response.
+    pub fn recv(&mut self) -> Result<Response, DcnError> {
+        match read_frame(&mut self.reader, self.mode)? {
+            Some(payload) => decode_response(&payload, self.mode),
+            None => Err(DcnError::Io {
+                site: "serve.client.recv".to_string(),
+                kind: std::io::ErrorKind::UnexpectedEof,
+                msg: "server closed the connection".to_string(),
+            }),
+        }
+    }
+
+    /// One round trip: send, then wait for the matching response.
+    ///
+    /// # Errors
+    ///
+    /// Send/receive failures, or [`DcnError::Corrupt`] when the response id
+    /// does not echo the request id (responses on one connection with a
+    /// single request in flight cannot interleave).
+    pub fn classify(&mut self, request: &Request) -> Result<Response, DcnError> {
+        self.send(request)?;
+        let response = self.recv()?;
+        if response.id() != request.id {
+            return Err(DcnError::Corrupt(format!(
+                "response id {} does not match request id {}",
+                response.id(),
+                request.id
+            )));
+        }
+        Ok(response)
+    }
+}

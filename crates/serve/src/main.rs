@@ -1,0 +1,285 @@
+//! `dcn-serve` — the concurrent batched serving engine.
+//!
+//! ```text
+//! dcn-serve serve  --dcn dcn.json | --demo   [--addr 127.0.0.1:7878]
+//!                  [--json 1] [--batch 16] [--queue 64] [--shed-mark 48]
+//!                  [--threads N]
+//! dcn-serve bench  [--clients 1,4,16,64] [--requests 50] [--samples 24]
+//!                  [--seed 11] [--out results/BENCH_serving.json]
+//! ```
+//!
+//! `serve` loads a DCN artifact (or trains the tiny built-in demo model)
+//! and answers classify requests over TCP until killed. `bench` runs the
+//! closed-loop load generator against an in-process server and writes
+//! throughput plus p50/p99 latency per client count.
+//!
+//! Failures exit with a class-specific code (see
+//! [`DcnError::exit_code`]): `2` configuration, `3` IO, `4` corrupt
+//! state, `5` non-finite values, `6` overloaded, `1` anything else.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dcn_core::{Dcn, DcnError};
+use dcn_fault::FaultPlan;
+use dcn_serve::bench::{self, BenchConfig};
+use dcn_serve::{Server, ServerConfig, WireMode};
+
+const USAGE: &str = "usage: dcn-serve <serve|bench> [flags]
+run `dcn-serve help` for the full flag reference";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match run(cmd, &args[1..]) {
+        Ok(()) => {
+            if dcn_obs::enabled() {
+                let run = format!("serve_{cmd}");
+                eprintln!("{}", dcn_obs::snapshot(&run).render());
+                if let Some(path) = dcn_obs::maybe_export(&run) {
+                    eprintln!("obs snapshot written to {}", path.display());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code().clamp(1, 255) as u8)
+        }
+    }
+}
+
+fn run(cmd: &str, rest: &[String]) -> Result<(), DcnError> {
+    let flags = parse_flags(rest)?;
+    apply_obs_flags(&flags)?;
+    apply_fault_flags(&flags)?;
+    match cmd {
+        "serve" => cmd_serve(&flags),
+        "bench" => cmd_bench(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", long_help());
+            Ok(())
+        }
+        other => Err(DcnError::Config(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
+    }
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), DcnError> {
+    let dcn = if flags.contains_key("demo") {
+        let samples: usize = parse_num(flag_or(flags, "samples", "24"), "--samples")?;
+        let seed: u64 = parse_num(flag_or(flags, "seed", "11"), "--seed")?;
+        eprintln!("training the built-in demo model (seed {seed}, m = {samples})…");
+        bench::demo_dcn(seed, samples)?
+    } else {
+        let path = flag(flags, "dcn")?;
+        let json = read_artifact(path, "serve.dcn.read")?;
+        parse_artifact::<Dcn>(&json, "dcn")?
+    };
+    let config = ServerConfig {
+        addr: flag_or(flags, "addr", "127.0.0.1:7878").to_string(),
+        mode: wire_mode(flags)?,
+        max_batch: parse_num(flag_or(flags, "batch", "16"), "--batch")?,
+        queue_capacity: parse_num(flag_or(flags, "queue", "64"), "--queue")?,
+        shed_mark: parse_num(flag_or(flags, "shed-mark", "48"), "--shed-mark")?,
+        threads: flags
+            .get("threads")
+            .map(|v| parse_num(v, "--threads"))
+            .transpose()?,
+    };
+    let server = Server::start(Arc::new(dcn), config)?;
+    println!("serving on {} (ctrl-c to stop)", server.addr());
+    // The acceptor owns the listener; park this thread until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), DcnError> {
+    let clients = parse_clients(flag_or(flags, "clients", "1,4,16,64"))?;
+    let config = BenchConfig {
+        clients,
+        requests_per_client: parse_num(flag_or(flags, "requests", "50"), "--requests")?,
+        corrector_samples: parse_num(flag_or(flags, "samples", "24"), "--samples")?,
+        max_batch: parse_num(flag_or(flags, "batch", "16"), "--batch")?,
+        mode: wire_mode(flags)?,
+        seed: parse_num(flag_or(flags, "seed", "11"), "--seed")?,
+        ..BenchConfig::default()
+    };
+    let out = flag_or(flags, "out", "results/BENCH_serving.json");
+    eprintln!(
+        "closed-loop bench: clients {:?}, {} requests each…",
+        config.clients, config.requests_per_client
+    );
+    let report = bench::run(&config)?;
+    for p in &report.points {
+        println!(
+            "{:>3} clients: {:>8.1} req/s  p50 {:>7.2} ms  p99 {:>7.2} ms  ({} ok, {} degraded, {} errors)",
+            p.clients, p.throughput_rps, p.p50_ms, p.p99_ms, p.requests, p.degraded, p.errors
+        );
+    }
+    bench::write_report(&report, out)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn parse_clients(csv: &str) -> Result<Vec<usize>, DcnError> {
+    let clients: Vec<usize> = csv
+        .split(',')
+        .map(|s| parse_num(s.trim(), "--clients"))
+        .collect::<Result<_, _>>()?;
+    if clients.is_empty() || clients.contains(&0) {
+        return Err(DcnError::Config(format!(
+            "--clients expects a comma-separated list of positive counts, got {csv:?}"
+        )));
+    }
+    Ok(clients)
+}
+
+fn wire_mode(flags: &HashMap<String, String>) -> Result<WireMode, DcnError> {
+    match flag_or(flags, "json", "0") {
+        "1" | "true" | "on" => Ok(WireMode::Json),
+        "0" | "false" | "off" => Ok(WireMode::Binary),
+        other => Err(DcnError::Config(format!(
+            "--json expects 1 or 0, got {other:?}"
+        ))),
+    }
+}
+
+/// Applies the observability flags shared by every command (same contract
+/// as the `dcn` CLI): `--obs 1|0`, `--obs-json DIR`.
+fn apply_obs_flags(flags: &HashMap<String, String>) -> Result<(), DcnError> {
+    if let Some(dir) = flags.get("obs-json") {
+        std::env::set_var("DCN_OBS_JSON", dir);
+        dcn_obs::set_enabled(true);
+    }
+    if let Some(v) = flags.get("obs") {
+        match v.as_str() {
+            "1" | "true" | "on" => dcn_obs::set_enabled(true),
+            "0" | "false" | "off" => dcn_obs::set_enabled(false),
+            other => {
+                return Err(DcnError::Config(format!(
+                    "--obs expects 1 or 0, got {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Installs a fault-injection plan from the `--fault-*` flags (same knobs
+/// as the `DCN_FAULT_*` environment variables).
+fn apply_fault_flags(flags: &HashMap<String, String>) -> Result<(), DcnError> {
+    let keys = ["fault-seed", "fault-io", "fault-latency-ns", "fault-budget"];
+    if !keys.iter().any(|k| flags.contains_key(*k)) {
+        return Ok(());
+    }
+    let plan = FaultPlan {
+        seed: parse_num(flag_or(flags, "fault-seed", "0"), "--fault-seed")?,
+        io_error_rate: parse_num(flag_or(flags, "fault-io", "0"), "--fault-io")?,
+        latency_ns: parse_num(flag_or(flags, "fault-latency-ns", "0"), "--fault-latency-ns")?,
+        vote_budget: flags
+            .get("fault-budget")
+            .map(|v| parse_num(v, "--fault-budget"))
+            .transpose()?,
+        ..FaultPlan::default()
+    };
+    if !(0.0..=1.0).contains(&plan.io_error_rate) {
+        return Err(DcnError::Config(format!(
+            "--fault-io expects a probability in [0, 1], got {}",
+            plan.io_error_rate
+        )));
+    }
+    dcn_fault::set_plan(Some(plan));
+    Ok(())
+}
+
+fn long_help() -> String {
+    "dcn-serve — concurrent batched serving for a trained DCN
+
+commands:
+  serve   answer classify requests over TCP until killed
+  bench   closed-loop load generator; writes results/BENCH_serving.json
+
+serve:  --dcn PATH       DCN artifact from `dcn build` (or --demo 1 to
+        --demo 1         train the tiny built-in blobs model)
+        --addr HOST:PORT bind address (default 127.0.0.1:7878; port 0 = OS pick)
+        --json 1|0       line-JSON debug frames instead of binary (default 0)
+        --batch N        max requests coalesced per model call (default 16)
+        --queue N        admission queue capacity; beyond it requests are
+                         rejected with exit-code-6 Overloaded (default 64)
+        --shed-mark N    queue depth where admitted requests degrade to the
+                         base prediction (default 48; >= queue disables)
+        --threads N      worker threads for batched forwards (default ambient)
+
+bench:  --clients CSV    client counts to sweep (default 1,4,16,64)
+        --requests N     requests per client, closed-loop (default 50)
+        --samples M      corrector votes in the demo model (default 24)
+        --out PATH       report path (default results/BENCH_serving.json)
+
+observability: --obs 1|0, --obs-json DIR (also DCN_OBS / DCN_OBS_JSON)
+fault injection: --fault-seed N  --fault-io P  --fault-latency-ns N
+                 --fault-budget V (also the DCN_FAULT_* env vars)
+
+per-request vote budgets ride in the request frame itself (max votes,
+deadline, quorum) — see DESIGN.md §12 for the wire layout.
+
+exit codes: 0 ok, 2 configuration, 3 io, 4 corrupt state, 5 non-finite,
+6 overloaded, 1 other"
+        .to_string()
+}
+
+/// Parses `--key value` pairs; rejects unknown shapes early.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, DcnError> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let Some(key) = k.strip_prefix("--") else {
+            return Err(DcnError::Config(format!("expected --flag, got {k:?}")));
+        };
+        let Some(v) = it.next() else {
+            return Err(DcnError::Config(format!("flag --{key} needs a value")));
+        };
+        flags.insert(key.to_string(), v.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, DcnError> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| DcnError::Config(format!("missing required flag --{key}")))
+}
+
+fn flag_or<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, DcnError> {
+    s.parse()
+        .map_err(|_| DcnError::Config(format!("cannot parse {what} from {s:?}")))
+}
+
+/// Reads a JSON artifact with bounded retries on transient IO failures.
+fn read_artifact(path: &str, site: &'static str) -> Result<String, DcnError> {
+    dcn_fault::read_with_retry(path, &dcn_fault::RetryPolicy::default(), site).map_err(|e| {
+        DcnError::Io {
+            site: site.to_string(),
+            kind: e.kind(),
+            msg: format!("{path}: {e}"),
+        }
+    })
+}
+
+/// A machine-written artifact that fails to parse is corrupt, not a config
+/// problem.
+fn parse_artifact<T: serde::Deserialize>(json: &str, what: &str) -> Result<T, DcnError> {
+    serde_json::from_str(json).map_err(|e| DcnError::Corrupt(format!("{what}: {e}")))
+}

@@ -1,0 +1,253 @@
+//! Bounded admission queue — the middle of the QoS ladder.
+//!
+//! Admission control happens at `push`, against two watermarks:
+//!
+//! * depth < `shed_mark` → **admitted for full service** (the request's own
+//!   [`dcn_core::VoteBudget`] governs its vote);
+//! * `shed_mark` ≤ depth < `capacity` → **admitted but shed**: the request
+//!   will be answered with the base network's prediction, explicitly
+//!   flagged `degraded` — never silently reported as a full vote;
+//! * depth = `capacity` → **rejected** with [`DcnError::Overloaded`]
+//!   (exit code 6): nothing was computed, retry with backoff.
+//!
+//! The ladder is decided per request at admission time, so a burst's fate
+//! is a pure function of queue depth — deterministic to test by pausing
+//! the consumer and filling the queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use dcn_core::DcnError;
+
+/// What admission control decided for an accepted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Depth was below the shed watermark: full service.
+    Full,
+    /// Depth was at or above the shed watermark: degraded base-prediction
+    /// service.
+    Shed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    paused: bool,
+}
+
+/// A bounded MPSC queue with watermark-based admission control. Producers
+/// are connection reader threads; the single consumer is the batcher.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+    shed_mark: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` requests, shedding from
+    /// `shed_mark` up. `shed_mark >= capacity` disables shedding (requests
+    /// are either full-service or rejected).
+    pub fn new(capacity: usize, shed_mark: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+                paused: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            shed_mark,
+        }
+    }
+
+    /// Admits or rejects a request, per the watermark ladder above. The
+    /// item is built *by* the admission verdict (`make(admission)`), so a
+    /// shed marker can travel inside the queued item itself.
+    ///
+    /// # Errors
+    ///
+    /// [`DcnError::Overloaded`] when the queue is full (nothing is
+    /// enqueued), or [`DcnError::Config`] when the queue is closed.
+    pub fn push_with(
+        &self,
+        make: impl FnOnce(Admission) -> T,
+    ) -> Result<Admission, DcnError> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if inner.closed {
+            return Err(DcnError::Config(
+                "serving queue is closed (server shutting down)".to_string(),
+            ));
+        }
+        let depth = inner.items.len();
+        if depth >= self.capacity {
+            return Err(DcnError::Overloaded {
+                queued: depth,
+                capacity: self.capacity,
+            });
+        }
+        let admission = if depth >= self.shed_mark {
+            Admission::Shed
+        } else {
+            Admission::Full
+        };
+        inner.items.push_back(make(admission));
+        drop(inner);
+        self.ready.notify_one();
+        Ok(admission)
+    }
+
+    /// [`BoundedQueue::push_with`] for items that don't carry the verdict.
+    pub fn push(&self, item: T) -> Result<Admission, DcnError> {
+        self.push_with(|_| item)
+    }
+
+    /// Blocks until at least one item is available (or the queue closes),
+    /// then drains up to `max` items in FIFO order. An empty result means
+    /// the queue is closed and fully drained.
+    pub fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !inner.paused && !inner.items.is_empty() {
+                let take = max.max(1).min(inner.items.len());
+                return inner.items.drain(..take).collect();
+            }
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Pauses (`true`) or resumes (`false`) the consumer side: while paused,
+    /// `pop_batch` blocks even with items queued, but admission keeps
+    /// running — the deterministic way to drive the queue to its watermarks
+    /// in tests, and an operational drain valve.
+    pub fn set_paused(&self, paused: bool) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .paused = paused;
+        self.ready.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured shed watermark.
+    pub fn shed_mark(&self) -> usize {
+        self.shed_mark
+    }
+
+    /// Closes the queue: further pushes fail, and `pop_batch` returns empty
+    /// once drained. Clears any pause so queued requests still get answered
+    /// during shutdown.
+    pub fn close(&self) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        inner.closed = true;
+        inner.paused = false;
+        drop(inner);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_ladder_full_shed_reject() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4, 2);
+        assert_eq!(q.push(1).unwrap(), Admission::Full);
+        assert_eq!(q.push(2).unwrap(), Admission::Full);
+        assert_eq!(q.push(3).unwrap(), Admission::Shed);
+        assert_eq!(q.push(4).unwrap(), Admission::Shed);
+        let err = q.push(5).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert!(matches!(
+            err,
+            DcnError::Overloaded {
+                queued: 4,
+                capacity: 4
+            }
+        ));
+        assert_eq!(q.pop_batch(8), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_and_order() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(8, 8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(2), vec![0, 1]);
+        assert_eq!(q.pop_batch(2), vec![2, 3]);
+        assert_eq!(q.pop_batch(2), vec![4]);
+    }
+
+    #[test]
+    fn close_unblocks_consumer_and_rejects_producers() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4, 4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4))
+        };
+        q.close();
+        assert!(consumer.join().unwrap().is_empty());
+        assert!(matches!(q.push(1), Err(DcnError::Config(_))));
+    }
+
+    #[test]
+    fn pause_blocks_consumer_while_admission_continues() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4, 2));
+        q.set_paused(true);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!consumer.is_finished(), "paused consumer must stay blocked");
+        assert_eq!(q.len(), 2, "admission keeps filling the queue while paused");
+        q.set_paused(false);
+        assert_eq!(consumer.join().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn shed_mark_at_capacity_disables_shedding() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2, 2);
+        assert_eq!(q.push(1).unwrap(), Admission::Full);
+        assert_eq!(q.push(2).unwrap(), Admission::Full);
+        assert_eq!(q.push(3).unwrap_err().exit_code(), 6);
+    }
+}

@@ -1,0 +1,384 @@
+//! The TCP server: acceptor, per-connection readers, and the batcher.
+//!
+//! # Thread structure
+//!
+//! ```text
+//! acceptor ── spawns ──▶ reader (one per connection)
+//!                          │  decode → admission control → queue
+//!                          ▼
+//!                    BoundedQueue<Job>
+//!                          │  pop_batch(max_batch)
+//!                          ▼
+//!                       batcher ── Dcn::try_classify_batch ──▶ per-conn writer
+//! ```
+//!
+//! Each connection gets its own reader thread, so a client that stalls
+//! mid-frame blocks only its own connection — every other request keeps
+//! flowing through the queue and batcher (pinned by the latency-injection
+//! test in `tests/serving.rs`).
+//!
+//! # Batcher state machine
+//!
+//! The batcher is a two-state loop: **drain** — take up to `max_batch`
+//! queued jobs (blocking only when the queue is empty; it never waits to
+//! fill a batch, so an idle server answers a lone request immediately) —
+//! then **execute** — one [`Dcn::try_classify_batch`] call for the whole
+//! batch, then write each response on its request's connection. A dead
+//! client's write error is swallowed: it must not poison the batch's other
+//! responses. The loop exits when the queue reports closed-and-drained.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dcn_core::{BatchRequest, Dcn, DcnError};
+
+use crate::names;
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, ErrResponse, OkResponse, Response,
+    WireMode,
+};
+use crate::queue::{Admission, BoundedQueue};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` to let the OS pick (tests).
+    pub addr: String,
+    /// Wire encoding for every connection.
+    pub mode: WireMode,
+    /// Most requests coalesced into one `try_classify_batch` call.
+    pub max_batch: usize,
+    /// Bounded queue capacity — requests beyond it are rejected with
+    /// [`DcnError::Overloaded`] (exit code 6).
+    pub queue_capacity: usize,
+    /// Queue depth at which admitted requests are shed to a degraded base
+    /// prediction. Set `>= queue_capacity` to disable shedding.
+    pub shed_mark: usize,
+    /// Worker-thread override for the batched forwards
+    /// ([`dcn_tensor::par::configure`]); `None` keeps the ambient
+    /// `DCN_THREADS` configuration.
+    pub threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            mode: WireMode::Binary,
+            max_batch: 16,
+            queue_capacity: 64,
+            shed_mark: 48,
+            threads: None,
+        }
+    }
+}
+
+/// One admitted request waiting for the batcher.
+struct Job {
+    id: u64,
+    req: BatchRequest,
+    enqueued: Instant,
+    conn: Arc<Conn>,
+}
+
+/// The write half of a connection. All response writes go through
+/// [`Conn::send`] — the single fault-injection point for the write path.
+struct Conn {
+    stream: Mutex<TcpStream>,
+    mode: WireMode,
+}
+
+impl Conn {
+    /// Encodes and writes one response frame. Errors are returned, not
+    /// panicked — callers on the batcher path swallow them so one dead
+    /// client cannot take down the batch.
+    fn send(&self, resp: &Response) -> Result<(), DcnError> {
+        let payload = encode_response(resp, self.mode)?;
+        let mut stream = self
+            .stream
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let injected = dcn_fault::maybe_io_error("serve.conn.write");
+        injected
+            .map_or_else(|| write_frame(&mut *stream, &payload, self.mode), Err)
+            .map_err(|e| DcnError::Io {
+                site: "serve.conn.write_frame".to_string(),
+                kind: e.kind(),
+                msg: e.to_string(),
+            })
+    }
+}
+
+/// A running serving engine. Dropping without [`Server::shutdown`] leaves
+/// daemon threads behind; call `shutdown` for an orderly stop.
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<BoundedQueue<Job>>,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    acceptor: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and batcher, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`DcnError::Io`] when the bind fails, [`DcnError::Config`] for a
+    /// degenerate configuration.
+    pub fn start(dcn: Arc<Dcn>, config: ServerConfig) -> Result<Server, DcnError> {
+        if config.max_batch == 0 || config.queue_capacity == 0 {
+            return Err(DcnError::Config(
+                "max_batch and queue_capacity must be at least 1".to_string(),
+            ));
+        }
+        if let Some(threads) = config.threads {
+            dcn_tensor::par::configure(dcn_tensor::par::ParConfig::with_threads(threads));
+        }
+        let listener = TcpListener::bind(&config.addr).map_err(|e| DcnError::Io {
+            site: "serve.listen".to_string(),
+            kind: e.kind(),
+            msg: format!("{}: {e}", config.addr),
+        })?;
+        let addr = listener.local_addr().map_err(|e| DcnError::Io {
+            site: "serve.listen.local_addr".to_string(),
+            kind: e.kind(),
+            msg: e.to_string(),
+        })?;
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.shed_mark));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+
+        let batcher = {
+            let queue = Arc::clone(&queue);
+            let max_batch = config.max_batch;
+            std::thread::spawn(move || batcher_loop(&dcn, &queue, max_batch))
+        };
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let mode = config.mode;
+            std::thread::spawn(move || acceptor_loop(&listener, &queue, &shutdown, &conns, mode))
+        };
+        Ok(Server {
+            addr,
+            queue,
+            shutdown,
+            conns,
+            acceptor: Some(acceptor),
+            batcher: Some(batcher),
+        })
+    }
+
+    /// The bound address (the OS-assigned port when started with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pauses or resumes the batcher's queue consumption (admission control
+    /// keeps running) — the deterministic lever behind the backpressure
+    /// tests, and an operational drain valve.
+    pub fn set_paused(&self, paused: bool) {
+        self.queue.set_paused(paused);
+    }
+
+    /// Orderly stop: refuse new connections and requests, answer what is
+    /// already queued, close every connection, join the threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        // Unblock readers parked in read_frame.
+        let conns = self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for c in conns.iter() {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        drop(conns);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    queue: &Arc<BoundedQueue<Job>>,
+    shutdown: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<TcpStream>>>,
+    mode: WireMode,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if dcn_obs::enabled() {
+            dcn_obs::counter(names::SERVE_CONNECTIONS_TOTAL).inc();
+        }
+        if let Ok(registered) = stream.try_clone() {
+            conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(registered);
+        }
+        let queue = Arc::clone(queue);
+        let shutdown = Arc::clone(shutdown);
+        std::thread::spawn(move || reader_loop(stream, &queue, &shutdown, mode));
+    }
+}
+
+/// One connection's read loop: decode, admit, hand to the batcher. Returns
+/// when the client closes, the stream tears, or the server shuts down.
+fn reader_loop(
+    stream: TcpStream,
+    queue: &Arc<BoundedQueue<Job>>,
+    shutdown: &Arc<AtomicBool>,
+    mode: WireMode,
+) {
+    let conn = match stream.try_clone() {
+        Ok(write_half) => Arc::new(Conn {
+            stream: Mutex::new(write_half),
+            mode,
+        }),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while !shutdown.load(Ordering::SeqCst) {
+        if let Some(e) = dcn_fault::maybe_io_error("serve.conn.read") {
+            let _ = conn.send(&error_response(0, &DcnError::Io {
+                site: "serve.conn.read_frame".to_string(),
+                kind: e.kind(),
+                msg: e.to_string(),
+            }));
+            return;
+        }
+        let payload = match read_frame(&mut reader, mode) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF between frames: the client hung up.
+            Ok(None) => return,
+            // Torn frame or hostile length prefix: answer best-effort, then
+            // close — the stream cannot be resynchronized.
+            Err(e) => {
+                let _ = conn.send(&error_response(0, &e));
+                return;
+            }
+        };
+        let request = match decode_request(&payload, mode) {
+            Ok(request) => request,
+            // The framing was intact, only the payload was malformed: tell
+            // the client and keep the connection.
+            Err(e) => {
+                let _ = conn.send(&error_response(0, &e));
+                continue;
+            }
+        };
+        let id = request.id;
+        let conn_for_job = Arc::clone(&conn);
+        // The admission verdict travels inside the job: `push_with` hands
+        // it to the constructor under the queue lock, so the batcher sees
+        // exactly what admission control decided.
+        match queue.push_with(|admission| Job {
+            id,
+            req: BatchRequest {
+                x: request.x,
+                seed: request.seed,
+                budget: request.budget,
+                shed: admission == Admission::Shed,
+            },
+            enqueued: Instant::now(),
+            conn: conn_for_job,
+        }) {
+            Ok(admission) => {
+                if dcn_obs::enabled() {
+                    dcn_obs::counter(names::SERVE_REQUESTS_TOTAL).inc();
+                    if admission == Admission::Shed {
+                        dcn_obs::counter(names::SERVE_SHED_TOTAL).inc();
+                    }
+                }
+            }
+            Err(e) => {
+                if dcn_obs::enabled() {
+                    dcn_obs::counter(names::SERVE_REJECTED_TOTAL).inc();
+                }
+                let _ = conn.send(&error_response(id, &e));
+            }
+        }
+    }
+}
+
+fn batcher_loop(dcn: &Arc<Dcn>, queue: &Arc<BoundedQueue<Job>>, max_batch: usize) {
+    loop {
+        let jobs = queue.pop_batch(max_batch);
+        if jobs.is_empty() {
+            // Closed and drained.
+            return;
+        }
+        if dcn_obs::enabled() {
+            dcn_obs::counter(names::SERVE_BATCHES_TOTAL).inc();
+            dcn_obs::histogram(names::SERVE_BATCH_OCCUPANCY, dcn_obs::SMALL_COUNT)
+                .observe(jobs.len() as f64);
+        }
+        let mut requests = Vec::with_capacity(jobs.len());
+        let mut metas = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            metas.push((job.id, job.req.shed, job.enqueued, job.conn));
+            requests.push(job.req);
+        }
+        let results = dcn.try_classify_batch(&requests);
+        for ((id, shed, enqueued, conn), result) in metas.into_iter().zip(results) {
+            let response = match result {
+                Ok(report) => Response::Ok(OkResponse {
+                    id,
+                    label: report.label,
+                    verdict: report.verdict,
+                    base_passes: report.base_passes,
+                    degraded: report.degraded,
+                    shed,
+                }),
+                Err(e) => error_response(id, &e),
+            };
+            if dcn_obs::enabled() {
+                dcn_obs::counter(names::SERVE_RESPONSES_TOTAL).inc();
+                dcn_obs::histogram(names::SERVE_REQUEST_LATENCY, dcn_obs::LATENCY_SECONDS)
+                    .observe(enqueued.elapsed().as_secs_f64());
+            }
+            // A dead client's response is dropped; its neighbors still get
+            // theirs.
+            let _ = conn.send(&response);
+        }
+    }
+}
+
+fn error_response(id: u64, e: &DcnError) -> Response {
+    Response::Err(ErrResponse {
+        id,
+        code: e.exit_code().clamp(1, 255) as u8,
+        msg: e.to_string(),
+    })
+}

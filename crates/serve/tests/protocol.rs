@@ -1,0 +1,407 @@
+//! Protocol golden tests: every frame variant round-trips bitwise through
+//! both wire modes, and a fuzz battery of malformed frames — truncated
+//! length prefixes, oversized lengths, garbage payloads — decodes to a
+//! clean typed [`DcnError`], never a panic.
+
+use std::io::BufReader;
+use std::time::Duration;
+
+use dcn_core::{DcnError, DcnVerdict, VoteBudget};
+use dcn_serve::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrResponse, OkResponse, Request, Response, WireMode, MAX_FRAME,
+};
+use dcn_tensor::Tensor;
+
+const MODES: [WireMode; 2] = [WireMode::Binary, WireMode::Json];
+
+fn sample_requests() -> Vec<Request> {
+    vec![
+        // Unbounded budget, 1-D input.
+        Request::new(1, 42, Tensor::from_slice(&[0.1, -0.2, 0.3, 0.0])),
+        // Every budget field set, multi-dim input.
+        Request {
+            id: u64::MAX,
+            seed: 7,
+            budget: VoteBudget {
+                max_votes: Some(16),
+                deadline: Some(Duration::from_millis(10)),
+                min_quorum: 3,
+            },
+            x: Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, -2.0, -3.0]).unwrap(),
+        },
+        // Deadline only.
+        Request {
+            id: 0,
+            seed: 0,
+            budget: VoteBudget {
+                max_votes: None,
+                deadline: Some(Duration::from_nanos(1)),
+                min_quorum: 1,
+            },
+            x: Tensor::from_slice(&[f32::MIN, f32::MAX, 0.0]),
+        },
+        // Max-votes only, scalar-ish input.
+        Request {
+            id: 9,
+            seed: u64::MAX,
+            budget: VoteBudget {
+                max_votes: Some(0),
+                deadline: None,
+                min_quorum: 1,
+            },
+            x: Tensor::from_slice(&[0.5]),
+        },
+    ]
+}
+
+fn sample_responses() -> Vec<Response> {
+    vec![
+        Response::Ok(OkResponse {
+            id: 1,
+            label: 2,
+            verdict: DcnVerdict::PassedThrough,
+            base_passes: 1,
+            degraded: false,
+            shed: false,
+        }),
+        Response::Ok(OkResponse {
+            id: u64::MAX,
+            label: 0,
+            verdict: DcnVerdict::Corrected,
+            base_passes: 25,
+            degraded: true,
+            shed: false,
+        }),
+        // The load-shed shape: degraded + shed together.
+        Response::Ok(OkResponse {
+            id: 77,
+            label: 1,
+            verdict: DcnVerdict::PassedThrough,
+            base_passes: 1,
+            degraded: true,
+            shed: true,
+        }),
+        Response::Err(ErrResponse {
+            id: 5,
+            code: 6,
+            msg: "overloaded: admission queue full (64/64 requests queued)".to_string(),
+        }),
+        Response::Err(ErrResponse {
+            id: 0,
+            code: 2,
+            msg: String::new(),
+        }),
+        // Non-ASCII message survives the char-boundary truncation logic.
+        Response::Err(ErrResponse {
+            id: 3,
+            code: 4,
+            msg: "géométrie élémentaire — ∞".to_string(),
+        }),
+    ]
+}
+
+#[test]
+fn every_request_variant_round_trips_in_both_modes() {
+    for mode in MODES {
+        for req in sample_requests() {
+            let payload = encode_request(&req, mode).unwrap();
+            let back = decode_request(&payload, mode).unwrap();
+            assert_eq!(back, req, "{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn every_response_variant_round_trips_in_both_modes() {
+    for mode in MODES {
+        for resp in sample_responses() {
+            let payload = encode_response(&resp, mode).unwrap();
+            let back = decode_response(&payload, mode).unwrap();
+            assert_eq!(back, resp, "{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn frames_round_trip_through_a_real_stream() {
+    for mode in MODES {
+        let mut wire: Vec<u8> = Vec::new();
+        let payloads: Vec<Vec<u8>> = sample_requests()
+            .iter()
+            .map(|r| encode_request(r, mode).unwrap())
+            .collect();
+        for p in &payloads {
+            write_frame(&mut wire, p, mode).unwrap();
+        }
+        let mut reader = BufReader::new(&wire[..]);
+        for expected in &payloads {
+            let got = read_frame(&mut reader, mode).unwrap().unwrap();
+            assert_eq!(&got, expected, "{mode:?}");
+        }
+        // Clean EOF at the frame boundary.
+        assert!(read_frame(&mut reader, mode).unwrap().is_none(), "{mode:?}");
+    }
+}
+
+/// Golden byte layout: a fixed request must encode to these exact bytes,
+/// so the wire format cannot drift silently.
+#[test]
+fn binary_request_layout_is_stable() {
+    let req = Request {
+        id: 0x0102_0304_0506_0708,
+        seed: 0x1112_1314_1516_1718,
+        budget: VoteBudget {
+            max_votes: Some(5),
+            deadline: Some(Duration::from_nanos(1000)),
+            min_quorum: 2,
+        },
+        x: Tensor::from_vec(vec![1, 2], vec![1.0, -2.0]).unwrap(),
+    };
+    let payload = encode_request(&req, WireMode::Binary).unwrap();
+    let mut expected = vec![0x01];
+    expected.extend_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+    expected.extend_from_slice(&0x1112_1314_1516_1718u64.to_le_bytes());
+    expected.extend_from_slice(&5u64.to_le_bytes());
+    expected.extend_from_slice(&1000u64.to_le_bytes());
+    expected.extend_from_slice(&2u32.to_le_bytes());
+    expected.push(2); // rank
+    expected.extend_from_slice(&1u32.to_le_bytes());
+    expected.extend_from_slice(&2u32.to_le_bytes());
+    expected.extend_from_slice(&1.0f32.to_le_bytes());
+    expected.extend_from_slice(&(-2.0f32).to_le_bytes());
+    assert_eq!(payload, expected);
+}
+
+#[test]
+fn binary_ok_response_layout_is_stable() {
+    let resp = Response::Ok(OkResponse {
+        id: 7,
+        label: 3,
+        verdict: DcnVerdict::Corrected,
+        base_passes: 25,
+        degraded: true,
+        shed: true,
+    });
+    let payload = encode_response(&resp, WireMode::Binary).unwrap();
+    let mut expected = vec![0x02];
+    expected.extend_from_slice(&7u64.to_le_bytes());
+    expected.extend_from_slice(&3u32.to_le_bytes());
+    expected.push(1); // verdict: corrected
+    expected.extend_from_slice(&25u32.to_le_bytes());
+    expected.push(0b11); // degraded | shed
+    assert_eq!(payload, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: malformed frames must yield typed errors, never panic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncated_length_prefix_is_an_io_error() {
+    for cut in 1..4 {
+        let mut reader = BufReader::new(&[0xAAu8; 4][..cut]);
+        let err = read_frame(&mut reader, WireMode::Binary).unwrap_err();
+        assert!(matches!(err, DcnError::Io { .. }), "cut={cut}: {err}");
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let mut wire = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&[0u8; 16]);
+    let mut reader = BufReader::new(&wire[..]);
+    let err = read_frame(&mut reader, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Config(_)), "{err}");
+
+    // The worst case: u32::MAX. Must not attempt a 4 GiB allocation.
+    let worst = u32::MAX.to_le_bytes();
+    let mut reader = BufReader::new(&worst[..]);
+    let err = read_frame(&mut reader, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Config(_)), "{err}");
+}
+
+#[test]
+fn frame_torn_mid_payload_is_an_io_error() {
+    let mut wire = 100u32.to_le_bytes().to_vec();
+    wire.extend_from_slice(&[0x55; 40]); // promises 100 bytes, delivers 40
+    let mut reader = BufReader::new(&wire[..]);
+    let err = read_frame(&mut reader, WireMode::Binary).unwrap_err();
+    assert!(matches!(
+        err,
+        DcnError::Io {
+            kind: std::io::ErrorKind::UnexpectedEof,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn garbage_payloads_decode_to_typed_errors_without_panicking() {
+    // A deterministic spray of hostile payloads through every decoder.
+    let mut cases: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0x00],
+        vec![0xFF],
+        vec![0x01], // request tag, nothing else
+        vec![0x02], // ok tag, nothing else
+        vec![0x03], // error tag, nothing else
+        vec![0x01, 0xFF, 0xFF],
+        b"hello world".to_vec(),
+        vec![0xFF; 64],
+    ];
+    // xorshift-ish deterministic garbage, various lengths.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for len in [1usize, 2, 7, 13, 37, 64, 200] {
+        let mut buf = Vec::with_capacity(len);
+        for _ in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            buf.push((state & 0xFF) as u8);
+        }
+        cases.push(buf);
+    }
+    for (i, payload) in cases.iter().enumerate() {
+        for mode in MODES {
+            if let Err(e) = decode_request(payload, mode) {
+                assert!(matches!(e, DcnError::Config(_)), "case {i} {mode:?}: {e}");
+            }
+            if let Err(e) = decode_response(payload, mode) {
+                assert!(matches!(e, DcnError::Corrupt(_)), "case {i} {mode:?}: {e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn request_with_overflowing_shape_is_rejected() {
+    // rank 2, dims 0xFFFFFFFF × 0xFFFFFFFF: the element-count product
+    // overflows usize; the decoder must refuse, not allocate.
+    let mut payload = vec![0x01];
+    payload.extend_from_slice(&1u64.to_le_bytes()); // id
+    payload.extend_from_slice(&2u64.to_le_bytes()); // seed
+    payload.extend_from_slice(&u64::MAX.to_le_bytes()); // max_votes unset
+    payload.extend_from_slice(&u64::MAX.to_le_bytes()); // deadline unset
+    payload.extend_from_slice(&1u32.to_le_bytes()); // quorum
+    payload.push(2); // rank
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    let err = decode_request(&payload, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Config(_)), "{err}");
+}
+
+#[test]
+fn request_with_wrong_value_count_is_rejected() {
+    let req = Request::new(1, 2, Tensor::from_slice(&[1.0, 2.0, 3.0]));
+    let mut payload = encode_request(&req, WireMode::Binary).unwrap();
+    payload.truncate(payload.len() - 4); // drop one f32
+    let err = decode_request(&payload, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Config(_)), "{err}");
+    // Extra trailing values are equally rejected.
+    let mut payload = encode_request(&req, WireMode::Binary).unwrap();
+    payload.extend_from_slice(&0.0f32.to_le_bytes());
+    let err = decode_request(&payload, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Config(_)), "{err}");
+}
+
+#[test]
+fn request_with_excessive_rank_is_rejected() {
+    let mut payload = vec![0x01];
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.extend_from_slice(&2u64.to_le_bytes());
+    payload.extend_from_slice(&u64::MAX.to_le_bytes());
+    payload.extend_from_slice(&u64::MAX.to_le_bytes());
+    payload.extend_from_slice(&1u32.to_le_bytes());
+    payload.push(200); // rank way past MAX_RANK
+    let err = decode_request(&payload, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Config(_)), "{err}");
+}
+
+#[test]
+fn response_with_unknown_verdict_or_flags_is_corrupt() {
+    let good = encode_response(
+        &Response::Ok(OkResponse {
+            id: 1,
+            label: 0,
+            verdict: DcnVerdict::PassedThrough,
+            base_passes: 1,
+            degraded: false,
+            shed: false,
+        }),
+        WireMode::Binary,
+    )
+    .unwrap();
+
+    let mut bad_verdict = good.clone();
+    bad_verdict[13] = 9; // verdict byte
+    let err = decode_response(&bad_verdict, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Corrupt(_)), "{err}");
+
+    let mut bad_flags = good.clone();
+    *bad_flags.last_mut().unwrap() = 0xF0;
+    let err = decode_response(&bad_flags, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Corrupt(_)), "{err}");
+
+    let mut trailing = good;
+    trailing.push(0);
+    let err = decode_response(&trailing, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn error_response_with_bad_utf8_message_is_corrupt() {
+    let mut payload = vec![0x03];
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.push(3); // code
+    payload.extend_from_slice(&2u16.to_le_bytes());
+    payload.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8
+    let err = decode_response(&payload, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn error_message_truncates_on_a_char_boundary() {
+    // A message longer than u16::MAX of multi-byte chars must truncate to
+    // valid UTF-8, and the result must still decode.
+    let msg = "é".repeat(40_000); // 80k bytes
+    let resp = Response::Err(ErrResponse {
+        id: 1,
+        code: 1,
+        msg,
+    });
+    let payload = encode_response(&resp, WireMode::Binary).unwrap();
+    let back = decode_response(&payload, WireMode::Binary).unwrap();
+    match back {
+        Response::Err(e) => {
+            assert!(e.msg.len() <= u16::MAX as usize);
+            assert!(e.msg.chars().all(|c| c == 'é'));
+        }
+        Response::Ok(_) => panic!("expected an error response"),
+    }
+}
+
+#[test]
+fn json_mode_rejects_garbage_lines_and_bad_utf8() {
+    let err = decode_request(b"{\"id\": nope}", WireMode::Json).unwrap_err();
+    assert!(matches!(err, DcnError::Config(_)), "{err}");
+    let err = decode_request(&[0xFF, 0xC0, 0x80], WireMode::Json).unwrap_err();
+    assert!(matches!(err, DcnError::Config(_)), "{err}");
+    let err = decode_response(b"[1,2,3", WireMode::Json).unwrap_err();
+    assert!(matches!(err, DcnError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn json_stream_torn_mid_line_is_an_io_error() {
+    let mut reader = BufReader::new(&b"{\"id\":1"[..]); // no newline
+    let err = read_frame(&mut reader, WireMode::Json).unwrap_err();
+    assert!(matches!(err, DcnError::Io { .. }), "{err}");
+}
+
+#[test]
+fn oversized_request_tensor_rank_fails_to_encode() {
+    let x = Tensor::from_vec(vec![1; 9], vec![1.0]).unwrap();
+    let req = Request::new(1, 2, x);
+    let err = encode_request(&req, WireMode::Binary).unwrap_err();
+    assert!(matches!(err, DcnError::Config(_)), "{err}");
+}

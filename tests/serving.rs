@@ -1,0 +1,375 @@
+//! Serving-engine integration tests, over real TCP sockets:
+//!
+//! * **Determinism** — N concurrent clients receive answers bitwise
+//!   identical to serial [`Dcn::try_classify_bounded`] calls with the same
+//!   per-request seeds, however the batcher interleaved them.
+//! * **Isolation** — a client stalled mid-frame cannot stall anyone else,
+//!   and under injected per-vote latency a deadline budget still truncates
+//!   at the same deterministic point as a serial call.
+//! * **Backpressure** — with the batcher paused, admission control walks
+//!   the documented QoS ladder: full service below the shed watermark,
+//!   degraded base prediction up to capacity, exit-code-6 `Overloaded`
+//!   rejection beyond — never a silent full vote.
+//!
+//! Every test takes the shared plan lock: the fault plan and the obs
+//! toggle are process globals, and servers must not observe a plan
+//! installed by a neighboring test.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::time::Duration;
+
+use dcn_core::{BatchRequest, Dcn, DcnReport, DcnVerdict, VoteBudget};
+use dcn_fault::FaultPlan;
+use dcn_serve::bench::{demo_dcn, demo_inputs};
+use dcn_serve::{Client, Request, Response, Server, ServerConfig, WireMode};
+use dcn_tensor::Tensor;
+
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Installs `plan` for the duration of `f`, serialized against every other
+/// test in this binary (the plan is process-global).
+fn with_plan<T>(plan: Option<FaultPlan>, f: impl FnOnce() -> T) -> T {
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    dcn_fault::set_plan(plan);
+    let out = f();
+    dcn_fault::set_plan(None);
+    out
+}
+
+fn start_server(dcn: Arc<Dcn>, config: ServerConfig) -> Server {
+    Server::start(dcn, config).expect("server start")
+}
+
+fn serial_report(dcn: &Dcn, req: &Request) -> DcnReport {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(req.seed);
+    dcn.try_classify_bounded(&req.x, &mut rng, &req.budget)
+        .expect("serial classify")
+}
+
+fn assert_matches_serial(dcn: &Dcn, req: &Request, resp: &Response) {
+    let expected = serial_report(dcn, req);
+    match resp {
+        Response::Ok(r) => {
+            assert_eq!(r.id, req.id);
+            assert_eq!(r.label, expected.label, "label for request {}", req.id);
+            assert_eq!(r.verdict, expected.verdict, "verdict for request {}", req.id);
+            assert_eq!(
+                r.base_passes, expected.base_passes,
+                "base_passes for request {}",
+                req.id
+            );
+            assert_eq!(
+                r.degraded, expected.degraded,
+                "degraded flag for request {}",
+                req.id
+            );
+            assert!(!r.shed, "full-service request {} must not be shed", req.id);
+        }
+        Response::Err(e) => panic!("request {} failed: code {} {}", req.id, e.code, e.msg),
+    }
+}
+
+/// An input the detector flags (low-margin logits), found by shrinking a
+/// blob point toward the box center until the serial verdict is Corrected.
+fn flagged_input(dcn: &Dcn) -> Tensor {
+    let inputs = demo_inputs(30, 11).expect("demo inputs");
+    for x in &inputs {
+        for scale in [1.0f32, 0.5, 0.25, 0.1, 0.05, 0.0] {
+            let scaled: Vec<f32> = x.data().iter().map(|&v| v * scale).collect();
+            let t = Tensor::from_vec(x.shape().to_vec(), scaled).expect("scaled input");
+            let report = serial_report(
+                dcn,
+                &Request::new(0, 7, t.clone()),
+            );
+            if report.verdict == DcnVerdict::Corrected {
+                return t;
+            }
+        }
+    }
+    panic!("no input in the demo pool triggers the detector");
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_serial_answers() {
+    with_plan(None, || {
+        for mode in [WireMode::Binary, WireMode::Json] {
+            let dcn = Arc::new(demo_dcn(11, 24).expect("demo dcn"));
+            let server = start_server(
+                Arc::clone(&dcn),
+                ServerConfig {
+                    mode,
+                    max_batch: 4,
+                    ..ServerConfig::default()
+                },
+            );
+            let addr = server.addr().to_string();
+            let inputs = demo_inputs(30, 11).expect("demo inputs");
+
+            const CLIENTS: usize = 8;
+            const PER_CLIENT: usize = 6;
+            let barrier = Arc::new(Barrier::new(CLIENTS));
+            let mut handles = Vec::new();
+            for c in 0..CLIENTS {
+                let addr = addr.clone();
+                let barrier = Arc::clone(&barrier);
+                let inputs = inputs.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut client = Client::connect(&addr, mode).expect("connect");
+                    barrier.wait();
+                    let mut exchanges = Vec::with_capacity(PER_CLIENT);
+                    for i in 0..PER_CLIENT {
+                        let global = (c * PER_CLIENT + i) as u64;
+                        let req = Request::new(
+                            global + 1,
+                            1000 + global,
+                            inputs[global as usize % inputs.len()].clone(),
+                        );
+                        let resp = client.classify(&req).expect("classify");
+                        exchanges.push((req, resp));
+                    }
+                    exchanges
+                }));
+            }
+            let mut corrected = 0usize;
+            for h in handles {
+                for (req, resp) in h.join().expect("client thread") {
+                    if matches!(&resp, Response::Ok(r) if r.verdict == DcnVerdict::Corrected) {
+                        corrected += 1;
+                    }
+                    assert_matches_serial(&dcn, &req, &resp);
+                }
+            }
+            // The fixture must exercise the corrector path, or this test
+            // would only prove the trivial passthrough case.
+            assert!(
+                corrected > 0,
+                "no request took the corrector path ({mode:?})"
+            );
+            server.shutdown();
+        }
+    });
+}
+
+#[test]
+fn bounded_budgets_ride_the_wire_and_match_serial() {
+    with_plan(None, || {
+        let dcn = Arc::new(demo_dcn(11, 24).expect("demo dcn"));
+        let server = start_server(Arc::clone(&dcn), ServerConfig::default());
+        let flagged = flagged_input(&dcn);
+        let mut client =
+            Client::connect(&server.addr().to_string(), WireMode::Binary).expect("connect");
+        // A vote cap below m: the answer must be the serially-truncated
+        // vote, flagged degraded.
+        let req = Request {
+            id: 31,
+            seed: 555,
+            budget: VoteBudget {
+                max_votes: Some(8),
+                deadline: None,
+                min_quorum: 1,
+            },
+            x: flagged.clone(),
+        };
+        let resp = client.classify(&req).expect("capped classify");
+        assert_matches_serial(&dcn, &req, &resp);
+        match &resp {
+            Response::Ok(r) => {
+                assert_eq!(r.verdict, DcnVerdict::Corrected);
+                assert!(r.degraded, "a capped vote must be reported degraded");
+                assert_eq!(r.base_passes, 1 + 8, "exactly the capped vote count");
+            }
+            Response::Err(e) => panic!("capped classify failed: {}", e.msg),
+        }
+        // A quorum no truncated vote can meet: base fallback, degraded.
+        let req = Request {
+            id: 32,
+            seed: 556,
+            budget: VoteBudget {
+                max_votes: Some(2),
+                deadline: None,
+                min_quorum: 5,
+            },
+            x: flagged,
+        };
+        let resp = client.classify(&req).expect("quorum classify");
+        assert_matches_serial(&dcn, &req, &resp);
+        server.shutdown();
+    });
+}
+
+#[test]
+fn stalled_client_cannot_stall_the_rest_past_their_deadline() {
+    // Per-vote virtual latency: a deadline-bounded vote truncates at a
+    // deterministic count, and wall time stays fast.
+    let plan = FaultPlan {
+        latency_ns: 1_000_000, // 1 virtual ms per vote
+        ..FaultPlan::default()
+    };
+    with_plan(Some(plan), || {
+        let dcn = Arc::new(demo_dcn(11, 24).expect("demo dcn"));
+        let server = start_server(Arc::clone(&dcn), ServerConfig::default());
+        let addr = server.addr().to_string();
+        let flagged = flagged_input(&dcn);
+
+        // The saboteur: sends half a length prefix and then goes silent,
+        // holding its connection (and its reader thread) hostage.
+        let mut stalled = TcpStream::connect(&addr).expect("stalled connect");
+        stalled.write_all(&[0x10, 0x00]).expect("partial prefix");
+
+        // The victim: deadline-bounded requests on a separate connection.
+        // With one reader thread per connection they must keep flowing.
+        let mut client = Client::connect(&addr, WireMode::Binary).expect("connect");
+        let started = std::time::Instant::now();
+        for i in 0..4u64 {
+            let req = Request {
+                id: 100 + i,
+                seed: 9000 + i,
+                budget: VoteBudget {
+                    max_votes: None,
+                    deadline: Some(Duration::from_millis(10)),
+                    min_quorum: 1,
+                },
+                x: flagged.clone(),
+            };
+            let resp = client.classify(&req).expect("victim classify");
+            assert_matches_serial(&dcn, &req, &resp);
+            match &resp {
+                Response::Ok(r) => {
+                    assert_eq!(r.verdict, DcnVerdict::Corrected);
+                    assert!(r.degraded, "deadline truncation must be reported");
+                    // 1 virtual ms per vote against a 10 ms deadline, checked
+                    // every 8-vote chunk: exactly 16 of 24 votes are cast.
+                    assert_eq!(r.base_passes, 1 + 16, "deterministic truncation");
+                }
+                Response::Err(e) => panic!("victim request failed: {}", e.msg),
+            }
+        }
+        // The latency is virtual and the stalled client holds no shared
+        // lock: four round trips must complete promptly in wall time.
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "victim requests took {:?} — a stalled peer leaked into the serving path",
+            started.elapsed()
+        );
+        drop(stalled);
+        server.shutdown();
+    });
+}
+
+#[test]
+fn backpressure_walks_the_qos_ladder() {
+    with_plan(None, || {
+        let dcn = Arc::new(demo_dcn(11, 24).expect("demo dcn"));
+        let server = start_server(
+            Arc::clone(&dcn),
+            ServerConfig {
+                max_batch: 4,
+                queue_capacity: 4,
+                shed_mark: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let inputs = demo_inputs(30, 11).expect("demo inputs");
+        // Freeze the batcher: admission control keeps running, so queue
+        // depth — and each request's fate — is exact.
+        server.set_paused(true);
+
+        let mut client =
+            Client::connect(&server.addr().to_string(), WireMode::Binary).expect("connect");
+        let requests: Vec<Request> = (0..6u64)
+            .map(|i| Request::new(i + 1, 2000 + i, inputs[i as usize].clone()))
+            .collect();
+        for req in &requests {
+            client.send(req).expect("pipelined send");
+        }
+
+        // Requests 1-2 are full service, 3-4 shed, 5-6 rejected.
+        let mut waited = 0;
+        while server.queue_len() < 4 && waited < 200 {
+            std::thread::sleep(Duration::from_millis(10));
+            waited += 1;
+        }
+        assert_eq!(server.queue_len(), 4, "queue must hold exactly capacity");
+
+        // Rejections are written immediately by the reader thread — the
+        // batcher is still paused.
+        for _ in 0..2 {
+            match client.recv().expect("rejection frame") {
+                Response::Err(e) => {
+                    assert!(e.id == 5 || e.id == 6, "rejected id {}", e.id);
+                    assert_eq!(e.code, 6, "Overloaded exit code");
+                    assert!(
+                        e.msg.contains("overloaded"),
+                        "documented error text, got {:?}",
+                        e.msg
+                    );
+                }
+                Response::Ok(r) => panic!("request {} served while paused", r.id),
+            }
+        }
+
+        server.set_paused(false);
+        let mut served = Vec::new();
+        for _ in 0..4 {
+            match client.recv().expect("served frame") {
+                Response::Ok(r) => served.push(r),
+                Response::Err(e) => panic!("request {} failed: {}", e.id, e.msg),
+            }
+        }
+        served.sort_by_key(|r| r.id);
+        assert_eq!(
+            served.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        for r in &served {
+            let req = &requests[(r.id - 1) as usize];
+            if r.id <= 2 {
+                // Below the watermark: bitwise-identical full service.
+                assert!(!r.shed);
+                assert_matches_serial(&dcn, req, &Response::Ok(r.clone()));
+            } else {
+                // Shed: the base prediction, explicitly degraded — verified
+                // against the library's own shed path, never a silent vote.
+                assert!(r.shed, "request {} must be marked shed", r.id);
+                assert!(r.degraded, "shed answers are degraded by definition");
+                assert_eq!(r.verdict, DcnVerdict::PassedThrough);
+                assert_eq!(r.base_passes, 1, "shed must cost one forward pass");
+                let expected = dcn
+                    .try_classify_batch(&[BatchRequest {
+                        x: req.x.clone(),
+                        seed: req.seed,
+                        budget: req.budget,
+                        shed: true,
+                    }])
+                    .remove(0)
+                    .expect("serial shed report");
+                assert_eq!(r.label, expected.label, "shed label is the base argmax");
+            }
+        }
+        server.shutdown();
+    });
+}
+
+#[test]
+fn server_shutdown_answers_queued_requests_then_closes() {
+    with_plan(None, || {
+        let dcn = Arc::new(demo_dcn(11, 24).expect("demo dcn"));
+        let server = start_server(Arc::clone(&dcn), ServerConfig::default());
+        let inputs = demo_inputs(5, 11).expect("demo inputs");
+        let mut client =
+            Client::connect(&server.addr().to_string(), WireMode::Binary).expect("connect");
+        let req = Request::new(1, 77, inputs[0].clone());
+        let resp = client.classify(&req).expect("classify before shutdown");
+        assert_matches_serial(&dcn, &req, &resp);
+        server.shutdown();
+        // The connection is closed afterwards: the next exchange fails
+        // rather than hanging.
+        let after = Request::new(2, 78, inputs[1].clone());
+        let outcome = client.classify(&after);
+        assert!(outcome.is_err(), "server accepted work after shutdown");
+    });
+}
