@@ -64,6 +64,19 @@ fn bench_obs_overhead(c: &mut Criterion) {
             black_box(out)
         })
     });
+    // The serving latency path: one timed quantile-sketch observation per
+    // vote. Measured against the plain obs-on leg, the delta is the
+    // sketch's cost — gated < 1% in CI.
+    group.bench_function("vote_m50_obs_on_sketch", |b| {
+        let mut vote_rng = StdRng::seed_from_u64(7);
+        let sketch = dcn_obs::sketch("bench.vote_latency_seconds");
+        b.iter(|| {
+            let started = std::time::Instant::now();
+            let out = corrector.vote_counts(&net, black_box(&x), &mut vote_rng).unwrap();
+            sketch.observe(started.elapsed().as_secs_f64());
+            black_box(out)
+        })
+    });
     dcn_obs::set_enabled(false);
     dcn_obs::reset();
     group.finish();
@@ -79,6 +92,16 @@ fn bench_obs_overhead(c: &mut Criterion) {
         let overhead = (on - off) / off * 100.0;
         eprintln!(
             "obs overhead on the m=50 vote path: {overhead:+.2}% (off {off:.0} ns, on {on:.0} ns; target < 5%)"
+        );
+    }
+    if let (Some(on), Some(with_sketch)) = (
+        ns_of("vote_m50_obs_on"),
+        ns_of("vote_m50_obs_on_sketch"),
+    ) {
+        let overhead = (with_sketch - on) / on * 100.0;
+        c.record_metric("obs_overhead/sketch_overhead_pct", overhead);
+        eprintln!(
+            "sketch overhead on the m=50 vote path: {overhead:+.2}% (plain {on:.0} ns, sketch {with_sketch:.0} ns; target < 1%)"
         );
     }
 }

@@ -48,16 +48,22 @@ pub struct BatchRequest {
     /// answer with the base network's prediction, always flagged
     /// `degraded` — a shed request is never reported as a full vote.
     pub shed: bool,
+    /// Telemetry trace id (0 = untraced). Purely observational: it selects
+    /// which trace the pipeline stages are recorded under and never
+    /// touches the answer, preserving bitwise equality with the serial
+    /// path whether tracing is on or off.
+    pub trace: u64,
 }
 
 impl BatchRequest {
-    /// A full-service request: unbounded budget, not shed.
+    /// A full-service request: unbounded budget, not shed, untraced.
     pub fn new(x: Tensor, seed: u64) -> Self {
         BatchRequest {
             x,
             seed,
             budget: VoteBudget::unbounded(),
             shed: false,
+            trace: 0,
         }
     }
 }
@@ -99,6 +105,10 @@ impl Dcn {
         }
 
         // One stacked forward for every well-shaped request's base logits.
+        // The detector-forward stage covers the stacked forward plus the
+        // per-request detector screen below; the clock is inert when
+        // tracing is off.
+        let detector_clock = dcn_obs::stage_clock();
         let logits = if batched.is_empty() {
             None
         } else {
@@ -168,6 +178,9 @@ impl Dcn {
                     }
                     true
                 };
+                // Feed the drift alarm's sliding window (no-op when the
+                // telemetry plane is off).
+                dcn_obs::record_flag(flagged);
                 if !flagged {
                     out[i] = Some(passthrough_report(&row));
                 } else if !fault_active && req.budget.is_unbounded_for(m) {
@@ -177,6 +190,18 @@ impl Dcn {
                 }
             }
         }
+
+        // The batched detector screen is one shared interval: stamp it on
+        // every traced request that went through it.
+        if dcn_obs::trace_enabled() && !batched.is_empty() {
+            let traced: Vec<u64> = batched.iter().map(|&i| requests[i].trace).collect();
+            dcn_obs::stage_end_many(
+                detector_clock,
+                &traced,
+                dcn_obs::names::TRACE_STAGE_DETECTOR_FORWARD,
+            );
+        }
+        let vote_clock = dcn_obs::stage_clock();
 
         // Cross-request vote batch: all full-vote corrections in one
         // stacked forward. Noise is drawn per request from its own seeded
@@ -229,6 +254,17 @@ impl Dcn {
                     .map_err(DcnError::from)
                     .and_then(|vote| self.vote_report(row, &vote, &req.budget)),
             );
+        }
+
+        // One shared vote-loop interval for every traced request that was
+        // actually routed through the corrector (fast or bounded path).
+        if dcn_obs::trace_enabled() && (!fast_votes.is_empty() || !slow_votes.is_empty()) {
+            let traced: Vec<u64> = fast_votes
+                .iter()
+                .chain(slow_votes.iter())
+                .map(|(i, _)| requests[*i].trace)
+                .collect();
+            dcn_obs::stage_end_many(vote_clock, &traced, dcn_obs::names::TRACE_STAGE_VOTE_LOOP);
         }
 
         let results: Vec<std::result::Result<DcnReport, DcnError>> = out

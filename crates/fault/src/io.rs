@@ -116,6 +116,44 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8], site: &str) -> std::io
     Ok(())
 }
 
+/// Monotone per-process sequence so two dumps in the same nanosecond (or
+/// on a clock that went backwards) still get distinct file names.
+fn flight_stamp() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("{nanos}_{seq}")
+}
+
+/// Dumps the observability flight recorder — the recent QoS verdicts and
+/// the span trees they reference — as a sealed post-mortem artifact
+/// `FLIGHT_<ts>.json` under `dir`. The payload is CRC-sealed and written
+/// atomically, so a crash mid-dump never leaves a torn artifact.
+///
+/// Returns `Ok(None)` without touching the filesystem when neither metric
+/// collection nor tracing is enabled — the recorder is empty then, and the
+/// disabled path must stay free of IO.
+///
+/// # Errors
+///
+/// Returns the underlying [`std::io::Error`] (real or injected) from the
+/// atomic write.
+pub fn dump_flight(dir: impl AsRef<Path>, reason: &str) -> std::io::Result<Option<PathBuf>> {
+    if !dcn_obs::recorder_enabled() {
+        return Ok(None);
+    }
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("FLIGHT_{}.json", flight_stamp()));
+    let payload = seal(&dcn_obs::flight_json(reason));
+    write_atomic(&path, payload.as_bytes(), "fault.flight.write")?;
+    Ok(Some(path))
+}
+
 /// Reads `path` to a string, retrying transient failures under `policy`.
 ///
 /// # Errors
@@ -167,6 +205,29 @@ mod tests {
         assert!(unseal(&tampered).is_err());
         let bad_footer = format!("payload\n{CRC_FOOTER_PREFIX}zzzzzzzz");
         assert!(unseal(&bad_footer).is_err());
+    }
+
+    #[test]
+    fn dump_flight_writes_a_sealed_post_mortem() {
+        let dir = std::env::temp_dir().join("dcn_fault_flight_test");
+        let _ = fs::remove_dir_all(&dir);
+        // Disabled recorder: no artifact, no IO.
+        dcn_obs::set_enabled(false);
+        dcn_obs::set_trace_enabled(false);
+        assert_eq!(dump_flight(&dir, "noop").unwrap(), None);
+        assert!(!dir.exists());
+        // Enabled: the dump is sealed, atomic, and embeds the reason.
+        dcn_obs::set_trace_enabled(true);
+        dcn_obs::record_event("error", 0, 3, "unit fault");
+        let path = dump_flight(&dir, "unit test").unwrap().expect("artifact");
+        let content = fs::read_to_string(&path).unwrap();
+        let payload = unseal(&content).unwrap();
+        assert!(content.contains(CRC_FOOTER_PREFIX));
+        assert!(payload.contains("\"reason\": \"unit test\""), "{payload}");
+        assert!(payload.contains("\"unit fault\""), "{payload}");
+        dcn_obs::set_trace_enabled(false);
+        dcn_obs::reset_recorder();
+        let _ = fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -45,7 +45,9 @@
 mod io;
 mod retry;
 
-pub use io::{crc32, read_with_retry, seal, temp_path, unseal, write_atomic, CRC_FOOTER_PREFIX};
+pub use io::{
+    crc32, dump_flight, read_with_retry, seal, temp_path, unseal, write_atomic, CRC_FOOTER_PREFIX,
+};
 pub use retry::{retry, RetryPolicy};
 
 use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};

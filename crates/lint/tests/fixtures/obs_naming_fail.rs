@@ -9,4 +9,6 @@ pub fn record() {
     counter("Fixture.BadName", 1);
     // Same value as names::DUP — minted twice.
     counter("fixture.dup_total", 1);
+    // Sketches are a name sink too: grammar applies.
+    sketch("fixture.Sketch-Name").observe(1.0);
 }

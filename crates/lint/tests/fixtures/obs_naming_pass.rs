@@ -3,11 +3,13 @@
 pub mod names {
     pub const FORWARD: &str = "fixture.forward_total";
     pub const LATENCY: &str = "fixture.latency_us";
+    pub const QUANTILES: &str = "fixture.latency_seconds";
     pub const LEGACY: &str = "legacy_single_segment_total";
 }
 
 pub fn record() {
     counter(names::FORWARD, 1);
     histogram(names::LATENCY, 42);
+    sketch(names::QUANTILES).observe(0.5);
     counter(names::LEGACY, 1);
 }

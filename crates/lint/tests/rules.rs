@@ -121,10 +121,11 @@ fn obs_naming_pass_fixture_is_clean() {
 #[test]
 fn obs_naming_fail_fixture_trips_grammar_and_duplicate() {
     let findings = run_rule("obs-naming", "obs_naming_fail.rs");
-    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
     let text = format!("{findings:?}");
     assert!(text.contains("Fixture.BadName"));
     assert!(text.contains("already minted"));
+    assert!(text.contains("fixture.Sketch-Name"));
 }
 
 #[test]

@@ -37,13 +37,29 @@
 
 #![deny(missing_docs)]
 
+mod recorder;
 mod registry;
+mod sketch;
 mod snapshot;
 mod span;
+mod trace;
 
-pub use registry::{counter, histogram, reset, Counter, Histogram};
-pub use snapshot::{maybe_export, snapshot, CostModel, HistogramSnapshot, Snapshot};
+pub use recorder::{
+    flag_window, flight_events, flight_json, record_event, record_flag, recorder_enabled,
+    reset_recorder, FlightEvent,
+};
+pub use registry::{counter, histogram, reset, sketch, Counter, Histogram};
+pub use sketch::{QuantileSketch, Sketch, DEFAULT_SKETCH_CAPACITY};
+pub use snapshot::{
+    default_export_dir, maybe_export, snapshot, CostModel, HistogramSnapshot, SketchSnapshot,
+    Snapshot,
+};
 pub use span::{span, Span};
+pub use trace::{
+    chrome_trace, clear_trace_override, completed_traces, mint_trace_id, reset_traces,
+    set_trace_enabled, stage_clock, stage_end, stage_end_many, trace_enabled, trace_finish,
+    trace_lookup, trace_start, StageClock, StageRecord, TraceRecord,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -115,6 +131,20 @@ pub mod names {
     pub const CHECKPOINT_WRITES_TOTAL: &str = "checkpoint.writes_total";
     /// Training runs resumed from an on-disk checkpoint.
     pub const CHECKPOINT_RESUMES_TOTAL: &str = "checkpoint.resumes_total";
+    /// Traces started (requests that entered the telemetry plane).
+    pub const TRACE_STARTED_TOTAL: &str = "trace.started_total";
+    /// Traces finished with a terminal outcome.
+    pub const TRACE_COMPLETED_TOTAL: &str = "trace.completed_total";
+    /// Trace stage: time a request waited in the admission queue.
+    pub const TRACE_STAGE_ENQUEUE_WAIT: &str = "trace.enqueue_wait";
+    /// Trace stage: batcher work between popping and dispatching a batch.
+    pub const TRACE_STAGE_BATCH_ASSEMBLY: &str = "trace.batch_assembly";
+    /// Trace stage: the stacked base-network forward + detector screen.
+    pub const TRACE_STAGE_DETECTOR_FORWARD: &str = "trace.detector_forward";
+    /// Trace stage: the corrector vote loop (fast or bounded path).
+    pub const TRACE_STAGE_VOTE_LOOP: &str = "trace.vote_loop";
+    /// Trace stage: encoding and writing the response frame.
+    pub const TRACE_STAGE_WRITE_BACK: &str = "trace.write_back";
 }
 
 /// Fixed bucket upper bounds for latency histograms, in seconds (an

@@ -1,0 +1,245 @@
+//! The flight recorder: a bounded ring of recent request verdicts, plus
+//! a sliding window over detector flag decisions.
+//!
+//! Carlini & Wagner and Hosseini et al. both show detector-based
+//! defenses being probed *over time*; the operational signature of an
+//! adaptive adversary is a drifting detector flag rate under otherwise
+//! steady traffic. This module keeps just enough recent history to make
+//! a crash or an overload explainable after the fact:
+//!
+//! * [`record_event`] appends one QoS verdict (response, shed,
+//!   rejection, error, shutdown) to a fixed-size ring — one short mutex
+//!   section, taken only when collection or tracing is on.
+//! * [`flight_json`] freezes the ring together with the span trees of
+//!   every trace it references — the payload `dcn-fault` seals into
+//!   `results/FLIGHT_<ts>.json` on `Overloaded`, on any `DcnError`, and
+//!   on shutdown.
+//! * [`record_flag`] / [`flag_window`] maintain the detector flag-rate
+//!   sliding window behind the admin endpoint's drift alarm.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::trace::{trace_enabled, trace_lookup};
+
+/// Flight events retained; the oldest is evicted first.
+const MAX_EVENTS: usize = 256;
+/// Detector decisions covered by the flag-rate sliding window.
+const FLAG_WINDOW: usize = 512;
+
+/// One recorded QoS verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Process-local monotone sequence number (records event order
+    /// without reading a wall clock).
+    pub seq: u64,
+    /// Verdict kind: `"response"`, `"shed"`, `"rejected"`, `"error"`,
+    /// `"shutdown"`, ….
+    pub kind: String,
+    /// Trace id of the involved request (0 when untraced).
+    pub trace_id: u64,
+    /// Request id of the involved request (0 when not applicable).
+    pub request_id: u64,
+    /// Free-form detail (error message, queue depth, …).
+    pub detail: String,
+}
+
+#[derive(Default)]
+struct Ring {
+    events: VecDeque<FlightEvent>,
+}
+
+fn ring() -> MutexGuard<'static, Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(Ring::default()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn next_seq() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Whether the recorder is collecting (either metric collection or
+/// tracing is on).
+#[inline]
+pub fn recorder_enabled() -> bool {
+    crate::enabled() || trace_enabled()
+}
+
+/// Appends one QoS verdict to the flight ring. No-op when both metric
+/// collection and tracing are off.
+pub fn record_event(kind: &str, trace_id: u64, request_id: u64, detail: &str) {
+    if !recorder_enabled() {
+        return;
+    }
+    let ev = FlightEvent {
+        seq: next_seq(),
+        kind: kind.to_string(),
+        trace_id,
+        request_id,
+        detail: detail.to_string(),
+    };
+    let mut r = ring();
+    r.events.push_back(ev);
+    while r.events.len() > MAX_EVENTS {
+        r.events.pop_front();
+    }
+}
+
+/// Clones the flight ring, oldest first.
+pub fn flight_events() -> Vec<FlightEvent> {
+    ring().events.iter().cloned().collect()
+}
+
+/// Forgets all recorded events and flag decisions (test isolation).
+pub fn reset_recorder() {
+    ring().events.clear();
+    flags().decisions.clear();
+}
+
+/// Serializes the flight ring as one JSON document: the dump `reason`,
+/// every retained event, and the span tree of every trace an event
+/// references (so a post-mortem includes the offending request's trace).
+pub fn flight_json(reason: &str) -> String {
+    let events = flight_events();
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"reason\": {},\n  \"events\": [",
+        crate::snapshot::json_escape(reason)
+    ));
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"seq\": {}, \"kind\": {}, \"trace_id\": {}, \"request_id\": {}, \"detail\": {}}}",
+            ev.seq,
+            crate::snapshot::json_escape(&ev.kind),
+            ev.trace_id,
+            ev.request_id,
+            crate::snapshot::json_escape(&ev.detail),
+        ));
+    }
+    out.push_str(if events.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"traces\": [");
+    let mut trace_ids: Vec<u64> = events.iter().map(|e| e.trace_id).filter(|&id| id != 0).collect();
+    trace_ids.sort_unstable();
+    trace_ids.dedup();
+    let mut first = true;
+    for id in trace_ids {
+        if let Some(rec) = trace_lookup(id) {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str("    ");
+            out.push_str(&rec.to_json());
+        }
+    }
+    out.push_str(if first { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+#[derive(Default)]
+struct FlagWindow {
+    decisions: VecDeque<bool>,
+}
+
+fn flags() -> MutexGuard<'static, FlagWindow> {
+    static FLAGS: OnceLock<Mutex<FlagWindow>> = OnceLock::new();
+    FLAGS
+        .get_or_init(|| Mutex::new(FlagWindow::default()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Records one detector decision into the sliding window. No-op when
+/// both metric collection and tracing are off.
+pub fn record_flag(flagged: bool) {
+    if !recorder_enabled() {
+        return;
+    }
+    let mut w = flags();
+    w.decisions.push_back(flagged);
+    while w.decisions.len() > FLAG_WINDOW {
+        w.decisions.pop_front();
+    }
+}
+
+/// `(window, flagged, rate)` over the most recent detector decisions:
+/// how many decisions the window holds, how many were flagged, and the
+/// flagged fraction (0 when empty).
+pub fn flag_window() -> (u64, u64, f64) {
+    let w = flags();
+    let n = w.decisions.len() as u64;
+    let flagged = w.decisions.iter().filter(|&&f| f).count() as u64;
+    let rate = if n == 0 { 0.0 } else { flagged as f64 / n as f64 };
+    (n, flagged, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{
+        mint_trace_id, set_trace_enabled, stage_clock, stage_end, trace_finish, trace_start,
+        trace_test_lock,
+    };
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _guard = trace_test_lock();
+        let _g2 = crate::test_lock();
+        crate::set_enabled(false);
+        set_trace_enabled(false);
+        reset_recorder();
+        record_event("response", 0, 1, "");
+        record_flag(true);
+        assert!(flight_events().is_empty());
+        assert_eq!(flag_window(), (0, 0, 0.0));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn flight_json_embeds_referenced_traces() {
+        let _guard = trace_test_lock();
+        set_trace_enabled(true);
+        reset_recorder();
+        crate::trace::reset_traces();
+        let id = mint_trace_id();
+        trace_start(id, 9);
+        let c = stage_clock();
+        stage_end(c, id, crate::names::TRACE_STAGE_VOTE_LOOP);
+        trace_finish(id, "error");
+        record_event("error", id, 9, "injected io");
+        record_event("shutdown", 0, 0, "");
+        let json = flight_json("overloaded");
+        assert!(json.contains("\"reason\": \"overloaded\""), "{json}");
+        assert!(json.contains("\"injected io\""), "{json}");
+        assert!(json.contains(&format!("\"trace_id\": {id}")), "{json}");
+        assert!(json.contains("\"trace.vote_loop\""), "{json}");
+        set_trace_enabled(false);
+        reset_recorder();
+        crate::trace::reset_traces();
+    }
+
+    #[test]
+    fn ring_and_window_stay_bounded() {
+        let _guard = trace_test_lock();
+        set_trace_enabled(true);
+        reset_recorder();
+        let iters = FLAG_WINDOW + 50;
+        for i in 0..iters {
+            record_event("response", 0, i as u64, "");
+            record_flag(i % 4 == 0);
+        }
+        let events = flight_events();
+        assert_eq!(events.len(), MAX_EVENTS);
+        // Oldest evicted first: the surviving prefix starts past the overflow.
+        assert_eq!(events[0].request_id, (iters - MAX_EVENTS) as u64);
+        let (n, flagged, rate) = flag_window();
+        assert_eq!(n, FLAG_WINDOW as u64);
+        assert!(flagged > 0 && rate > 0.0 && rate < 1.0);
+        set_trace_enabled(false);
+        reset_recorder();
+    }
+}

@@ -189,6 +189,7 @@ impl Histogram {
 pub(crate) struct Registry {
     pub(crate) counters: BTreeMap<String, &'static Counter>,
     pub(crate) histograms: BTreeMap<String, &'static Histogram>,
+    pub(crate) sketches: BTreeMap<String, &'static crate::sketch::Sketch>,
 }
 
 pub(crate) fn registry() -> MutexGuard<'static, Registry> {
@@ -229,9 +230,25 @@ pub fn histogram(name: &str, bounds: &[f64]) -> &'static Histogram {
     leaked
 }
 
-/// Zeroes every registered counter and histogram (names stay registered).
-/// Benches and the experiment harness call this between runs so each
-/// snapshot covers exactly one workload.
+/// Returns (registering on first use) the quantile sketch named `name`,
+/// with the default centroid budget
+/// ([`crate::DEFAULT_SKETCH_CAPACITY`]).
+pub fn sketch(name: &str) -> &'static crate::sketch::Sketch {
+    let mut reg = registry();
+    if let Some(s) = reg.sketches.get(name) {
+        return s;
+    }
+    let leaked: &'static crate::sketch::Sketch = Box::leak(Box::new(crate::sketch::Sketch::new(
+        name.to_string(),
+        crate::sketch::DEFAULT_SKETCH_CAPACITY,
+    )));
+    reg.sketches.insert(name.to_string(), leaked);
+    leaked
+}
+
+/// Zeroes every registered counter, histogram and sketch (names stay
+/// registered). Benches and the experiment harness call this between
+/// runs so each snapshot covers exactly one workload.
 pub fn reset() {
     let reg = registry();
     for c in reg.counters.values() {
@@ -239,6 +256,9 @@ pub fn reset() {
     }
     for h in reg.histograms.values() {
         h.zero();
+    }
+    for s in reg.sketches.values() {
+        s.zero();
     }
 }
 

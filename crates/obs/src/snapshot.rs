@@ -39,6 +39,47 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Sum of the per-bucket counts (equal to `count` for a quiescent
+    /// histogram).
+    pub fn bucket_sum(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Frozen state of one quantile sketch: the moments plus the standard
+/// latency percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (`None` when empty).
+    pub min: Option<f64>,
+    /// Largest observation (`None` when empty).
+    pub max: Option<f64>,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl SketchSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
 }
 
 /// The paper's §4 cost accounting, derived from the DCN counters: benign
@@ -88,6 +129,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Histogram states, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Quantile-sketch states, sorted by name.
+    pub sketches: Vec<SketchSnapshot>,
     /// Derived DCN cost model.
     pub cost: CostModel,
 }
@@ -103,14 +146,48 @@ pub fn snapshot(run: &str) -> Snapshot {
     let histograms: Vec<HistogramSnapshot> = reg
         .histograms
         .iter()
-        .map(|(name, h)| HistogramSnapshot {
-            name: name.clone(),
-            bounds: h.bounds().to_vec(),
-            buckets: h.bucket_counts(),
-            count: h.count(),
-            sum: h.sum(),
-            min: h.min(),
-            max: h.max(),
+        .map(|(name, h)| {
+            let count_before = h.count();
+            let buckets = h.bucket_counts();
+            let count = h.count();
+            let snap = HistogramSnapshot {
+                name: name.clone(),
+                bounds: h.bounds().to_vec(),
+                buckets,
+                count,
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+            };
+            // Consistency: every observation lands in exactly one bucket,
+            // so for a histogram that was quiescent across both count
+            // reads the bucket sum matches the count exactly. Concurrent
+            // observers (or a racing reset) change the count between the
+            // reads, which skips the check.
+            debug_assert!(
+                count_before != count || snap.bucket_sum() == count,
+                "histogram {name}: bucket sum {} diverges from count {count}",
+                snap.bucket_sum(),
+            );
+            snap
+        })
+        .collect();
+    let sketches: Vec<SketchSnapshot> = reg
+        .sketches
+        .iter()
+        .map(|(name, s)| {
+            let state = s.state();
+            SketchSnapshot {
+                name: name.clone(),
+                count: state.count(),
+                sum: state.sum(),
+                min: state.min(),
+                max: state.max(),
+                p50: state.quantile(0.5),
+                p90: state.quantile(0.9),
+                p99: state.quantile(0.99),
+                p999: state.quantile(0.999),
+            }
         })
         .collect();
     drop(reg);
@@ -131,11 +208,12 @@ pub fn snapshot(run: &str) -> Snapshot {
         run: run.to_string(),
         counters,
         histograms,
+        sketches,
         cost,
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -153,7 +231,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if !v.is_finite() {
         "null".to_string()
     } else if v == v.trunc() && v.abs() < 1e15 {
@@ -177,8 +255,13 @@ impl Snapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// Quantile-sketch state by name, if recorded.
+    pub fn sketch(&self, name: &str) -> Option<&SketchSnapshot> {
+        self.sketches.iter().find(|s| s.name == name)
+    }
+
     /// Serializes the snapshot as pretty-printed JSON with top-level keys
-    /// `run`, `counters`, `histograms` and `cost`.
+    /// `run`, `counters`, `histograms`, `sketches` and `cost`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"run\": {},\n", json_escape(&self.run)));
@@ -205,6 +288,23 @@ impl Snapshot {
             ));
         }
         out.push_str(if self.histograms.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"sketches\": {");
+        for (i, s) in self.sketches.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+                json_escape(&s.name),
+                s.count,
+                json_f64(s.sum),
+                s.min.map_or("null".to_string(), json_f64),
+                s.max.map_or("null".to_string(), json_f64),
+                json_f64(s.p50),
+                json_f64(s.p90),
+                json_f64(s.p99),
+                json_f64(s.p999),
+            ));
+        }
+        out.push_str(if self.sketches.is_empty() { "},\n" } else { "\n  },\n" });
         out.push_str(&format!(
             "  \"cost\": {{\"queries\": {}, \"passed_through\": {}, \"corrected\": {}, \"base_passes\": {}, \"corrector_votes\": {}, \"amortized_passes_per_query\": {}, \"mean_votes_per_correction\": {}}}\n",
             self.cost.queries,
@@ -245,6 +345,17 @@ impl Snapshot {
                 h.mean(),
                 h.min.unwrap_or(0.0),
                 h.max.unwrap_or(0.0),
+            ));
+        }
+        for s in &self.sketches {
+            out.push_str(&format!(
+                "  {:width$}  n={} p50={:.4} p99={:.4} p999={:.4} max={:.4}\n",
+                s.name,
+                s.count,
+                s.p50,
+                s.p99,
+                s.p999,
+                s.max.unwrap_or(0.0),
             ));
         }
         if self.cost.queries > 0 {
@@ -299,6 +410,13 @@ fn export_dir() -> PathBuf {
     PathBuf::from("results")
 }
 
+/// The directory snapshots (and flight-recorder dumps) land in by
+/// default: `DCN_OBS_JSON` when it holds a path, else the workspace
+/// `results/` directory.
+pub fn default_export_dir() -> PathBuf {
+    export_dir()
+}
+
 /// Snapshots the current metrics and writes `OBS_<run>.json` when
 /// collection is enabled; a no-op returning `None` otherwise. This is the
 /// one-line exit hook tests, examples and the CLI use.
@@ -339,6 +457,38 @@ mod tests {
         for key in ["\"run\"", "\"counters\"", "\"histograms\"", "\"cost\""] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn histogram_bucket_counts_sum_to_recorded_count() {
+        let _guard = crate::test_lock();
+        let h = histogram("snapshot_test.bucket_sum", &[1.0, 10.0]);
+        for v in [0.5, 0.5, 3.0, 50.0] {
+            h.observe(v);
+        }
+        let snap = snapshot("bucket-sum");
+        let hs = snap.histogram("snapshot_test.bucket_sum").unwrap();
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.bucket_sum(), hs.count);
+    }
+
+    #[test]
+    fn sketches_surface_percentiles_in_snapshot_and_json() {
+        let _guard = crate::test_lock();
+        let s = crate::sketch("snapshot_test.sketch_latency");
+        for i in 1..=100 {
+            s.observe(i as f64);
+        }
+        let snap = snapshot("sketches");
+        let ss = snap.sketch("snapshot_test.sketch_latency").unwrap();
+        assert!(ss.count >= 100);
+        assert!(ss.p50 > 0.0 && ss.p50 <= ss.p99 && ss.p99 <= ss.p999);
+        assert_eq!(ss.max, Some(100.0));
+        let json = snap.to_json();
+        assert!(json.contains("\"sketches\""), "{json}");
+        assert!(json.contains("\"snapshot_test.sketch_latency\""), "{json}");
+        assert!(json.contains("\"p999\""), "{json}");
+        assert!(snap.render().contains("p999="));
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Per-request tracing: span trees keyed by a `TraceId`.
+//!
+//! A trace follows one serving request through the pipeline: the reader
+//! thread mints (or adopts) a trace id, the admission queue and batcher
+//! stamp stage boundaries, and `try_classify_batch` records the detector
+//! forward and corrector vote loop. The result is a span tree — named
+//! stages with start offsets and durations relative to the request's
+//! arrival — queryable live over the admin endpoint (`trace <id>`) and
+//! exportable as a Chrome `trace_event` file.
+//!
+//! Design constraints, inherited from the rest of `dcn-obs`:
+//!
+//! * **Off by default, zero cost when off.** Everything is gated on
+//!   [`trace_enabled`] (`DCN_TRACE=1` or [`set_trace_enabled`]) — one
+//!   relaxed atomic load; no clock is read and no lock is taken when
+//!   tracing is off.
+//! * **Bitwise non-interference.** Stage clocks are opaque tokens handed
+//!   out by this module, so numeric crates never read a wall clock
+//!   themselves, and nothing recorded here feeds back into any pipeline
+//!   computation. Server-minted trace ids are never echoed on the wire.
+//! * **Fixed memory.** Active traces and completed records both live in
+//!   bounded structures; the oldest entries are evicted first.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Most traces kept in-flight before the oldest is evicted; a trace that
+/// is never finished (e.g. its connection vanished) cannot leak memory.
+const MAX_ACTIVE: usize = 4096;
+/// Completed trace records retained for `trace <id>` lookups and export.
+const MAX_DONE: usize = 512;
+
+// Same state machine as the crate-level ENABLED flag: 0 = unresolved,
+// 1 = forced off, 2 = forced on, 3 = env said off, 4 = env said on.
+static TRACE_ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether per-request tracing is on (`DCN_TRACE=1` or
+/// [`set_trace_enabled`]). One relaxed atomic load.
+#[inline]
+pub fn trace_enabled() -> bool {
+    match TRACE_ENABLED.load(Ordering::Relaxed) {
+        0 => {
+            let on = crate::env_truthy("DCN_TRACE").unwrap_or(false);
+            TRACE_ENABLED.store(if on { 4 } else { 3 }, Ordering::Relaxed);
+            on
+        }
+        2 | 4 => true,
+        _ => false,
+    }
+}
+
+/// Programmatically forces tracing on or off, overriding `DCN_TRACE`.
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Clears any [`set_trace_enabled`] override, returning to the
+/// environment (`DCN_TRACE`) verdict.
+pub fn clear_trace_override() {
+    TRACE_ENABLED.store(0, Ordering::Relaxed);
+}
+
+/// Mints a fresh nonzero trace id. Ids are process-local and
+/// monotonically increasing; 0 means "untraced" everywhere.
+pub fn mint_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One recorded stage of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Stage name (one of the `trace.*` constants in [`crate::names`]).
+    pub name: &'static str,
+    /// Stage start, in nanoseconds after the trace started.
+    pub start_ns: u64,
+    /// Stage duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A completed (or still-running) trace: the span tree for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The trace id.
+    pub trace_id: u64,
+    /// The request id the trace was attached to.
+    pub request_id: u64,
+    /// Terminal outcome (`"ok"`, `"error"`, `"rejected"`, …); `"active"`
+    /// while the request is still in flight.
+    pub outcome: String,
+    /// Total wall-clock from trace start to finish, in nanoseconds.
+    pub total_ns: u64,
+    /// Recorded stages in completion order.
+    pub stages: Vec<StageRecord>,
+}
+
+impl TraceRecord {
+    /// Sum of all stage durations — by construction at most `total_ns`
+    /// plus scheduling noise, since stages are disjoint sub-intervals.
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.dur_ns).sum()
+    }
+
+    /// Serializes the span tree as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"trace_id\": {}, \"request_id\": {}, \"outcome\": {}, \"total_ns\": {}, \"stages\": [",
+            self.trace_id,
+            self.request_id,
+            crate::snapshot::json_escape(&self.outcome),
+            self.total_ns,
+        );
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
+                crate::snapshot::json_escape(s.name),
+                s.start_ns,
+                s.dur_ns,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[derive(Debug)]
+struct ActiveTrace {
+    request_id: u64,
+    started: Instant,
+    stages: Vec<StageRecord>,
+}
+
+#[derive(Default)]
+struct TraceStore {
+    active: BTreeMap<u64, ActiveTrace>,
+    done: VecDeque<TraceRecord>,
+}
+
+fn store() -> MutexGuard<'static, TraceStore> {
+    static STORE: OnceLock<Mutex<TraceStore>> = OnceLock::new();
+    STORE
+        .get_or_init(|| Mutex::new(TraceStore::default()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// An opaque wall-clock token marking the start of a pipeline stage.
+///
+/// Handed out by [`stage_clock`] and consumed by [`stage_end`] /
+/// [`stage_end_many`], so instrumented crates (including the numeric
+/// ones, whose sources must stay free of clock reads) never touch a
+/// clock type directly. Inert (`None`) when tracing is off.
+#[derive(Debug, Clone, Copy)]
+pub struct StageClock(Option<Instant>);
+
+/// Starts a stage clock; inert when tracing is disabled.
+#[inline]
+pub fn stage_clock() -> StageClock {
+    if trace_enabled() {
+        StageClock(Some(Instant::now()))
+    } else {
+        StageClock(None)
+    }
+}
+
+/// Begins a trace: records the arrival instant for `trace_id` (no-op for
+/// id 0 or when tracing is off). Evicts the oldest active trace beyond
+/// the in-flight cap.
+pub fn trace_start(trace_id: u64, request_id: u64) {
+    if trace_id == 0 || !trace_enabled() {
+        return;
+    }
+    if crate::enabled() {
+        crate::counter(crate::names::TRACE_STARTED_TOTAL).inc();
+    }
+    let mut st = store();
+    st.active.insert(
+        trace_id,
+        ActiveTrace {
+            request_id,
+            started: Instant::now(),
+            stages: Vec::with_capacity(8),
+        },
+    );
+    while st.active.len() > MAX_ACTIVE {
+        st.active.pop_first();
+    }
+}
+
+fn push_stage(st: &mut TraceStore, trace_id: u64, name: &'static str, now: Instant, start: Instant) {
+    if let Some(t) = st.active.get_mut(&trace_id) {
+        let start_ns = start
+            .saturating_duration_since(t.started)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let dur_ns = now
+            .saturating_duration_since(start)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        t.stages.push(StageRecord { name, start_ns, dur_ns });
+    }
+}
+
+/// Ends a stage for one trace: records `[clock, now)` under `name`.
+/// No-op when the clock is inert, the id is 0, or the trace is unknown.
+pub fn stage_end(clock: StageClock, trace_id: u64, name: &'static str) {
+    let Some(start) = clock.0 else { return };
+    if trace_id == 0 {
+        return;
+    }
+    let now = Instant::now();
+    push_stage(&mut store(), trace_id, name, now, start);
+}
+
+/// Ends a shared stage for many traces at once (e.g. one stacked
+/// detector forward covering a whole batch): the same `[clock, now)`
+/// interval is recorded under `name` for every nonzero id.
+pub fn stage_end_many(clock: StageClock, trace_ids: &[u64], name: &'static str) {
+    let Some(start) = clock.0 else { return };
+    if trace_ids.iter().all(|&id| id == 0) {
+        return;
+    }
+    let now = Instant::now();
+    let mut st = store();
+    for &id in trace_ids {
+        if id != 0 {
+            push_stage(&mut st, id, name, now, start);
+        }
+    }
+}
+
+/// Finishes a trace with a terminal `outcome`, moving it to the
+/// completed ring. No-op for id 0, unknown ids, or when tracing is off.
+pub fn trace_finish(trace_id: u64, outcome: &str) {
+    if trace_id == 0 || !trace_enabled() {
+        return;
+    }
+    let mut st = store();
+    let Some(t) = st.active.remove(&trace_id) else {
+        return;
+    };
+    let total_ns = t.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    st.done.push_back(TraceRecord {
+        trace_id,
+        request_id: t.request_id,
+        outcome: outcome.to_string(),
+        total_ns,
+        stages: t.stages,
+    });
+    while st.done.len() > MAX_DONE {
+        st.done.pop_front();
+    }
+    drop(st);
+    if crate::enabled() {
+        crate::counter(crate::names::TRACE_COMPLETED_TOTAL).inc();
+    }
+}
+
+/// Looks up a trace by id: completed records first, then in-flight ones
+/// (reported with outcome `"active"` and the elapsed time so far).
+pub fn trace_lookup(trace_id: u64) -> Option<TraceRecord> {
+    let st = store();
+    if let Some(r) = st.done.iter().rev().find(|r| r.trace_id == trace_id) {
+        return Some(r.clone());
+    }
+    st.active.get(&trace_id).map(|t| TraceRecord {
+        trace_id,
+        request_id: t.request_id,
+        outcome: "active".to_string(),
+        total_ns: t.started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        stages: t.stages.clone(),
+    })
+}
+
+/// Clones the completed-trace ring, oldest first.
+pub fn completed_traces() -> Vec<TraceRecord> {
+    store().done.iter().cloned().collect()
+}
+
+/// Forgets all active and completed traces (test/bench isolation).
+pub fn reset_traces() {
+    let mut st = store();
+    st.active.clear();
+    st.done.clear();
+}
+
+/// Renders completed traces as a Chrome `trace_event` JSON array
+/// (load via `chrome://tracing` or <https://ui.perfetto.dev>). Each
+/// trace gets its own `tid`; timestamps are microseconds relative to
+/// that trace's start.
+pub fn chrome_trace() -> String {
+    let records = completed_traces();
+    let mut out = String::from("[");
+    let mut first = true;
+    for r in &records {
+        for s in &r.stages {
+            if !first {
+                out.push_str(",\n ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\": {}, \"cat\": \"dcn\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"request_id\": {}, \"outcome\": {}}}}}",
+                crate::snapshot::json_escape(s.name),
+                crate::snapshot::json_f64(s.start_ns as f64 / 1000.0),
+                crate::snapshot::json_f64((s.dur_ns as f64 / 1000.0).max(0.001)),
+                r.trace_id,
+                r.request_id,
+                crate::snapshot::json_escape(&r.outcome),
+            ));
+        }
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Serializes tests that flip the global tracing flag.
+#[cfg(test)]
+pub(crate) fn trace_test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracing_is_inert() {
+        let _guard = trace_test_lock();
+        set_trace_enabled(false);
+        let id = mint_trace_id();
+        trace_start(id, 7);
+        let clock = stage_clock();
+        stage_end(clock, id, crate::names::TRACE_STAGE_VOTE_LOOP);
+        trace_finish(id, "ok");
+        assert!(trace_lookup(id).is_none());
+        set_trace_enabled(false);
+    }
+
+    #[test]
+    fn lifecycle_records_a_span_tree_bounded_by_wall_clock() {
+        let _guard = trace_test_lock();
+        set_trace_enabled(true);
+        reset_traces();
+        let id = mint_trace_id();
+        trace_start(id, 42);
+        let c1 = stage_clock();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        stage_end(c1, id, crate::names::TRACE_STAGE_ENQUEUE_WAIT);
+        let c2 = stage_clock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        stage_end_many(c2, &[id, 0], crate::names::TRACE_STAGE_DETECTOR_FORWARD);
+        let active = trace_lookup(id).expect("active trace visible");
+        assert_eq!(active.outcome, "active");
+        trace_finish(id, "ok");
+        let rec = trace_lookup(id).expect("completed trace");
+        assert_eq!(rec.request_id, 42);
+        assert_eq!(rec.outcome, "ok");
+        assert_eq!(rec.stages.len(), 2);
+        assert!(rec.stage_sum_ns() <= rec.total_ns, "{rec:?}");
+        for s in &rec.stages {
+            assert!(s.start_ns + s.dur_ns <= rec.total_ns, "{rec:?}");
+        }
+        let json = rec.to_json();
+        assert!(json.contains("\"trace.enqueue_wait\""), "{json}");
+        let chrome = chrome_trace();
+        assert!(chrome.starts_with('[') && chrome.trim_end().ends_with(']'));
+        assert!(chrome.contains("\"ph\": \"X\""), "{chrome}");
+        set_trace_enabled(false);
+        reset_traces();
+    }
+
+    #[test]
+    fn unfinished_traces_cannot_grow_without_bound() {
+        let _guard = trace_test_lock();
+        set_trace_enabled(true);
+        reset_traces();
+        for i in 0..(MAX_ACTIVE + 10) {
+            trace_start(u64::MAX - i as u64, i as u64);
+        }
+        assert!(store().active.len() <= MAX_ACTIVE);
+        set_trace_enabled(false);
+        reset_traces();
+    }
+}

@@ -4,8 +4,10 @@
 //! sends its next request only after receiving the previous answer
 //! (closed-loop), so measured latency is honest queueing-plus-service time
 //! and throughput saturates where the batcher does. Per-client-count
-//! results — throughput plus exact p50/p99 over every recorded request
-//! latency — land in `results/BENCH_serving.json`.
+//! results — throughput plus p50/p99/p999/max over every recorded request
+//! latency — land in `results/BENCH_serving.json`. Quantiles come from the
+//! same [`dcn_obs::QuantileSketch`] the live server feeds, so bench and
+//! snapshot numbers share one estimator.
 //!
 //! The demo model is deliberately tiny (the same three-Gaussian-blobs MLP
 //! the fault-tolerance suite trains) so the bench measures the *serving
@@ -16,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use dcn_core::{models, Corrector, Dcn, DcnError, Detector, DetectorConfig, VoteBudget};
 use dcn_data::Dataset;
+use dcn_obs::{QuantileSketch, DEFAULT_SKETCH_CAPACITY};
 use dcn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,10 +76,14 @@ pub struct BenchPoint {
     pub elapsed_s: f64,
     /// Completed requests per second.
     pub throughput_rps: f64,
-    /// Median request latency, milliseconds (exact, from all samples).
+    /// Median request latency, milliseconds.
     pub p50_ms: f64,
-    /// 99th-percentile request latency, milliseconds (exact).
+    /// 99th-percentile request latency, milliseconds.
     pub p99_ms: f64,
+    /// 99.9th-percentile request latency, milliseconds.
+    pub p999_ms: f64,
+    /// Worst observed request latency, milliseconds.
+    pub max_ms: f64,
     /// Mean request latency, milliseconds.
     pub mean_ms: f64,
 }
@@ -270,6 +277,7 @@ fn client_loop(
             id: global + 1,
             seed: seed.wrapping_add(1000).wrapping_add(global),
             budget,
+            trace: 0,
             x: inputs[(global as usize) % inputs.len()].clone(),
         };
         let sent = Instant::now();
@@ -289,12 +297,19 @@ fn client_loop(
 }
 
 fn summarize(clients: usize, outcomes: &[ClientOutcome], elapsed: Duration) -> BenchPoint {
-    let mut latencies: Vec<f64> = outcomes
-        .iter()
-        .flat_map(|o| o.latencies_ms.iter().copied())
-        .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let requests = latencies.len();
+    // Same estimator as the live server's latency path: one mergeable
+    // fixed-memory sketch per client stream, merged for the report, so
+    // the bench's quantiles and the admin snapshot's quantiles can never
+    // disagree on methodology.
+    let mut sketch = QuantileSketch::new(DEFAULT_SKETCH_CAPACITY);
+    for outcome in outcomes {
+        let mut per_client = QuantileSketch::new(DEFAULT_SKETCH_CAPACITY);
+        for &ms in &outcome.latencies_ms {
+            per_client.observe(ms);
+        }
+        sketch.merge(&per_client);
+    }
+    let requests = sketch.count() as usize;
     let elapsed_s = elapsed.as_secs_f64().max(1e-9);
     BenchPoint {
         clients,
@@ -303,24 +318,12 @@ fn summarize(clients: usize, outcomes: &[ClientOutcome], elapsed: Duration) -> B
         errors: outcomes.iter().map(|o| o.errors).sum(),
         elapsed_s,
         throughput_rps: requests as f64 / elapsed_s,
-        p50_ms: percentile(&latencies, 50.0),
-        p99_ms: percentile(&latencies, 99.0),
-        mean_ms: if requests == 0 {
-            0.0
-        } else {
-            latencies.iter().sum::<f64>() / requests as f64
-        },
+        p50_ms: sketch.quantile(0.5),
+        p99_ms: sketch.quantile(0.99),
+        p999_ms: sketch.quantile(0.999),
+        max_ms: sketch.max().unwrap_or(0.0),
+        mean_ms: if requests == 0 { 0.0 } else { sketch.mean() },
     }
-}
-
-/// Exact percentile over sorted samples (nearest-rank on the inclusive
-/// index scale) — no histogram-bucket approximation.
-pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Serializes a report and writes it atomically.
@@ -345,12 +348,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentile_is_exact_on_small_samples() {
-        let s = vec![1.0, 2.0, 3.0, 4.0, 100.0];
-        assert_eq!(percentile(&s, 50.0), 3.0);
-        assert_eq!(percentile(&s, 99.0), 100.0);
-        assert_eq!(percentile(&s, 0.0), 1.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+    fn summarize_merges_client_sketches() {
+        let outcomes = vec![
+            ClientOutcome {
+                latencies_ms: vec![1.0, 2.0, 3.0],
+                degraded: 1,
+                errors: 0,
+            },
+            ClientOutcome {
+                latencies_ms: vec![4.0, 100.0],
+                degraded: 0,
+                errors: 2,
+            },
+        ];
+        let p = summarize(2, &outcomes, Duration::from_millis(500));
+        assert_eq!(p.requests, 5);
+        assert_eq!(p.degraded, 1);
+        assert_eq!(p.errors, 2);
+        assert_eq!(p.p50_ms, 3.0);
+        assert_eq!(p.max_ms, 100.0);
+        assert!(p.p50_ms <= p.p99_ms && p.p99_ms <= p.p999_ms && p.p999_ms <= p.max_ms);
+        assert!((p.mean_ms - 22.0).abs() < 1e-9);
+        // Empty runs stay finite.
+        let empty = summarize(1, &[], Duration::from_millis(1));
+        assert_eq!(empty.requests, 0);
+        assert_eq!(empty.p50_ms, 0.0);
+        assert_eq!(empty.max_ms, 0.0);
+        assert_eq!(empty.mean_ms, 0.0);
     }
 
     #[test]
@@ -380,6 +404,8 @@ mod tests {
             assert!(point.requests > 0);
             assert!(point.throughput_rps > 0.0);
             assert!(point.p99_ms >= point.p50_ms);
+            assert!(point.p999_ms >= point.p99_ms);
+            assert!(point.max_ms >= point.p999_ms);
         }
     }
 }

@@ -14,7 +14,18 @@
 //! * [`server`] — acceptor, one reader thread per connection, and the
 //!   single batcher thread that drives the model;
 //! * [`client`] — a minimal blocking client for tests and scripting;
-//! * [`bench`] — the closed-loop load generator behind `dcn-serve bench`.
+//! * [`bench`] — the closed-loop load generator behind `dcn-serve bench`;
+//! * the admin plane (`--admin-addr`) — a second listener answering
+//!   line-JSON `snapshot` / `health` / `trace <id>` / `chrome` / `dump`
+//!   commands without ever touching the data plane's locks.
+//!
+//! With `DCN_TRACE=1` (or `--trace`) every request gets a span tree —
+//! enqueue wait, batch assembly, detector forward, vote loop, write-back —
+//! kept in a bounded in-memory store and exported on demand; a flight
+//! recorder retains the last QoS verdicts and seals them to
+//! `FLIGHT_<ts>.json` on overload, on request errors, and at shutdown.
+//! Tracing is purely observational: answers are bitwise-identical with it
+//! on or off.
 //!
 //! Determinism contract: each request carries its own RNG seed, and the
 //! batcher produces bit-identical answers to a serial
@@ -24,6 +35,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod admin;
 pub mod bench;
 mod client;
 mod protocol;
@@ -54,6 +66,12 @@ pub mod names {
     pub const SERVE_BATCHES_TOTAL: &str = "serve.batches_total";
     /// Jobs per executed batch (histogram).
     pub const SERVE_BATCH_OCCUPANCY: &str = "serve.batch_occupancy";
-    /// Queue-to-response latency in seconds (histogram).
+    /// Queue-to-response latency in seconds (quantile sketch).
     pub const SERVE_REQUEST_LATENCY: &str = "serve.request_latency_seconds";
+    /// Admin-plane connections accepted.
+    pub const SERVE_ADMIN_CONNECTIONS_TOTAL: &str = "serve.admin.connections_total";
+    /// Admin commands dispatched (including failed ones).
+    pub const SERVE_ADMIN_COMMANDS_TOTAL: &str = "serve.admin.commands_total";
+    /// Admin commands answered with an error reply.
+    pub const SERVE_ADMIN_ERRORS_TOTAL: &str = "serve.admin.errors_total";
 }

@@ -3,7 +3,9 @@
 //! ```text
 //! dcn-serve serve  --dcn dcn.json | --demo   [--addr 127.0.0.1:7878]
 //!                  [--json 1] [--batch 16] [--queue 64] [--shed-mark 48]
-//!                  [--threads N]
+//!                  [--threads N] [--trace 1] [--admin-addr 127.0.0.1:7979]
+//!                  [--flight-dir results] [--drift-baseline R]
+//!                  [--drift-tolerance T]
 //! dcn-serve bench  [--clients 1,4,16,64] [--requests 50] [--samples 24]
 //!                  [--seed 11] [--out results/BENCH_serving.json]
 //! ```
@@ -92,9 +94,16 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), DcnError> {
             .get("threads")
             .map(|v| parse_num(v, "--threads"))
             .transpose()?,
+        admin_addr: flags.get("admin-addr").cloned(),
+        flight_dir: flags.get("flight-dir").map(std::path::PathBuf::from),
+        drift_baseline: parse_num(flag_or(flags, "drift-baseline", "0.0"), "--drift-baseline")?,
+        drift_tolerance: parse_num(flag_or(flags, "drift-tolerance", "1.0"), "--drift-tolerance")?,
     };
     let server = Server::start(Arc::new(dcn), config)?;
     println!("serving on {} (ctrl-c to stop)", server.addr());
+    if let Some(admin) = server.admin_addr() {
+        println!("admin endpoint on {admin}");
+    }
     // The acceptor owns the listener; park this thread until killed.
     loop {
         std::thread::sleep(Duration::from_secs(3600));
@@ -120,8 +129,9 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), DcnError> {
     let report = bench::run(&config)?;
     for p in &report.points {
         println!(
-            "{:>3} clients: {:>8.1} req/s  p50 {:>7.2} ms  p99 {:>7.2} ms  ({} ok, {} degraded, {} errors)",
-            p.clients, p.throughput_rps, p.p50_ms, p.p99_ms, p.requests, p.degraded, p.errors
+            "{:>3} clients: {:>8.1} req/s  p50 {:>7.2} ms  p99 {:>7.2} ms  p999 {:>7.2} ms  max {:>7.2} ms  ({} ok, {} degraded, {} errors)",
+            p.clients, p.throughput_rps, p.p50_ms, p.p99_ms, p.p999_ms, p.max_ms,
+            p.requests, p.degraded, p.errors
         );
     }
     bench::write_report(&report, out)?;
@@ -166,6 +176,17 @@ fn apply_obs_flags(flags: &HashMap<String, String>) -> Result<(), DcnError> {
             other => {
                 return Err(DcnError::Config(format!(
                     "--obs expects 1 or 0, got {other:?}"
+                )))
+            }
+        }
+    }
+    if let Some(v) = flags.get("trace") {
+        match v.as_str() {
+            "1" | "true" | "on" => dcn_obs::set_trace_enabled(true),
+            "0" | "false" | "off" => dcn_obs::set_trace_enabled(false),
+            other => {
+                return Err(DcnError::Config(format!(
+                    "--trace expects 1 or 0, got {other:?}"
                 )))
             }
         }
@@ -217,6 +238,13 @@ serve:  --dcn PATH       DCN artifact from `dcn build` (or --demo 1 to
         --shed-mark N    queue depth where admitted requests degrade to the
                          base prediction (default 48; >= queue disables)
         --threads N      worker threads for batched forwards (default ambient)
+        --admin-addr A   bind a line-JSON admin endpoint (snapshot, health,
+                         trace <id>, chrome, dump) on its own listener
+        --flight-dir D   where FLIGHT_<ts>.json post-mortems land
+                         (default: the obs export dir, results/)
+        --drift-baseline R  expected detector flag rate (default 0.0)
+        --drift-tolerance T max |rate - baseline| before `health` raises
+                         drift_alarm (default 1.0 = never)
 
 bench:  --clients CSV    client counts to sweep (default 1,4,16,64)
         --requests N     requests per client, closed-loop (default 50)
@@ -224,6 +252,8 @@ bench:  --clients CSV    client counts to sweep (default 1,4,16,64)
         --out PATH       report path (default results/BENCH_serving.json)
 
 observability: --obs 1|0, --obs-json DIR (also DCN_OBS / DCN_OBS_JSON)
+tracing:       --trace 1|0 per-request span trees (also DCN_TRACE); purely
+               observational — answers are bitwise-identical either way
 fault injection: --fault-seed N  --fault-io P  --fault-latency-ns N
                  --fault-budget V (also the DCN_FAULT_* env vars)
 

@@ -8,8 +8,10 @@
 //! payload  := request | ok | error       first byte is the kind tag
 //!
 //! request  := 0x01 id:u64 seed:u64 max_votes:u64 deadline_ns:u64
-//!             min_quorum:u32 rank:u8 dims:u32×rank values:f32×∏dims
-//!             (max_votes / deadline_ns use u64::MAX as "unset")
+//!             min_quorum:u32 trace:u64 rank:u8 dims:u32×rank values:f32×∏dims
+//!             (max_votes / deadline_ns use u64::MAX as "unset";
+//!              trace is the telemetry trace id, 0 = untraced — the server
+//!              mints one internally when tracing is enabled)
 //! ok       := 0x02 id:u64 label:u32 verdict:u8 base_passes:u32 flags:u8
 //!             (verdict: 0 passed-through, 1 corrected;
 //!              flags: bit0 degraded, bit1 shed)
@@ -74,17 +76,23 @@ pub struct Request {
     pub seed: u64,
     /// Per-request QoS budget.
     pub budget: VoteBudget,
+    /// Telemetry trace id (0 = untraced). A client may pin its own id to
+    /// correlate `trace <id>` admin lookups with its requests; when left 0
+    /// and tracing is enabled, the server mints one internally. Never
+    /// echoed in responses, so server-minted ids cannot perturb the wire.
+    pub trace: u64,
     /// The input example.
     pub x: Tensor,
 }
 
 impl Request {
-    /// A full-service request with an unbounded budget.
+    /// A full-service request with an unbounded budget, untraced.
     pub fn new(id: u64, seed: u64, x: Tensor) -> Self {
         Request {
             id,
             seed,
             budget: VoteBudget::unbounded(),
+            trace: 0,
             x,
         }
     }
@@ -355,6 +363,7 @@ pub fn encode_request(req: &Request, mode: WireMode) -> Result<Vec<u8>, DcnError
                 .map_or(u64::MAX, |d| d.as_nanos().min(u64::MAX as u128 - 1) as u64);
             out.extend_from_slice(&deadline.to_le_bytes());
             out.extend_from_slice(&(req.budget.min_quorum as u32).to_le_bytes());
+            out.extend_from_slice(&req.trace.to_le_bytes());
             let shape = req.x.shape();
             if shape.len() > MAX_RANK as usize {
                 return Err(DcnError::Config(format!(
@@ -381,6 +390,7 @@ pub fn encode_request(req: &Request, mode: WireMode) -> Result<Vec<u8>, DcnError
                     .deadline
                     .map(|d| d.as_nanos().min(u64::MAX as u128 - 1) as u64),
                 min_quorum: req.budget.min_quorum as u64,
+                trace: req.trace,
                 shape: req.x.shape().iter().map(|&d| d as u64).collect(),
                 values: req.x.data().to_vec(),
             };
@@ -412,6 +422,7 @@ pub fn decode_request(payload: &[u8], mode: WireMode) -> Result<Request, DcnErro
                 j.max_votes.map(|v| v as usize),
                 j.deadline_ns,
                 j.min_quorum as usize,
+                j.trace,
                 shape,
                 j.values,
             )
@@ -433,6 +444,7 @@ fn decode_request_binary(payload: &[u8]) -> Result<Request, String> {
     let max_votes = c.u64("max_votes")?;
     let deadline_ns = c.u64("deadline_ns")?;
     let min_quorum = c.u32("min_quorum")? as usize;
+    let trace = c.u64("trace")?;
     let rank = c.u8("rank")?;
     if rank > MAX_RANK {
         return Err(format!("tensor rank {rank} exceeds the wire limit {MAX_RANK}"));
@@ -464,17 +476,20 @@ fn decode_request_binary(payload: &[u8]) -> Result<Request, String> {
         (max_votes != u64::MAX).then_some(max_votes as usize),
         (deadline_ns != u64::MAX).then_some(deadline_ns),
         min_quorum,
+        trace,
         shape,
         values,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_request(
     id: u64,
     seed: u64,
     max_votes: Option<usize>,
     deadline_ns: Option<u64>,
     min_quorum: usize,
+    trace: u64,
     shape: Vec<usize>,
     values: Vec<f32>,
 ) -> Result<Request, String> {
@@ -488,6 +503,7 @@ fn build_request(
             deadline: deadline_ns.map(Duration::from_nanos),
             min_quorum,
         },
+        trace,
         x,
     })
 }
@@ -660,6 +676,7 @@ struct JsonRequest {
     max_votes: Option<u64>,
     deadline_ns: Option<u64>,
     min_quorum: u64,
+    trace: u64,
     shape: Vec<u64>,
     values: Vec<f32>,
 }

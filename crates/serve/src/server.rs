@@ -29,6 +29,7 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -36,6 +37,7 @@ use std::time::Instant;
 
 use dcn_core::{BatchRequest, Dcn, DcnError};
 
+use crate::admin;
 use crate::names;
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, ErrResponse, OkResponse, Response,
@@ -62,6 +64,21 @@ pub struct ServerConfig {
     /// ([`dcn_tensor::par::configure`]); `None` keeps the ambient
     /// `DCN_THREADS` configuration.
     pub threads: Option<usize>,
+    /// Bind address for the line-JSON admin endpoint (`snapshot`, `health`,
+    /// `trace <id>`, …); `None` disables it. The admin plane runs on its
+    /// own listener and threads, so it stays responsive while the data
+    /// plane is saturated — and can never block it.
+    pub admin_addr: Option<String>,
+    /// Where flight-recorder dumps (`FLIGHT_<ts>.json`) land; `None` means
+    /// the observability export directory (`DCN_OBS_DIR` or `results/`).
+    pub flight_dir: Option<PathBuf>,
+    /// Expected steady-state detector flag rate, the center of the admin
+    /// endpoint's drift alarm.
+    pub drift_baseline: f64,
+    /// How far the sliding-window flag rate may stray from the baseline
+    /// before `health` raises `drift_alarm`. The default `1.0` can never
+    /// trip (rates live in `[0, 1]`) — the alarm is opt-in.
+    pub drift_tolerance: f64,
 }
 
 impl Default for ServerConfig {
@@ -73,16 +90,71 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             shed_mark: 48,
             threads: None,
+            admin_addr: None,
+            flight_dir: None,
+            drift_baseline: 0.0,
+            drift_tolerance: 1.0,
         }
     }
 }
 
-/// One admitted request waiting for the batcher.
+/// One admitted request waiting for the batcher. The request's trace id
+/// (0 when untraced) rides inside `req.trace`; `wait` is the tracing
+/// clock opened at admission, closed by the batcher as the
+/// `trace.enqueue_wait` span.
 struct Job {
     id: u64,
     req: BatchRequest,
     enqueued: Instant,
+    wait: dcn_obs::StageClock,
     conn: Arc<Conn>,
+}
+
+/// Flight-recorder dump policy shared by the data plane, the admin plane,
+/// and shutdown. Overload and error dumps fire at most once per server
+/// lifetime — the first incident is the interesting one, and a storm of
+/// rejections must not become a storm of disk writes.
+pub(crate) struct FlightState {
+    dir: Option<PathBuf>,
+    overload_dumped: AtomicBool,
+    error_dumped: AtomicBool,
+}
+
+impl FlightState {
+    pub(crate) fn new(dir: Option<PathBuf>) -> FlightState {
+        FlightState {
+            dir,
+            overload_dumped: AtomicBool::new(false),
+            error_dumped: AtomicBool::new(false),
+        }
+    }
+
+    fn dir(&self) -> PathBuf {
+        self.dir
+            .clone()
+            .unwrap_or_else(dcn_obs::default_export_dir)
+    }
+
+    /// Dumps the flight recorder unconditionally (shutdown, admin `dump`).
+    /// Returns the artifact path, or `None` when the recorder is disabled
+    /// or the write failed — a post-mortem must never take the server down.
+    pub(crate) fn dump(&self, reason: &str) -> Option<PathBuf> {
+        dcn_fault::dump_flight(self.dir(), reason).ok().flatten()
+    }
+
+    fn dump_once(&self, gate: &AtomicBool, reason: &str) {
+        if dcn_obs::recorder_enabled() && !gate.swap(true, Ordering::Relaxed) {
+            let _ = self.dump(reason);
+        }
+    }
+
+    fn on_overload(&self, reason: &str) {
+        self.dump_once(&self.overload_dumped, reason);
+    }
+
+    fn on_error(&self, reason: &str) {
+        self.dump_once(&self.error_dumped, reason);
+    }
 }
 
 /// The write half of a connection. All response writes go through
@@ -117,11 +189,14 @@ impl Conn {
 /// daemon threads behind; call `shutdown` for an orderly stop.
 pub struct Server {
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     queue: Arc<BoundedQueue<Job>>,
     shutdown: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
+    flight: Arc<FlightState>,
     acceptor: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -153,32 +228,61 @@ impl Server {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.shed_mark));
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(Mutex::new(Vec::new()));
+        let flight = Arc::new(FlightState::new(config.flight_dir.clone()));
 
+        let (admin_addr, admin) = match &config.admin_addr {
+            Some(bind) => {
+                let (local, handle) = admin::spawn(
+                    bind,
+                    Arc::clone(&queue),
+                    Arc::clone(&shutdown),
+                    admin::AdminConfig {
+                        drift_baseline: config.drift_baseline,
+                        drift_tolerance: config.drift_tolerance,
+                        flight: Arc::clone(&flight),
+                    },
+                )?;
+                (Some(local), Some(handle))
+            }
+            None => (None, None),
+        };
         let batcher = {
             let queue = Arc::clone(&queue);
+            let flight = Arc::clone(&flight);
             let max_batch = config.max_batch;
-            std::thread::spawn(move || batcher_loop(&dcn, &queue, max_batch))
+            std::thread::spawn(move || batcher_loop(&dcn, &queue, max_batch, &flight))
         };
         let acceptor = {
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
+            let flight = Arc::clone(&flight);
             let mode = config.mode;
-            std::thread::spawn(move || acceptor_loop(&listener, &queue, &shutdown, &conns, mode))
+            std::thread::spawn(move || {
+                acceptor_loop(&listener, &queue, &shutdown, &conns, mode, &flight);
+            })
         };
         Ok(Server {
             addr,
+            admin_addr,
             queue,
             shutdown,
             conns,
+            flight,
             acceptor: Some(acceptor),
             batcher: Some(batcher),
+            admin,
         })
     }
 
     /// The bound address (the OS-assigned port when started with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The admin endpoint's bound address, when one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// Current admission-queue depth.
@@ -215,6 +319,17 @@ impl Server {
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
         }
+        // The batcher has drained: every in-flight request's verdict is in
+        // the ring, so the shutdown dump is the complete final record.
+        dcn_obs::record_event("shutdown", 0, 0, "orderly");
+        let _ = self.flight.dump("shutdown");
+        if let Some(h) = self.admin.take() {
+            if let Some(admin_addr) = self.admin_addr {
+                // Unblock the admin acceptor with a throwaway connection.
+                let _ = TcpStream::connect(admin_addr);
+            }
+            let _ = h.join();
+        }
     }
 }
 
@@ -224,6 +339,7 @@ fn acceptor_loop(
     shutdown: &Arc<AtomicBool>,
     conns: &Arc<Mutex<Vec<TcpStream>>>,
     mode: WireMode,
+    flight: &Arc<FlightState>,
 ) {
     loop {
         let stream = match listener.accept() {
@@ -249,7 +365,8 @@ fn acceptor_loop(
         }
         let queue = Arc::clone(queue);
         let shutdown = Arc::clone(shutdown);
-        std::thread::spawn(move || reader_loop(stream, &queue, &shutdown, mode));
+        let flight = Arc::clone(flight);
+        std::thread::spawn(move || reader_loop(stream, &queue, &shutdown, mode, &flight));
     }
 }
 
@@ -260,6 +377,7 @@ fn reader_loop(
     queue: &Arc<BoundedQueue<Job>>,
     shutdown: &Arc<AtomicBool>,
     mode: WireMode,
+    flight: &Arc<FlightState>,
 ) {
     let conn = match stream.try_clone() {
         Ok(write_half) => Arc::new(Conn {
@@ -299,6 +417,21 @@ fn reader_loop(
             }
         };
         let id = request.id;
+        // A client-supplied nonzero trace id wins; otherwise the server
+        // mints one when tracing is on. The id rides the queue inside
+        // `BatchRequest::trace` and is never echoed in responses.
+        let trace_id = if dcn_obs::trace_enabled() {
+            let t = if request.trace != 0 {
+                request.trace
+            } else {
+                dcn_obs::mint_trace_id()
+            };
+            dcn_obs::trace_start(t, id);
+            t
+        } else {
+            0
+        };
+        let wait = dcn_obs::stage_clock();
         let conn_for_job = Arc::clone(&conn);
         // The admission verdict travels inside the job: `push_with` hands
         // it to the constructor under the queue lock, so the batcher sees
@@ -310,8 +443,10 @@ fn reader_loop(
                 seed: request.seed,
                 budget: request.budget,
                 shed: admission == Admission::Shed,
+                trace: trace_id,
             },
             enqueued: Instant::now(),
+            wait,
             conn: conn_for_job,
         }) {
             Ok(admission) => {
@@ -326,13 +461,24 @@ fn reader_loop(
                 if dcn_obs::enabled() {
                     dcn_obs::counter(names::SERVE_REJECTED_TOTAL).inc();
                 }
+                let msg = e.to_string();
+                dcn_obs::record_event("rejected", trace_id, id, &msg);
+                dcn_obs::trace_finish(trace_id, "rejected");
+                if matches!(e, DcnError::Overloaded { .. }) {
+                    flight.on_overload(&msg);
+                }
                 let _ = conn.send(&error_response(id, &e));
             }
         }
     }
 }
 
-fn batcher_loop(dcn: &Arc<Dcn>, queue: &Arc<BoundedQueue<Job>>, max_batch: usize) {
+fn batcher_loop(
+    dcn: &Arc<Dcn>,
+    queue: &Arc<BoundedQueue<Job>>,
+    max_batch: usize,
+    flight: &Arc<FlightState>,
+) {
     loop {
         let jobs = queue.pop_batch(max_batch);
         if jobs.is_empty() {
@@ -344,33 +490,59 @@ fn batcher_loop(dcn: &Arc<Dcn>, queue: &Arc<BoundedQueue<Job>>, max_batch: usize
             dcn_obs::histogram(names::SERVE_BATCH_OCCUPANCY, dcn_obs::SMALL_COUNT)
                 .observe(jobs.len() as f64);
         }
+        let assembly = dcn_obs::stage_clock();
         let mut requests = Vec::with_capacity(jobs.len());
         let mut metas = Vec::with_capacity(jobs.len());
         for job in jobs {
-            metas.push((job.id, job.req.shed, job.enqueued, job.conn));
+            // The enqueue-wait span closes here: the job just left the
+            // queue and entered batch assembly.
+            dcn_obs::stage_end(job.wait, job.req.trace, dcn_obs::names::TRACE_STAGE_ENQUEUE_WAIT);
+            metas.push((job.id, job.req.shed, job.req.trace, job.enqueued, job.conn));
             requests.push(job.req);
         }
+        if dcn_obs::trace_enabled() {
+            let traced: Vec<u64> = metas.iter().map(|m| m.2).collect();
+            dcn_obs::stage_end_many(
+                assembly,
+                &traced,
+                dcn_obs::names::TRACE_STAGE_BATCH_ASSEMBLY,
+            );
+        }
         let results = dcn.try_classify_batch(&requests);
-        for ((id, shed, enqueued, conn), result) in metas.into_iter().zip(results) {
-            let response = match result {
-                Ok(report) => Response::Ok(OkResponse {
-                    id,
-                    label: report.label,
-                    verdict: report.verdict,
-                    base_passes: report.base_passes,
-                    degraded: report.degraded,
-                    shed,
-                }),
-                Err(e) => error_response(id, &e),
+        for ((id, shed, trace, enqueued, conn), result) in metas.into_iter().zip(results) {
+            let write = dcn_obs::stage_clock();
+            let (response, outcome) = match result {
+                Ok(report) => (
+                    Response::Ok(OkResponse {
+                        id,
+                        label: report.label,
+                        verdict: report.verdict,
+                        base_passes: report.base_passes,
+                        degraded: report.degraded,
+                        shed,
+                    }),
+                    if shed { "shed" } else { "ok" },
+                ),
+                Err(e) => {
+                    let msg = e.to_string();
+                    dcn_obs::record_event("error", trace, id, &msg);
+                    flight.on_error(&msg);
+                    (error_response(id, &e), "error")
+                }
             };
             if dcn_obs::enabled() {
                 dcn_obs::counter(names::SERVE_RESPONSES_TOTAL).inc();
-                dcn_obs::histogram(names::SERVE_REQUEST_LATENCY, dcn_obs::LATENCY_SECONDS)
+                dcn_obs::sketch(names::SERVE_REQUEST_LATENCY)
                     .observe(enqueued.elapsed().as_secs_f64());
             }
             // A dead client's response is dropped; its neighbors still get
             // theirs.
             let _ = conn.send(&response);
+            dcn_obs::stage_end(write, trace, dcn_obs::names::TRACE_STAGE_WRITE_BACK);
+            dcn_obs::trace_finish(trace, outcome);
+            if outcome != "error" && trace != 0 {
+                dcn_obs::record_event("response", trace, id, outcome);
+            }
         }
     }
 }

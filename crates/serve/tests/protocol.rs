@@ -28,6 +28,9 @@ fn sample_requests() -> Vec<Request> {
                 deadline: Some(Duration::from_millis(10)),
                 min_quorum: 3,
             },
+            // Client-supplied trace id: must round-trip untouched. Kept
+            // within 2^53 — JSON numbers ride an f64 in line-JSON mode.
+            trace: 0x0000_BEEF_0000_0001,
             x: Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, -2.0, -3.0]).unwrap(),
         },
         // Deadline only.
@@ -39,6 +42,7 @@ fn sample_requests() -> Vec<Request> {
                 deadline: Some(Duration::from_nanos(1)),
                 min_quorum: 1,
             },
+            trace: 0,
             x: Tensor::from_slice(&[f32::MIN, f32::MAX, 0.0]),
         },
         // Max-votes only, scalar-ish input.
@@ -50,6 +54,7 @@ fn sample_requests() -> Vec<Request> {
                 deadline: None,
                 min_quorum: 1,
             },
+            trace: u64::MAX,
             x: Tensor::from_slice(&[0.5]),
         },
     ]
@@ -156,6 +161,7 @@ fn binary_request_layout_is_stable() {
             deadline: Some(Duration::from_nanos(1000)),
             min_quorum: 2,
         },
+        trace: 0x2122_2324_2526_2728,
         x: Tensor::from_vec(vec![1, 2], vec![1.0, -2.0]).unwrap(),
     };
     let payload = encode_request(&req, WireMode::Binary).unwrap();
@@ -165,6 +171,7 @@ fn binary_request_layout_is_stable() {
     expected.extend_from_slice(&5u64.to_le_bytes());
     expected.extend_from_slice(&1000u64.to_le_bytes());
     expected.extend_from_slice(&2u32.to_le_bytes());
+    expected.extend_from_slice(&0x2122_2324_2526_2728u64.to_le_bytes()); // trace
     expected.push(2); // rank
     expected.extend_from_slice(&1u32.to_le_bytes());
     expected.extend_from_slice(&2u32.to_le_bytes());

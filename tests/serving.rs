@@ -172,6 +172,7 @@ fn bounded_budgets_ride_the_wire_and_match_serial() {
                 deadline: None,
                 min_quorum: 1,
             },
+            trace: 0,
             x: flagged.clone(),
         };
         let resp = client.classify(&req).expect("capped classify");
@@ -193,6 +194,7 @@ fn bounded_budgets_ride_the_wire_and_match_serial() {
                 deadline: None,
                 min_quorum: 5,
             },
+            trace: 0,
             x: flagged,
         };
         let resp = client.classify(&req).expect("quorum classify");
@@ -233,6 +235,7 @@ fn stalled_client_cannot_stall_the_rest_past_their_deadline() {
                     deadline: Some(Duration::from_millis(10)),
                     min_quorum: 1,
                 },
+                trace: 0,
                 x: flagged.clone(),
             };
             let resp = client.classify(&req).expect("victim classify");
@@ -344,6 +347,7 @@ fn backpressure_walks_the_qos_ladder() {
                         seed: req.seed,
                         budget: req.budget,
                         shed: true,
+                        trace: 0,
                     }])
                     .remove(0)
                     .expect("serial shed report");
