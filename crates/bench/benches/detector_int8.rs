@@ -1,0 +1,93 @@
+//! F32-vs-int8 detector screening throughput plus verdict agreement. The
+//! detector is the two-layer logit MLP from the paper; the int8 leg
+//! quantizes its weights per-tensor at load (symmetric, i32 accumulation)
+//! and re-screens the same logit batch. The recorded
+//! `BENCH_detector_int8.json` carries both the timing legs and the
+//! `agreement` metric the CI int8 gate reads — agreement is
+//! tolerance-tested (floor 0.98 in `dcn-core`'s tests), not bitwise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_core::{Detector, DetectorConfig};
+use dcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const CLASSES: usize = 10;
+const TRAIN_PER_CLASS: usize = 200;
+const BATCH: usize = 512;
+
+/// The paper's measurement signal: benign logits have one confident peak,
+/// adversarial logits a low-margin two-peak profile (same fixture family
+/// as `dcn-core`'s detector tests).
+fn fake_logits(n: usize, adversarial: bool, rng: &mut StdRng) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            let mut v: Vec<f32> = (0..CLASSES).map(|_| rng.gen::<f32>() - 0.5).collect();
+            let c = i % CLASSES;
+            if adversarial {
+                v[c] += 2.0;
+                v[(c + 3) % CLASSES] += 1.6;
+            } else {
+                v[c] += 12.0;
+            }
+            Tensor::from_slice(&v)
+        })
+        .collect()
+}
+
+fn bench_detector_int8(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let benign = fake_logits(TRAIN_PER_CLASS, false, &mut rng);
+    let adversarial = fake_logits(TRAIN_PER_CLASS, true, &mut rng);
+    let detector =
+        Detector::train_from_logits(&benign, &adversarial, &DetectorConfig::default(), &mut rng)
+            .expect("detector training");
+    let quantized = detector.quantized().expect("int8 quantization");
+
+    // Held-out screening traffic, both classes interleaved.
+    let mut batch = fake_logits(BATCH / 2, false, &mut rng);
+    batch.extend(fake_logits(BATCH - BATCH / 2, true, &mut rng));
+
+    let mut group = c.benchmark_group("detector_int8");
+    group.sample_size(30);
+    group.bench_with_input(BenchmarkId::new("flag_batch", "f32"), &BATCH, |b, _| {
+        b.iter(|| black_box(detector.flag_batch(black_box(&batch)).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("flag_batch", "int8"), &BATCH, |b, _| {
+        b.iter(|| black_box(quantized.flag_batch(black_box(&batch)).unwrap()))
+    });
+    // Quantization itself is a load-time, once-per-artifact cost; record
+    // it so the amortization argument stays honest.
+    group.bench_with_input(BenchmarkId::new("quantize", "load"), &BATCH, |b, _| {
+        b.iter(|| black_box(detector.quantized().unwrap()))
+    });
+    group.finish();
+
+    let f32_flags = detector.flag_batch(&batch).expect("f32 screen");
+    let int8_flags = quantized.flag_batch(&batch).expect("int8 screen");
+    let agreeing = f32_flags
+        .iter()
+        .zip(&int8_flags)
+        .filter(|(a, b)| a == b)
+        .count();
+    let agreement = agreeing as f64 / BATCH as f64;
+    c.record_metric("detector_int8/agreement".to_string(), agreement);
+
+    let records: Vec<_> = c.records().to_vec();
+    let ns_for = |id: &str| records.iter().find(|r| r.id == id).map(|r| r.mean_ns);
+    if let (Some(f32_ns), Some(int8_ns)) = (
+        ns_for("detector_int8/flag_batch/f32"),
+        ns_for("detector_int8/flag_batch/int8"),
+    ) {
+        let speedup = f32_ns / int8_ns;
+        eprintln!(
+            "int8 detector: {speedup:.2}x over f32 on a {BATCH}-logit batch, \
+             agreement {agreement:.4} ({agreeing}/{BATCH})"
+        );
+        c.record_metric("detector_int8/speedup".to_string(), speedup);
+    }
+}
+
+criterion_group!(detector_int8, bench_detector_int8);
+criterion_main!(detector_int8);

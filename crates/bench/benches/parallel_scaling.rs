@@ -1,14 +1,16 @@
-//! Serial-vs-parallel throughput of the two hot defense paths: corrector
-//! voting (`m = 50` hypercube samples) and the batched forward pass. Each
-//! workload is measured once under `ParConfig::serial()` (the exact
-//! `DCN_THREADS=1` legacy path) and once per thread budget, so the recorded
+//! Serial-vs-parallel throughput of the hot defense paths — corrector
+//! voting (`m = 50` hypercube samples), the batched forward pass, and the
+//! intra-GEMM worker grid on two raw kernel shapes (the 256³ acceptance
+//! shape and the tall-skinny conv im2col shape). Each workload is measured
+//! once under `ParConfig::serial()` (the exact `DCN_THREADS=1` legacy path)
+//! and once per thread budget, so the recorded
 //! `BENCH_parallel_scaling.json` gives the scaling curve directly — the
 //! outputs themselves are bitwise identical across all legs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcn_core::Corrector;
 use dcn_nn::{Dense, Layer, Network, Relu};
-use dcn_tensor::{par, ParConfig, Tensor};
+use dcn_tensor::{kernel, par, ParConfig, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -16,6 +18,15 @@ use std::hint::black_box;
 const IN_DIM: usize = 64;
 const HIDDEN: usize = 512;
 const CLASSES: usize = 3;
+
+/// `(m, k, n, label)` raw-kernel shapes: the 256³ acceptance shape from the
+/// CI scaling gate and the conv im2col shape (many patch rows, few
+/// channels) whose single-row-tile regime exercises the column split of
+/// the worker grid.
+const GEMM_SHAPES: &[(usize, usize, usize, &str)] = &[
+    (256, 256, 256, "gemm_256cubed"),
+    (5408, 9, 16, "gemm_im2col_5408x9x16"),
+];
 
 /// A network wide enough that per-sample inference dominates the parallel
 /// region's thread-spawn overhead (the regime the defenses actually run in;
@@ -36,6 +47,15 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     let x = Tensor::rand_uniform(&[IN_DIM], -0.5, 0.5, &mut rng);
     let corrector = Corrector::new(0.3, 50).unwrap();
     let batch = Tensor::rand_uniform(&[256, IN_DIM], -0.5, 0.5, &mut rng);
+    let gemm_inputs: Vec<(Tensor, Tensor)> = GEMM_SHAPES
+        .iter()
+        .map(|&(m, k, n, _)| {
+            (
+                Tensor::randn(&[m, k], 0.0, 1.0, &mut rng),
+                Tensor::randn(&[k, n], 0.0, 1.0, &mut rng),
+            )
+        })
+        .collect();
 
     let mut group = c.benchmark_group("parallel_scaling");
     group.sample_size(30);
@@ -66,6 +86,22 @@ fn bench_parallel_scaling(c: &mut Criterion) {
             &threads,
             |b, _| b.iter(|| black_box(net.forward(black_box(&batch)).unwrap())),
         );
+        for (&(m, k, n, label), (a, bm)) in GEMM_SHAPES.iter().zip(&gemm_inputs) {
+            let mut out = vec![0.0f32; m * n];
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, _| {
+                b.iter(|| {
+                    kernel::par_gemm_nn(
+                        black_box(a.data()),
+                        black_box(bm.data()),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                    );
+                    black_box(out[0])
+                })
+            });
+        }
     }
     group.finish();
     par::reset();
@@ -75,9 +111,16 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     // should only show that the executor's overhead is negligible), so the
     // core count is printed alongside for interpretation.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    for kind in ["vote_counts_m50", "forward_batch256"] {
+    let records: Vec<_> = c.records().to_vec();
+    c.record_metric("parallel_scaling/cores_available".to_string(), cores as f64);
+    for kind in [
+        "vote_counts_m50",
+        "forward_batch256",
+        "gemm_256cubed",
+        "gemm_im2col_5408x9x16",
+    ] {
         let ns_at = |threads: usize| {
-            c.records()
+            records
                 .iter()
                 .find(|r| r.id == format!("parallel_scaling/{kind}/{threads}"))
                 .map(|r| r.mean_ns)
@@ -85,9 +128,14 @@ fn bench_parallel_scaling(c: &mut Criterion) {
         if let Some(serial) = ns_at(1) {
             for threads in [2usize, 4] {
                 if let Some(par_ns) = ns_at(threads) {
+                    let speedup = serial / par_ns;
                     eprintln!(
-                        "speedup {kind} @ {threads} threads: {:.2}x ({cores} cores available)",
-                        serial / par_ns
+                        "speedup {kind} @ {threads} threads: {speedup:.2}x ({cores} cores available)"
+                    );
+                    // Recorded so the CI scaling gate is a plain field read.
+                    c.record_metric(
+                        format!("parallel_scaling/speedup_{kind}/{threads}"),
+                        speedup,
                     );
                 }
             }

@@ -28,7 +28,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::corrector::BoundedVote;
-use crate::{Dcn, DcnError, DcnReport, DcnVerdict, VoteBudget};
+use crate::{Dcn, DcnError, DcnReport, DcnVerdict, QuantizedDetector, VoteBudget};
 
 /// One classify request inside a cross-request batch.
 #[derive(Debug, Clone)]
@@ -83,6 +83,25 @@ impl Dcn {
         &self,
         requests: &[BatchRequest],
     ) -> Vec<std::result::Result<DcnReport, DcnError>> {
+        self.try_classify_batch_with(requests, None)
+    }
+
+    /// [`Dcn::try_classify_batch`] with an optional int8 detector screen.
+    ///
+    /// With `int8: Some(q)`, the per-request detector verdicts come from
+    /// one quantized batch forward through `q` (built once at load via
+    /// [`crate::Detector::quantized`]) instead of per-row f32 passes.
+    /// Verdicts are tolerance-tested against the f32 path, not bitwise —
+    /// a request whose detector score sits exactly on the decision boundary
+    /// may route differently, which is why the switch is an explicit
+    /// serving opt-in (`DCN_INT8_DETECTOR=1`). Everything downstream of the
+    /// verdict (vote streams, budgets, shedding, error semantics) is
+    /// unchanged.
+    pub fn try_classify_batch_with(
+        &self,
+        requests: &[BatchRequest],
+        int8: Option<&QuantizedDetector>,
+    ) -> Vec<std::result::Result<DcnReport, DcnError>> {
         let _span = dcn_obs::span("dcn.classify_batch");
         let n = requests.len();
         if n == 0 {
@@ -133,6 +152,38 @@ impl Dcn {
             }
         };
 
+        // Int8 screen: one quantized forward flags every finite non-shed
+        // row up front. Indexed by position in `batched`; `None` slots
+        // (shed, non-finite, row errors) resolve in the routing loop. A
+        // screen-level failure falls back to the per-row f32 path rather
+        // than poisoning the batch — the quantized head is an optimization,
+        // never a new failure mode.
+        let int8_flags: Option<Vec<Option<bool>>> = match (int8, &logits) {
+            (Some(q), Some(logits)) => {
+                let mut rows: Vec<Tensor> = Vec::new();
+                let mut row_slots: Vec<usize> = Vec::new();
+                for (row_idx, &i) in batched.iter().enumerate() {
+                    if requests[i].shed {
+                        continue;
+                    }
+                    if let Ok(row) = logits.row(row_idx) {
+                        if row.all_finite() {
+                            rows.push(row);
+                            row_slots.push(row_idx);
+                        }
+                    }
+                }
+                q.flag_batch(&rows).ok().map(|flags| {
+                    let mut slots = vec![None; batched.len()];
+                    for (slot, flag) in row_slots.into_iter().zip(flags) {
+                        slots[slot] = Some(flag);
+                    }
+                    slots
+                })
+            }
+            _ => None,
+        };
+
         // Route each batched request: shed / pass-through now, vote later.
         let m = self.corrector().samples();
         let fault_active = dcn_fault::enabled();
@@ -164,7 +215,12 @@ impl Dcn {
                     });
                     continue;
                 }
-                let flagged = if finite {
+                let precomputed = int8_flags
+                    .as_ref()
+                    .and_then(|slots| slots[row_idx]);
+                let flagged = if let Some(f) = precomputed {
+                    f
+                } else if finite {
                     match self.detector().is_adversarial(&row) {
                         Ok(f) => f,
                         Err(e) => {
@@ -592,5 +648,40 @@ mod tests {
     fn empty_batch_is_a_no_op() {
         let dcn = setup();
         assert!(dcn.try_classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn int8_screen_agrees_with_f32_on_mixed_traffic() {
+        let dcn = setup();
+        let quant = dcn.detector().quantized().unwrap();
+        let requests = mixed_requests();
+        let f32_path = dcn.try_classify_batch(&requests);
+        let int8_path = dcn.try_classify_batch_with(&requests, Some(&quant));
+        // The fixture's examples sit far from the detector boundary, so the
+        // quantized screen routes every request identically — and identical
+        // verdicts mean identical reports (same seeds, same votes).
+        assert_eq!(int8_path, f32_path);
+        let verdicts: Vec<_> = int8_path.iter().map(|r| r.as_ref().unwrap().verdict).collect();
+        assert!(verdicts.contains(&DcnVerdict::PassedThrough));
+        assert!(verdicts.contains(&DcnVerdict::Corrected));
+    }
+
+    #[test]
+    fn int8_screen_preserves_shed_and_error_semantics() {
+        let dcn = setup();
+        let quant = dcn.detector().quantized().unwrap();
+        let mut requests = mixed_requests();
+        requests[0].shed = true;
+        requests[2] = BatchRequest::new(Tensor::from_slice(&[0.0, 0.0]), 1); // bad shape
+        let results = dcn.try_classify_batch_with(&requests, Some(&quant));
+        let shed = results[0].as_ref().unwrap();
+        assert!(shed.degraded);
+        assert_eq!(shed.base_passes, 1);
+        assert!(results[2].is_err());
+        for (i, r) in results.iter().enumerate() {
+            if i != 2 {
+                assert!(r.is_ok(), "request {i} poisoned by the int8 screen");
+            }
+        }
     }
 }

@@ -1,0 +1,18 @@
+// Fixture: transcendental calls in a quant module's production code —
+// libm results differ across platforms, so these break the boundary's
+// bit-stability contract.
+
+pub fn leaky_scale(v: f32) -> f32 {
+    // Logarithmic companding: transcendental.
+    (1.0 + v.abs()).ln()
+}
+
+pub fn leaky_gain(v: f32, g: f32) -> f32 {
+    // Power law: transcendental.
+    v.powf(g)
+}
+
+pub fn fine(v: f32) -> f32 {
+    // Exact IEEE op — must NOT be flagged.
+    v.sqrt()
+}

@@ -1,0 +1,27 @@
+// Fixture: a quant module staying inside the bit-stable interior — exact
+// IEEE operations only. `sqrt`, `round`, `mul_add`, and `copysign` are
+// correctly rounded everywhere and stay legal; so do plain arithmetic and
+// comparisons.
+
+pub fn quantize(v: f32, inv_scale: f32) -> i8 {
+    let y = (v * inv_scale).max(-127.0).min(127.0);
+    ((y + 0.5f32.copysign(y)).round()) as i8
+}
+
+pub fn norm(x: f32, y: f32) -> f32 {
+    // Exact: sqrt is an IEEE basic operation.
+    (x.mul_add(x, y * y)).sqrt()
+}
+
+// Mentions in comments (x.sin(), y.powf(2.0)) or strings are not calls:
+pub const NOTE: &str = "no exp() or ln() in quant interiors";
+
+#[cfg(test)]
+mod tests {
+    // Test code may use transcendentals, e.g. to build reference data.
+    #[test]
+    fn reference() {
+        let x = 0.3f32;
+        assert!(x.sin() < x);
+    }
+}

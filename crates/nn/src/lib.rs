@@ -55,6 +55,7 @@ mod error;
 mod layers;
 mod loss;
 pub mod metrics;
+pub mod quant;
 mod network;
 mod optim;
 mod train;
@@ -67,6 +68,7 @@ pub use loss::{
     cross_entropy_soft, cw_loss, mse_loss, softmax, softmax_cross_entropy, LossOutput,
 };
 pub use network::Network;
+pub use quant::{QuantDense, QuantMlp};
 pub use optim::{Adam, Momentum, Optimizer, Sgd};
 pub use train::{TrainConfig, TrainReport, Trainer};
 

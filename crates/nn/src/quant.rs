@@ -1,0 +1,247 @@
+//! Int8-quantized inference for small dense MLPs — the detector fast path.
+//!
+//! A [`QuantMlp`] is built once from a trained `Dense → ReLU → Dense`
+//! [`Network`] ([`QuantMlp::from_network`]): each layer's weights are
+//! quantized per-tensor symmetric in their natural `[in, out]` layout
+//! ([`dcn_tensor::quant::QuantizedMatrix`]), biases stay f32. At inference
+//! time activations are quantized **per row** (each example carries its own
+//! dynamic scale), multiplied in exact `i32` arithmetic, and dequantized at
+//! the layer boundary; the ReLU between layers runs in f32.
+//!
+//! Per-row activation scales make every example's output a function of that
+//! example and the weights alone — a batch's verdicts cannot change with
+//! its composition, pinned by `batch_composition_cannot_change_outputs`.
+//! Quantization itself is a tolerance-tested boundary: outputs track the
+//! f32 network within quantization error, and the detector's *verdict
+//! agreement* is what the core crate's tolerance tests pin.
+
+use dcn_tensor::{quant, scratch, Tensor};
+
+use crate::{Dense, Layer, Network, NnError, Result};
+
+/// One dense layer, quantized for inference: int8 weights in the layer's
+/// natural `[in, out]` layout (the shape [`dcn_tensor::quant::qgemm`]'s
+/// broadcast inner loop wants) plus the original f32 bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantDense {
+    w: quant::QuantizedMatrix,
+    bias: Vec<f32>,
+}
+
+impl QuantDense {
+    /// Snapshots a trained dense layer.
+    pub fn from_dense(layer: &Dense) -> Self {
+        QuantDense {
+            w: quant::QuantizedMatrix::from_row_major(
+                layer.weights().data(),
+                layer.in_dim(),
+                layer.out_dim(),
+            ),
+            bias: layer.bias().data().to_vec(),
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Quantizes `x: [m, in]` per row and applies the affine transform into
+    /// `out` (must hold at least `m · out_dim` elements).
+    fn forward_into(&self, x: &[f32], m: usize, out: &mut [f32]) {
+        let k = self.in_dim();
+        let mut qa = scratch::take_i8(m * k);
+        let mut scales = scratch::take(m);
+        quant::quantize_rows(x, m, k, &mut qa, &mut scales);
+        quant::qgemm(&qa, &scales, &self.w, &self.bias, out, m);
+        scratch::recycle_i8(qa);
+        scratch::recycle(scales);
+    }
+}
+
+/// A two-layer quantized MLP (`Dense → ReLU → Dense`) — the shape of the
+/// paper's detector head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMlp {
+    l1: QuantDense,
+    l2: QuantDense,
+}
+
+impl QuantMlp {
+    /// Quantizes a trained `Dense → ReLU → Dense` network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the network has any other
+    /// layer structure — the quantized path is deliberately specific to the
+    /// detector head, not a general inference engine.
+    pub fn from_network(net: &Network) -> Result<Self> {
+        match net.layers() {
+            [Layer::Dense(l1), Layer::Relu(_), Layer::Dense(l2)] => Ok(QuantMlp {
+                l1: QuantDense::from_dense(l1),
+                l2: QuantDense::from_dense(l2),
+            }),
+            other => Err(NnError::InvalidConfig(format!(
+                "int8 path requires a Dense-ReLU-Dense network, got {} layer(s)",
+                other.len()
+            ))),
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.l1.in_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.l2.out_dim()
+    }
+
+    /// Forward pass over a `[m, in]` batch, returning `[m, out]` scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerInput`] if `x` is not a rank-2 batch of
+    /// `in_dim`-wide rows.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        if x.rank() != 2 || x.shape()[1] != self.in_dim() {
+            return Err(NnError::LayerInput(format!(
+                "quant mlp expects [m, {}], got {:?}",
+                self.in_dim(),
+                x.shape()
+            )));
+        }
+        let m = x.shape()[0];
+        let hidden = self.l1.out_dim();
+        let mut h = scratch::take(m * hidden);
+        self.l1.forward_into(x.data(), m, &mut h);
+        for v in h.iter_mut() {
+            *v = v.max(0.0);
+        }
+        let mut out = vec![0.0f32; m * self.out_dim()];
+        self.l2.forward_into(&h, m, &mut out);
+        scratch::recycle(h);
+        Tensor::from_vec(vec![m, self.out_dim()], out).map_err(NnError::from)
+    }
+
+    /// Argmax predictions over a `[m, in]` batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantMlp::forward`].
+    pub fn predict(&self, x: &Tensor) -> Result<Vec<usize>> {
+        let scores = self.forward(x)?;
+        let n = self.out_dim();
+        scores
+            .data()
+            .chunks_exact(n)
+            .map(|row| {
+                // Ties resolve to the lowest index, matching Tensor::argmax.
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                Ok(best)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(rng: &mut StdRng) -> (Network, QuantMlp) {
+        let mut net = Network::new(vec![10]);
+        net.push(Layer::Dense(Dense::new(10, 32, rng).unwrap()));
+        net.push(Layer::Relu(crate::Relu::new()));
+        net.push(Layer::Dense(Dense::new(32, 2, rng).unwrap()));
+        let q = QuantMlp::from_network(&net).unwrap();
+        (net, q)
+    }
+
+    #[test]
+    fn rejects_non_mlp_networks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Network::new(vec![10]);
+        net.push(Layer::Dense(Dense::new(10, 2, &mut rng).unwrap()));
+        assert!(matches!(
+            QuantMlp::from_network(&net),
+            Err(NnError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn quant_forward_tracks_f32_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (net, q) = mlp(&mut rng);
+        let x = Tensor::randn(&[16, 10], 0.0, 1.0, &mut rng);
+        let f32_out = net.forward(&x).unwrap();
+        let q_out = q.forward(&x).unwrap();
+        assert_eq!(q_out.shape(), f32_out.shape());
+        let scale = f32_out
+            .data()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
+            .max(1.0);
+        for (i, (a, b)) in q_out.data().iter().zip(f32_out.data()).enumerate() {
+            assert!(
+                (a - b).abs() <= 0.05 * scale,
+                "element {i}: quant {a} vs f32 {b} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_composition_cannot_change_outputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, q) = mlp(&mut rng);
+        // The same example alone, batched with small rows, and batched with
+        // a huge-magnitude row: per-row scales must keep its output
+        // bit-identical in all three.
+        let probe: Vec<f32> = (0..10).map(|i| (i as f32 - 5.0) * 0.3).collect();
+        let solo = q
+            .forward(&Tensor::from_vec(vec![1, 10], probe.clone()).unwrap())
+            .unwrap();
+        let mut with_big = probe.clone();
+        with_big.extend((0..10).map(|i| (i as f32) * 1000.0));
+        let batched = q
+            .forward(&Tensor::from_vec(vec![2, 10], with_big).unwrap())
+            .unwrap();
+        for (a, b) in solo.data().iter().zip(&batched.data()[..2]) {
+            assert_eq!(a.to_bits(), b.to_bits(), "batch composition leaked into row 0");
+        }
+    }
+
+    #[test]
+    fn predict_matches_forward_argmax() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, q) = mlp(&mut rng);
+        let x = Tensor::randn(&[8, 10], 0.0, 2.0, &mut rng);
+        let preds = q.predict(&x).unwrap();
+        let scores = q.forward(&x).unwrap();
+        for (i, &p) in preds.iter().enumerate() {
+            let row = &scores.data()[i * 2..(i + 1) * 2];
+            let want = if row[1] > row[0] { 1 } else { 0 };
+            assert_eq!(p, want);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, q) = mlp(&mut rng);
+        assert!(q.forward(&Tensor::zeros(&[3, 7])).is_err());
+        assert!(q.forward(&Tensor::zeros(&[10])).is_err());
+    }
+}

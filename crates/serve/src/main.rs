@@ -98,6 +98,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), DcnError> {
         flight_dir: flags.get("flight-dir").map(std::path::PathBuf::from),
         drift_baseline: parse_num(flag_or(flags, "drift-baseline", "0.0"), "--drift-baseline")?,
         drift_tolerance: parse_num(flag_or(flags, "drift-tolerance", "1.0"), "--drift-tolerance")?,
+        int8_detector: int8_detector_setting(flags)?,
     };
     let server = Server::start(Arc::new(dcn), config)?;
     println!("serving on {} (ctrl-c to stop)", server.addr());
@@ -137,6 +138,26 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), DcnError> {
     bench::write_report(&report, out)?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// Resolves the int8 detector opt-in: `--int8-detector 1|0` wins, then the
+/// `DCN_INT8_DETECTOR` environment variable, default off. The env read lives
+/// here in the CLI (not in the numeric crates) so the determinism lint's
+/// environment-read ban stays meaningful.
+fn int8_detector_setting(flags: &HashMap<String, String>) -> Result<bool, DcnError> {
+    if let Some(v) = flags.get("int8-detector") {
+        return match v.as_str() {
+            "1" | "true" | "on" => Ok(true),
+            "0" | "false" | "off" => Ok(false),
+            other => Err(DcnError::Config(format!(
+                "--int8-detector expects 1 or 0, got {other:?}"
+            ))),
+        };
+    }
+    Ok(matches!(
+        std::env::var("DCN_INT8_DETECTOR").ok().as_deref(),
+        Some("1") | Some("true") | Some("on")
+    ))
 }
 
 fn parse_clients(csv: &str) -> Result<Vec<usize>, DcnError> {
@@ -245,6 +266,11 @@ serve:  --dcn PATH       DCN artifact from `dcn build` (or --demo 1 to
         --drift-baseline R  expected detector flag rate (default 0.0)
         --drift-tolerance T max |rate - baseline| before `health` raises
                          drift_alarm (default 1.0 = never)
+        --int8-detector 1|0  screen batched logits through the int8-quantized
+                         detector (also DCN_INT8_DETECTOR; default 0).
+                         Verdicts are tolerance-tested against f32, not
+                         bitwise; startup fails if the detector head is not
+                         a Dense-ReLU-Dense MLP
 
 bench:  --clients CSV    client counts to sweep (default 1,4,16,64)
         --requests N     requests per client, closed-loop (default 50)

@@ -79,6 +79,13 @@ pub struct ServerConfig {
     /// before `health` raises `drift_alarm`. The default `1.0` can never
     /// trip (rates live in `[0, 1]`) — the alarm is opt-in.
     pub drift_tolerance: f64,
+    /// Run the detector screen through the int8-quantized head
+    /// ([`dcn_core::Detector::quantized`], built once at startup).
+    /// Verdicts are tolerance-tested against the f32 path, not bitwise —
+    /// an explicit opt-in (`--int8-detector 1` / `DCN_INT8_DETECTOR=1`),
+    /// off by default. Startup fails with [`DcnError::Config`] if the
+    /// detector's head is not the standard quantizable MLP.
+    pub int8_detector: bool,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +101,7 @@ impl Default for ServerConfig {
             flight_dir: None,
             drift_baseline: 0.0,
             drift_tolerance: 1.0,
+            int8_detector: false,
         }
     }
 }
@@ -246,11 +254,21 @@ impl Server {
             }
             None => (None, None),
         };
+        // Quantize the detector head once at startup; a non-quantizable
+        // head is a configuration error, not something to discover on the
+        // first batch.
+        let int8 = if config.int8_detector {
+            Some(dcn.detector().quantized().map_err(|e| {
+                DcnError::Config(format!("int8 detector requested but unavailable: {e}"))
+            })?)
+        } else {
+            None
+        };
         let batcher = {
             let queue = Arc::clone(&queue);
             let flight = Arc::clone(&flight);
             let max_batch = config.max_batch;
-            std::thread::spawn(move || batcher_loop(&dcn, &queue, max_batch, &flight))
+            std::thread::spawn(move || batcher_loop(&dcn, &queue, max_batch, &flight, int8))
         };
         let acceptor = {
             let queue = Arc::clone(&queue);
@@ -478,6 +496,7 @@ fn batcher_loop(
     queue: &Arc<BoundedQueue<Job>>,
     max_batch: usize,
     flight: &Arc<FlightState>,
+    int8: Option<dcn_core::QuantizedDetector>,
 ) {
     loop {
         let jobs = queue.pop_batch(max_batch);
@@ -508,7 +527,7 @@ fn batcher_loop(
                 dcn_obs::names::TRACE_STAGE_BATCH_ASSEMBLY,
             );
         }
-        let results = dcn.try_classify_batch(&requests);
+        let results = dcn.try_classify_batch_with(&requests, int8.as_ref());
         for ((id, shed, trace, enqueued, conn), result) in metas.into_iter().zip(results) {
             let write = dcn_obs::stage_clock();
             let (response, outcome) = match result {

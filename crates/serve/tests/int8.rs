@@ -1,0 +1,81 @@
+//! Int8 detector serving tests, over real TCP sockets.
+//!
+//! With `int8_detector: true` the batcher screens batched logits through
+//! the int8-quantized detector head instead of the f32 MLP. The contract
+//! is tolerance-tested, not bitwise: verdicts must agree with the f32
+//! server on (at least) the overwhelming majority of a deterministic
+//! request sweep, and everything downstream of the verdict — labels,
+//! base-pass accounting, degradation flags — is the unchanged f32 path.
+
+use std::sync::Arc;
+
+use dcn_serve::bench::{demo_dcn, demo_inputs};
+use dcn_serve::{Client, OkResponse, Request, Response, Server, ServerConfig, WireMode};
+
+/// Minimum fraction of requests whose full response (label + verdict +
+/// accounting) must match between the f32 and int8 servers. Mirrors the
+/// `INT8_AGREEMENT_FLOOR` pinned in `dcn-core`'s detector tests.
+const SERVE_AGREEMENT_FLOOR: f64 = 0.98;
+
+/// Runs `n` deterministic requests against a fresh server and returns the
+/// responses in request order.
+fn sweep(config: ServerConfig, n: usize) -> Vec<OkResponse> {
+    let dcn = Arc::new(demo_dcn(11, 8).expect("demo dcn"));
+    let server = Server::start(dcn, config).expect("server start");
+    let inputs = demo_inputs(n, 11).expect("demo inputs");
+    let mut client =
+        Client::connect(&server.addr().to_string(), WireMode::Binary).expect("connect");
+    let mut out = Vec::with_capacity(n);
+    for (i, x) in inputs.iter().enumerate() {
+        let req = Request::new(i as u64 + 1, 9000 + i as u64, x.clone());
+        match client.classify(&req).expect("classify") {
+            Response::Ok(ok) => out.push(ok),
+            Response::Err(e) => panic!("request {i} failed: {} {}", e.code, e.msg),
+        }
+    }
+    drop(client);
+    server.shutdown();
+    out
+}
+
+#[test]
+fn int8_server_verdicts_agree_with_the_f32_server() {
+    let n = 30;
+    let f32_responses = sweep(ServerConfig::default(), n);
+    let int8_responses = sweep(
+        ServerConfig {
+            int8_detector: true,
+            ..ServerConfig::default()
+        },
+        n,
+    );
+    assert_eq!(f32_responses.len(), n);
+    assert_eq!(int8_responses.len(), n);
+    let agreeing = f32_responses
+        .iter()
+        .zip(&int8_responses)
+        .filter(|(a, b)| a == b)
+        .count();
+    let agreement = agreeing as f64 / n as f64;
+    assert!(
+        agreement >= SERVE_AGREEMENT_FLOOR,
+        "int8 server agreed with f32 on only {agreeing}/{n} responses \
+         ({agreement:.3} < {SERVE_AGREEMENT_FLOOR})"
+    );
+    // The demo traffic must actually exercise the detector decision: both
+    // verdict outcomes (pass-through and corrected) have to appear, or
+    // the agreement floor above is vacuous.
+    let verdicts: std::collections::BTreeSet<_> = f32_responses
+        .iter()
+        .map(|r| format!("{:?}", r.verdict))
+        .collect();
+    assert!(
+        verdicts.len() > 1,
+        "fixture sweep only produced {verdicts:?}; agreement test is vacuous"
+    );
+}
+
+#[test]
+fn int8_detector_is_off_by_default() {
+    assert!(!ServerConfig::default().int8_detector);
+}

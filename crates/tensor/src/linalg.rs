@@ -5,12 +5,12 @@
 //! transpose explicitly would double memory traffic on the hot path.
 //!
 //! All three run on the register-tiled micro-kernels in [`crate::kernel`],
-//! parallelized over output rows through [`crate::par`]; results are
-//! bitwise identical to the historic naive kernels (retained in
-//! [`crate::kernel`] as `naive_*` and pinned by property tests) under every
-//! thread budget.
+//! parallelized *inside* the GEMM over a row-tile × column-block worker
+//! grid (`kernel::par_gemm_*`); results are bitwise identical to the
+//! historic naive kernels (retained in [`crate::kernel`] as `naive_*` and
+//! pinned by property tests) under every thread budget.
 
-use crate::{kernel, par, Result, Tensor, TensorError};
+use crate::{kernel, Result, Tensor, TensorError};
 
 fn as_matrix(t: &Tensor) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -22,18 +22,9 @@ fn as_matrix(t: &Tensor) -> Result<(usize, usize)> {
     Ok((t.shape()[0], t.shape()[1]))
 }
 
-/// Minimum flops a worker should receive before a matmul opens a parallel
-/// region; below this, thread start-up dominates the row work.
-const PAR_MIN_FLOPS: usize = 32_768;
-
-/// Output rows per worker needed to clear [`PAR_MIN_FLOPS`].
-fn row_floor(flops_per_row: usize) -> usize {
-    PAR_MIN_FLOPS.div_ceil(flops_per_row.max(1)).max(1)
-}
-
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
-/// Runs the tiled [`kernel::gemm_nn`] over row chunks. Per output element
+/// Runs the grid-parallel [`kernel::par_gemm_nn`]. Per output element
 /// the accumulation is k-ascending with the historic zero-skip (`a[i,k] ==
 /// 0.0` contributes nothing, even against non-finite `B` values), so the
 /// result is bitwise identical to the pre-tiling kernel.
@@ -97,13 +88,9 @@ fn matmul_slices(a: &Tensor, b: &Tensor, out: &mut [f32]) {
     if out.is_empty() {
         return;
     }
-    let ad = a.data();
-    let bd = b.data();
-    // Each output row is an independent k-ascending accumulation, so
-    // chunking rows across threads is bitwise-identical to the serial loop.
-    par::for_each_unit_chunk(out, n, row_floor(k * n), |first_row, chunk| {
-        kernel::gemm_nn(ad, bd, chunk, first_row, chunk.len() / n, k, n);
-    });
+    // Every output element is an independent k-ascending accumulation, so
+    // splitting tiles across threads is bitwise-identical to the serial loop.
+    kernel::par_gemm_nn(a.data(), b.data(), out, out.len() / n, k, n);
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — without materializing `Aᵀ`.
@@ -129,11 +116,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if m == 0 || n == 0 {
         return Tensor::from_vec(vec![m, n], out);
     }
-    let ad = a.data();
-    let bd = b.data();
-    par::for_each_unit_chunk(&mut out, n, row_floor(ka * n), |first_row, chunk| {
-        kernel::gemm_tn(ad, bd, chunk, first_row, chunk.len() / n, m, ka, n);
-    });
+    kernel::par_gemm_tn(a.data(), b.data(), &mut out, m, ka, n);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -160,11 +143,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if m == 0 || n == 0 {
         return Tensor::from_vec(vec![m, n], out);
     }
-    let ad = a.data();
-    let bd = b.data();
-    par::for_each_unit_chunk(&mut out, n, row_floor(ka * n), |first_row, chunk| {
-        kernel::gemm_nt(ad, bd, chunk, first_row, chunk.len() / n, ka, n);
-    });
+    kernel::par_gemm_nt(a.data(), b.data(), &mut out, m, ka, n);
     Tensor::from_vec(vec![m, n], out)
 }
 

@@ -36,6 +36,16 @@ pub struct ParConfig {
     /// demand more for fine-grained units. Raising this biases toward the
     /// serial path for small batches.
     pub min_chunk: usize,
+    /// Opt-in to the fused-multiply-add GEMM microkernels (`DCN_FMA=1`).
+    ///
+    /// Fused contraction performs one rounding per multiply-add instead of
+    /// two, so the fused kernels are **not** bitwise-identical to the
+    /// default path — they are tolerance-tested against it instead. They
+    /// *are* bitwise-stable across thread counts and across machines
+    /// (`f32::mul_add` has exact single-rounding semantics whether or not
+    /// hardware FMA exists). Off by default; the default path stays
+    /// bit-exact against the naive reference kernels.
+    pub fma: bool,
 }
 
 impl ParConfig {
@@ -49,6 +59,7 @@ impl ParConfig {
         ParConfig {
             threads: 1,
             min_chunk: 1,
+            fma: false,
         }
     }
 
@@ -57,6 +68,7 @@ impl ParConfig {
         ParConfig {
             threads: threads.max(1),
             min_chunk: 1,
+            fma: false,
         }
     }
 
@@ -66,6 +78,13 @@ impl ParConfig {
         self.min_chunk = min_chunk.max(1);
         self
     }
+
+    /// Builder: opt in to (or out of) the fused-multiply-add kernels.
+    #[must_use]
+    pub fn fma(mut self, fma: bool) -> Self {
+        self.fma = fma;
+        self
+    }
 }
 
 impl Default for ParConfig {
@@ -73,6 +92,7 @@ impl Default for ParConfig {
         ParConfig {
             threads: default_threads(),
             min_chunk: 1,
+            fma: default_fma(),
         }
     }
 }
@@ -81,39 +101,65 @@ impl Default for ParConfig {
 static OVERRIDE_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// Programmatic work-floor override; 0 = unset.
 static OVERRIDE_MIN_CHUNK: AtomicUsize = AtomicUsize::new(0);
+/// Programmatic FMA override; 0 = unset, 1 = forced off, 2 = forced on.
+static OVERRIDE_FMA: AtomicUsize = AtomicUsize::new(0);
 
-/// Environment default, resolved once per process.
+/// The single sanctioned environment read (registered in
+/// `ci/lint/determinism_allowlist.txt`): both `DCN_THREADS` and `DCN_FMA`
+/// are bootstrap settings resolved once per process through this helper,
+/// and both are deterministic given their values — thread count never
+/// changes results at all, and the FMA flag selects between two paths that
+/// are each individually deterministic.
+fn env_setting(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok())
+}
+
+/// Environment default thread budget, resolved once per process.
 fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        match std::env::var("DCN_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        }
+    *DEFAULT.get_or_init(|| match env_setting("DCN_THREADS") {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
     })
+}
+
+/// Environment default for the FMA opt-in (`DCN_FMA=1`), resolved once per
+/// process.
+fn default_fma() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| env_setting("DCN_FMA") == Some(1))
 }
 
 /// Installs `cfg` as the process-global parallel configuration.
 ///
 /// Takes effect for every subsequent parallel region in any thread. Use
-/// [`reset`] to return to the `DCN_THREADS` / core-count default.
+/// [`reset`] to return to the `DCN_THREADS` / `DCN_FMA` / core-count
+/// default.
 pub fn configure(cfg: ParConfig) {
     OVERRIDE_THREADS.store(cfg.threads.max(1), Ordering::Relaxed);
     OVERRIDE_MIN_CHUNK.store(cfg.min_chunk.max(1), Ordering::Relaxed);
+    OVERRIDE_FMA.store(if cfg.fma { 2 } else { 1 }, Ordering::Relaxed);
 }
 
 /// Clears any [`configure`] override.
 pub fn reset() {
     OVERRIDE_THREADS.store(0, Ordering::Relaxed);
     OVERRIDE_MIN_CHUNK.store(0, Ordering::Relaxed);
+    OVERRIDE_FMA.store(0, Ordering::Relaxed);
 }
 
 fn current() -> ParConfig {
     let t = OVERRIDE_THREADS.load(Ordering::Relaxed);
     let m = OVERRIDE_MIN_CHUNK.load(Ordering::Relaxed);
+    let f = OVERRIDE_FMA.load(Ordering::Relaxed);
     ParConfig {
         threads: if t == 0 { default_threads() } else { t },
         min_chunk: m.max(1),
+        fma: match f {
+            0 => default_fma(),
+            1 => false,
+            _ => true,
+        },
     }
 }
 
@@ -277,6 +323,42 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Runs `f(worker_index)` on `workers` scoped threads — the raw primitive
+/// behind the intra-GEMM 2-D partition in `crate::kernel`, where workers
+/// write disjoint (row-tile-range × column-block-range) regions of one
+/// output buffer and therefore cannot use the slice-splitting
+/// [`for_each_unit_chunk`].
+///
+/// `workers <= 1` runs `f(0)` inline on the current thread (the exact
+/// serial path — no threads are spawned). Each spawned worker is marked as
+/// a parallel-region worker, so nested parallel primitives run inline.
+/// `units` is the region's work-unit count, recorded into the
+/// observability layer only.
+///
+/// Callers are expected to have sized `workers` through
+/// [`planned_workers`], which honors the global configuration and the
+/// nested-region guard.
+pub fn run_workers<F>(workers: usize, units: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = workers.max(1);
+    record_region(units, workers);
+    if workers <= 1 {
+        f(0);
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            scope.spawn(move || {
+                IN_PARALLEL.with(|flag| flag.set(true));
+                f(w);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +447,27 @@ mod tests {
         assert!(ParConfig::current().threads >= 1);
         assert_eq!(ParConfig::current().min_chunk, 1);
         assert_eq!(ParConfig::serial().threads, 1);
+        assert!(!ParConfig::serial().fma);
+        assert!(ParConfig::with_threads(2).fma(true).fma);
+    }
+
+    #[test]
+    fn run_workers_covers_every_index_once() {
+        use std::sync::atomic::AtomicU32;
+        let seen: Vec<AtomicU32> = (0..5).map(|_| AtomicU32::new(0)).collect();
+        run_workers(5, 5, |w| {
+            assert!(in_parallel_region());
+            seen[w].fetch_add(1, Ordering::Relaxed);
+        });
+        for s in &seen {
+            assert_eq!(s.load(Ordering::Relaxed), 1);
+        }
+        // The serial degenerate case runs inline without marking the region.
+        let inline_hits = AtomicU32::new(0);
+        run_workers(1, 1, |w| {
+            assert_eq!(w, 0);
+            inline_hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(inline_hits.load(Ordering::Relaxed), 1);
     }
 }

@@ -1,0 +1,145 @@
+//! Contract of the FMA opt-in (`ParConfig::fma` / `DCN_FMA=1`): fused
+//! contraction rounds once per multiply-add instead of twice, so its
+//! results are **tolerance-tested** against the exact path, never bitwise —
+//! but they must remain **bitwise-stable across thread counts** (the grid
+//! still never splits a k-reduction) and machine-independent
+//! (`f32::mul_add` has exact single-rounding semantics even via the libm
+//! software fallback).
+//!
+//! This suite lives in its own integration-test binary so the process-wide
+//! `fma = true` configuration can never race the bitwise suites: every test
+//! here runs fused, and the exact references come from the `naive_*`
+//! kernels, which bypass dispatch entirely.
+
+use dcn_tensor::{kernel, par, ParConfig};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The parallel configuration is process-global; tests that flip it must not
+/// interleave, so each takes this lock for its whole body.
+fn config_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn fill(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 29 + salt * 13 + 7) % 101) as f32 * 0.0625 - 3.0)
+        .collect()
+}
+
+/// Fused-vs-exact tolerance: one rounding saved per madd step drifts each
+/// element by at most ~k·ulp; these shapes keep k ≤ 64 and |acc| ≲ 1e3.
+fn assert_close(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length drift");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-4f32.max(w.abs() * 1e-4);
+        assert!(
+            (g - w).abs() <= tol,
+            "{what}: element {i} off by {} (fused {g}, exact {w}, tol {tol})",
+            (g - w).abs()
+        );
+    }
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs (got {g}, want {w})"
+        );
+    }
+}
+
+#[test]
+fn config_carries_the_fma_flag() {
+    let _guard = config_lock();
+    par::configure(ParConfig::with_threads(2).fma(true));
+    assert!(ParConfig::current().fma);
+    par::configure(ParConfig::serial());
+    assert!(!ParConfig::current().fma);
+    par::reset();
+}
+
+#[test]
+fn fused_kernels_stay_within_tolerance_of_exact_references() {
+    let _guard = config_lock();
+    par::configure(ParConfig::with_threads(2).fma(true));
+    let (m, k, n) = (33, 64, 41);
+    let a_nn = fill(m * k, 1);
+    let a_tn = fill(k * m, 2);
+    let b_nn = fill(k * n, 3);
+    let b_nt = fill(n * k, 4);
+    let mut exact = vec![0.0f32; m * n];
+    let mut fused = vec![0.0f32; m * n];
+
+    kernel::naive_nn(&a_nn, &b_nn, &mut exact, 0, k, n);
+    kernel::par_gemm_nn(&a_nn, &b_nn, &mut fused, m, k, n);
+    assert_close(&fused, &exact, "fused nn");
+
+    exact.iter_mut().for_each(|v| *v = 0.0);
+    kernel::naive_tn(&a_tn, &b_nn, &mut exact, 0, m, k, n);
+    kernel::par_gemm_tn(&a_tn, &b_nn, &mut fused, m, k, n);
+    assert_close(&fused, &exact, "fused tn");
+
+    exact.iter_mut().for_each(|v| *v = 0.0);
+    kernel::naive_nt(&a_nn, &b_nt, &mut exact, 0, k, n);
+    kernel::par_gemm_nt(&a_nn, &b_nt, &mut fused, m, k, n);
+    assert_close(&fused, &exact, "fused nt");
+    par::reset();
+}
+
+#[test]
+fn fused_results_are_bitwise_stable_across_thread_counts() {
+    let _guard = config_lock();
+    let (m, k, n) = (40, 64, 64);
+    let a_nn = fill(m * k, 5);
+    let a_tn = fill(k * m, 6);
+    let b_nn = fill(k * n, 7);
+    let b_nt = fill(n * k, 8);
+
+    par::configure(ParConfig::with_threads(1).fma(true));
+    let mut ref_nn = vec![0.0f32; m * n];
+    let mut ref_tn = vec![0.0f32; m * n];
+    let mut ref_nt = vec![0.0f32; m * n];
+    kernel::par_gemm_nn(&a_nn, &b_nn, &mut ref_nn, m, k, n);
+    kernel::par_gemm_tn(&a_tn, &b_nn, &mut ref_tn, m, k, n);
+    kernel::par_gemm_nt(&a_nn, &b_nt, &mut ref_nt, m, k, n);
+
+    for t in [2, 3, 8] {
+        par::configure(ParConfig::with_threads(t).fma(true));
+        let mut out = vec![f32::NAN; m * n];
+        kernel::par_gemm_nn(&a_nn, &b_nn, &mut out, m, k, n);
+        assert_bits_eq(&out, &ref_nn, &format!("fused nn @ {t} threads"));
+        out.iter_mut().for_each(|v| *v = f32::NAN);
+        kernel::par_gemm_tn(&a_tn, &b_nn, &mut out, m, k, n);
+        assert_bits_eq(&out, &ref_tn, &format!("fused tn @ {t} threads"));
+        out.iter_mut().for_each(|v| *v = f32::NAN);
+        kernel::par_gemm_nt(&a_nn, &b_nt, &mut out, m, k, n);
+        assert_bits_eq(&out, &ref_nt, &format!("fused nt @ {t} threads"));
+    }
+    par::reset();
+}
+
+#[test]
+fn fused_zero_skip_still_drops_zero_rows() {
+    let _guard = config_lock();
+    par::configure(ParConfig::with_threads(2).fma(true));
+    // The zero-skip contract is rounding-independent: an all-zero A row
+    // yields exactly 0.0 under both policies, even against non-finite B.
+    let (m, k, n) = (6, 8, 20);
+    let mut a = fill(m * k, 9);
+    a[2 * k..3 * k].iter_mut().for_each(|v| *v = 0.0);
+    let mut b = fill(k * n, 10);
+    b[0] = f32::NAN;
+    let mut out = vec![f32::NAN; m * n];
+    kernel::par_gemm_nn(&a, &b, &mut out, m, k, n);
+    assert!(
+        out[2 * n..3 * n].iter().all(|&v| v == 0.0),
+        "zero row must skip NaN contributions under the fused path"
+    );
+    par::reset();
+}
