@@ -18,7 +18,8 @@
 //!
 //! Failures exit with a class-specific code (see [`DcnError::exit_code`]):
 //! `2` configuration, `3` IO, `4` corrupt state, `5` non-finite values,
-//! `1` anything else.
+//! `6` overloaded, `7` peer lost, `8` quorum lost (the last three minted by
+//! the serving and distributed-training planes), `1` anything else.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -62,8 +63,9 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            // exit_code is 1..=5 by construction; the clamp is belt and
-            // braces against future variants.
+            // exit_code is 1..=8 by construction (6..=8 only reachable via
+            // the serving/distributed planes); the clamp is belt and braces
+            // against future variants.
             ExitCode::from(e.exit_code().clamp(1, 255) as u8)
         }
     }
@@ -124,6 +126,9 @@ fn apply_fault_flags(flags: &HashMap<String, String>) -> Result<(), DcnError> {
         "fault-budget",
         "fault-short-write",
         "fault-abort-epochs",
+        "fault-connect",
+        "fault-reset",
+        "fault-short-read",
     ];
     if !keys.iter().any(|k| flags.contains_key(*k)) {
         return Ok(());
@@ -145,10 +150,18 @@ fn apply_fault_flags(flags: &HashMap<String, String>) -> Result<(), DcnError> {
             .get("fault-abort-epochs")
             .map(|v| parse_num(v, "--fault-abort-epochs"))
             .transpose()?,
+        connect_refused_rate: parse_num(flag_or(flags, "fault-connect", "0"), "--fault-connect")?,
+        reset_rate: parse_num(flag_or(flags, "fault-reset", "0"), "--fault-reset")?,
+        short_read: flags
+            .get("fault-short-read")
+            .map(|v| parse_num(v, "--fault-short-read"))
+            .transpose()?,
     };
     for (rate, name) in [
         (plan.io_error_rate, "--fault-io"),
         (plan.nan_rate, "--fault-nan"),
+        (plan.connect_refused_rate, "--fault-connect"),
+        (plan.reset_rate, "--fault-reset"),
     ] {
         if !(0.0..=1.0).contains(&rate) {
             return Err(DcnError::Config(format!(
@@ -200,7 +213,8 @@ defend: --dcn PATH  --pool PATH
         --max-votes V        per-query cap on corrector votes
         --quorum Q (1)       min votes before falling back to the base network
 
-exit codes: 0 ok, 2 configuration, 3 io, 4 corrupt state, 5 non-finite, 1 other"
+exit codes: 0 ok, 2 configuration, 3 io, 4 corrupt state, 5 non-finite,
+            6 overloaded (dcn-serve), 7 peer lost, 8 quorum lost (dcn-ps), 1 other"
         .to_string()
 }
 

@@ -54,6 +54,28 @@ pub enum DcnError {
         /// The queue's configured capacity.
         capacity: usize,
     },
+    /// A distributed-training peer (worker or parameter server) stopped
+    /// responding and bounded reconnect retries were exhausted. The run can
+    /// often continue degraded — losing *this* peer is survivable as long
+    /// as a quorum remains — so the class is distinct from [`Io`], whose
+    /// response is "retry the operation", and from [`QuorumLost`], whose
+    /// response is "restart the job".
+    PeerLost {
+        /// Stable name of the lost peer (e.g. `"worker-2"` or `"server"`).
+        peer: String,
+        /// What was observed: connection refused, reset, heartbeat expiry.
+        msg: String,
+    },
+    /// Too many distributed-training peers are gone for the run to make
+    /// progress: the surviving worker set fell below the configured quorum.
+    /// The job must be restarted (from its shard checkpoints); no amount of
+    /// per-operation retry recovers this.
+    QuorumLost {
+        /// Workers still alive when the run gave up.
+        alive: usize,
+        /// The configured minimum quorum.
+        quorum: usize,
+    },
     /// An unclassified tensor-level failure.
     Tensor(TensorError),
     /// An unclassified network-level failure.
@@ -69,8 +91,8 @@ pub enum DcnError {
 impl DcnError {
     /// The process exit code for this failure class, for CLI scripting:
     /// `2` config, `3` IO, `4` corrupt state, `5` non-finite values, `6`
-    /// overloaded, `1` anything else. (`0` is success and never returned
-    /// here.)
+    /// overloaded, `7` peer lost, `8` quorum lost, `1` anything else.
+    /// (`0` is success and never returned here.)
     pub fn exit_code(&self) -> i32 {
         match self {
             DcnError::Config(_) => 2,
@@ -78,6 +100,8 @@ impl DcnError {
             DcnError::Corrupt(_) => 4,
             DcnError::NonFinite(_) => 5,
             DcnError::Overloaded { .. } => 6,
+            DcnError::PeerLost { .. } => 7,
+            DcnError::QuorumLost { .. } => 8,
             _ => 1,
         }
     }
@@ -95,6 +119,13 @@ impl fmt::Display for DcnError {
             DcnError::Overloaded { queued, capacity } => write!(
                 f,
                 "overloaded: admission queue full ({queued}/{capacity} requests queued)"
+            ),
+            DcnError::PeerLost { peer, msg } => {
+                write!(f, "peer lost: {peer} unreachable after bounded retries: {msg}")
+            }
+            DcnError::QuorumLost { alive, quorum } => write!(
+                f,
+                "quorum lost: {alive} workers alive, {quorum} required — restart from checkpoints"
             ),
             DcnError::Tensor(e) => write!(f, "tensor error: {e}"),
             DcnError::Nn(e) => write!(f, "network error: {e}"),
@@ -189,6 +220,22 @@ mod tests {
             }
             .exit_code(),
             6
+        );
+        assert_eq!(
+            DcnError::PeerLost {
+                peer: "worker-1".into(),
+                msg: "reset".into()
+            }
+            .exit_code(),
+            7
+        );
+        assert_eq!(
+            DcnError::QuorumLost {
+                alive: 1,
+                quorum: 2
+            }
+            .exit_code(),
+            8
         );
         assert_eq!(DcnError::Tensor(TensorError::Empty).exit_code(), 1);
     }

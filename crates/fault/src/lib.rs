@@ -29,6 +29,9 @@
 //! | budget  | `DCN_FAULT_BUDGET`      | forced cap on corrector votes per query     |
 //! | short   | `DCN_FAULT_SHORT_WRITE` | byte cap simulating a torn checkpoint write |
 //! | abort   | `DCN_FAULT_ABORT_AFTER_EPOCHS` | training aborts after N epochs       |
+//! | connect | `DCN_FAULT_CONNECT`     | probability of `ConnectionRefused` on dial  |
+//! | reset   | `DCN_FAULT_RESET`       | probability of `ConnectionReset` mid-stream |
+//! | shread  | `DCN_FAULT_SHORT_READ`  | byte cap simulating a torn mid-frame read   |
 //!
 //! `DCN_FAULT_SEED` seeds the decision stream (default 0). Setting any of
 //! the class variables enables injection; `DCN_FAULT=0` force-disables it.
@@ -68,6 +71,12 @@ pub mod names {
     /// Retry attempts consumed after a failure (successful first tries do
     /// not count).
     pub const RETRIES_TOTAL: &str = "fault.retries_total";
+    /// Synthetic `ConnectionRefused` errors injected at dial sites.
+    pub const INJECTED_CONNECT_REFUSED_TOTAL: &str = "fault.injected_connect_refused_total";
+    /// Synthetic `ConnectionReset` errors injected at stream read/write sites.
+    pub const INJECTED_RESETS_TOTAL: &str = "fault.injected_resets_total";
+    /// Reads truncated by the short-read injector.
+    pub const SHORT_READS_TOTAL: &str = "fault.short_reads_total";
 }
 
 /// A complete injection plan: which injector classes are active and how
@@ -92,6 +101,16 @@ pub struct FaultPlan {
     /// Abort resumable training with an injected error after this many
     /// epochs have been checkpointed (deterministic crash simulation).
     pub abort_after_epochs: Option<usize>,
+    /// Probability in `[0, 1]` of a synthetic `ConnectionRefused` at each
+    /// dial hook (network class).
+    pub connect_refused_rate: f64,
+    /// Probability in `[0, 1]` of a synthetic `ConnectionReset` at each
+    /// stream read/write hook (network class).
+    pub reset_rate: f64,
+    /// Byte cap on framed reads: the read stops after this many bytes and
+    /// reports an unexpected EOF, simulating a torn mid-frame read. Fires
+    /// once per site, like [`short_write_cap`].
+    pub short_read: Option<usize>,
 }
 
 impl Default for FaultPlan {
@@ -104,6 +123,9 @@ impl Default for FaultPlan {
             vote_budget: None,
             short_write: None,
             abort_after_epochs: None,
+            connect_refused_rate: 0.0,
+            reset_rate: 0.0,
+            short_read: None,
         }
     }
 }
@@ -125,6 +147,9 @@ impl FaultPlan {
             vote_budget: env_u64("DCN_FAULT_BUDGET").map(|v| v as usize),
             short_write: env_u64("DCN_FAULT_SHORT_WRITE").map(|v| v as usize),
             abort_after_epochs: env_u64("DCN_FAULT_ABORT_AFTER_EPOCHS").map(|v| v as usize),
+            connect_refused_rate: env_f64("DCN_FAULT_CONNECT").unwrap_or(0.0),
+            reset_rate: env_f64("DCN_FAULT_RESET").unwrap_or(0.0),
+            short_read: env_u64("DCN_FAULT_SHORT_READ").map(|v| v as usize),
         };
         plan.is_active().then_some(plan)
     }
@@ -137,6 +162,9 @@ impl FaultPlan {
             || self.vote_budget.is_some()
             || self.short_write.is_some()
             || self.abort_after_epochs.is_some()
+            || self.connect_refused_rate > 0.0
+            || self.reset_rate > 0.0
+            || self.short_read.is_some()
     }
 }
 
@@ -344,6 +372,60 @@ pub fn abort_after_epochs() -> Option<usize> {
     plan().and_then(|p| p.abort_after_epochs)
 }
 
+/// Network hook: returns a synthetic `ConnectionRefused` when the connect
+/// injector decides this dial should fail. Call before dialing and propagate
+/// the error as if the kernel refused the connection — the caller's bounded
+/// retry then exercises its real recovery path.
+pub fn maybe_connect_refused(site: &str) -> Option<std::io::Error> {
+    if !enabled() {
+        return None;
+    }
+    let p = plan()?;
+    if should_fire(p.seed, site, p.connect_refused_rate) {
+        count(names::INJECTED_CONNECT_REFUSED_TOTAL);
+        return Some(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            format!("injected connect-refused at {site}"),
+        ));
+    }
+    None
+}
+
+/// Network hook: returns a synthetic `ConnectionReset` when the reset
+/// injector decides this stream operation should be torn down mid-flight.
+/// Call before a framed read or write; the peer observes the same failure a
+/// real RST would produce.
+pub fn maybe_conn_reset(site: &str) -> Option<std::io::Error> {
+    if !enabled() {
+        return None;
+    }
+    let p = plan()?;
+    if should_fire(p.seed, site, p.reset_rate) {
+        count(names::INJECTED_RESETS_TOTAL);
+        return Some(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            format!("injected connection-reset at {site}"),
+        ));
+    }
+    None
+}
+
+/// The byte cap for the short-read injector at this site: a framed read
+/// should consume at most this many payload bytes and then report an
+/// unexpected EOF, simulating a peer that died mid-frame. Like
+/// [`short_write_cap`], the first call per site wins so a reconnect after
+/// the torn read proceeds cleanly.
+pub fn short_read_cap(site: &str) -> Option<usize> {
+    let p = plan()?;
+    let cap = p.short_read?;
+    if site_counter(site).fetch_add(1, Ordering::Relaxed) == 0 {
+        count(names::SHORT_READS_TOTAL);
+        Some(cap)
+    } else {
+        None
+    }
+}
+
 /// A deadline stopwatch that is wall-clock in production and *virtual* under
 /// injected latency.
 ///
@@ -416,9 +498,95 @@ mod tests {
         assert_eq!(data, [1.0, 2.0]);
         assert_eq!(forced_vote_budget(), None);
         assert_eq!(short_write_cap("t.sw"), None);
+        assert!(maybe_connect_refused("t.conn").is_none());
+        assert!(maybe_conn_reset("t.reset").is_none());
+        assert_eq!(short_read_cap("t.sr"), None);
         let mut clock = FaultClock::start();
         clock.tick();
         assert!(!clock.is_virtual());
+    }
+
+    #[test]
+    fn network_hooks_are_bitwise_inert_when_off() {
+        let _g = lock();
+        set_plan(None);
+        // A payload threaded past every network hook with injection off must
+        // come out bit-identical: the hooks return their no-fault answers
+        // without touching data or drawing from the decision stream.
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let mut seen = payload.clone();
+        for _ in 0..16 {
+            assert!(maybe_connect_refused("t.inert_conn").is_none());
+            assert!(maybe_conn_reset("t.inert_reset").is_none());
+            assert_eq!(short_read_cap("t.inert_sr"), None);
+        }
+        seen.rotate_left(0); // no-op: nothing may have mutated the buffer
+        assert_eq!(seen, payload);
+    }
+
+    #[test]
+    fn connect_and_reset_decisions_are_deterministic_per_seed() {
+        let _g = lock();
+        let plan = FaultPlan {
+            seed: 11,
+            connect_refused_rate: 0.4,
+            reset_rate: 0.4,
+            ..FaultPlan::default()
+        };
+        set_plan(Some(plan));
+        let a: Vec<(bool, bool)> = (0..64)
+            .map(|_| {
+                (
+                    maybe_connect_refused("t.conn_det").is_some(),
+                    maybe_conn_reset("t.reset_det").is_some(),
+                )
+            })
+            .collect();
+        set_plan(Some(plan)); // reinstall resets the per-site streams
+        let b: Vec<(bool, bool)> = (0..64)
+            .map(|_| {
+                (
+                    maybe_connect_refused("t.conn_det").is_some(),
+                    maybe_conn_reset("t.reset_det").is_some(),
+                )
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&(c, _)| c), "connect injector should fire");
+        assert!(a.iter().any(|&(_, r)| r), "reset injector should fire");
+        let refused = maybe_connect_refused("t.conn_kind");
+        // Rate < 1 means this particular draw may pass; force one to check
+        // the error kind mapping.
+        set_plan(Some(FaultPlan {
+            connect_refused_rate: 1.0,
+            reset_rate: 1.0,
+            ..FaultPlan::default()
+        }));
+        drop(refused);
+        let e = maybe_connect_refused("t.conn_kind2");
+        assert_eq!(
+            e.map(|e| e.kind()),
+            Some(std::io::ErrorKind::ConnectionRefused)
+        );
+        let e = maybe_conn_reset("t.reset_kind2");
+        assert_eq!(
+            e.map(|e| e.kind()),
+            Some(std::io::ErrorKind::ConnectionReset)
+        );
+        set_plan(None);
+    }
+
+    #[test]
+    fn short_read_cap_fires_once_per_site() {
+        let _g = lock();
+        set_plan(Some(FaultPlan {
+            short_read: Some(7),
+            ..FaultPlan::default()
+        }));
+        assert_eq!(short_read_cap("t.sr_once"), Some(7));
+        assert_eq!(short_read_cap("t.sr_once"), None);
+        assert_eq!(short_read_cap("t.sr_other"), Some(7));
+        set_plan(None);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!
 //! * `maybe_io_error("site")`, `maybe_corrupt("site", …)`,
 //!   `short_write_cap("site")`;
+//! * the network-class hooks `maybe_connect_refused("site")`,
+//!   `maybe_conn_reset("site")`, `short_read_cap("site")`;
 //! * `write_atomic(…, "site")`, `read_with_retry(…, "site")` and the CLI's
 //!   `read_artifact`/`write_artifact` wrappers;
 //!
@@ -25,6 +27,9 @@ const FAULT_SINKS: &[&str] = &[
     "maybe_io_error",
     "maybe_corrupt",
     "short_write_cap",
+    "maybe_connect_refused",
+    "maybe_conn_reset",
+    "short_read_cap",
     "write_atomic",
     "read_with_retry",
     "read_artifact",

@@ -57,12 +57,14 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
 /// The serving-path crates (everything a `dcn` binary can pull in) plus
 /// the linter itself — it gates the workspace, so it holds itself to the
 /// same bar.
-pub const SERVING_CRATES: &[&str] =
-    &["tensor", "nn", "data", "core", "fault", "obs", "cli", "serve", "lint"];
+pub const SERVING_CRATES: &[&str] = &[
+    "tensor", "nn", "data", "core", "fault", "obs", "cli", "serve", "ps", "lint",
+];
 
 /// Every workspace crate under `crates/`.
 pub const ALL_CRATES: &[&str] = &[
-    "tensor", "nn", "data", "core", "attacks", "fault", "obs", "cli", "serve", "bench", "lint",
+    "tensor", "nn", "data", "core", "attacks", "fault", "obs", "cli", "serve", "ps", "bench",
+    "lint",
 ];
 
 /// The numeric crates whose outputs must be bitwise reproducible.

@@ -70,7 +70,7 @@ pub use loss::{
 pub use network::Network;
 pub use quant::{QuantDense, QuantMlp};
 pub use optim::{Adam, Momentum, Optimizer, Sgd};
-pub use train::{TrainConfig, TrainReport, Trainer};
+pub use train::{epoch_seed, TrainConfig, TrainReport, Trainer};
 
 /// Crate-wide result alias for fallible network operations.
 pub type Result<T> = std::result::Result<T, NnError>;

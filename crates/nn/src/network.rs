@@ -313,6 +313,49 @@ impl Network {
         self.params().iter().map(|t| t.len()).sum()
     }
 
+    /// Flat value snapshots of every parameter tensor, in [`Network::params`]
+    /// order. This is the export half of the distributed-training hook pair:
+    /// a parameter server ships these vectors to workers, whose f32 bits
+    /// round-trip the wire exactly, preserving bitwise identity.
+    pub fn export_param_data(&self) -> Vec<Vec<f32>> {
+        self.params().iter().map(|t| t.data().to_vec()).collect()
+    }
+
+    /// Overwrites every parameter tensor from flat snapshots produced by
+    /// [`Network::export_param_data`] — the apply half of the hook pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when the snapshot count or any
+    /// per-tensor length disagrees with this network's architecture; the
+    /// network is left unmodified in that case.
+    pub fn import_param_data(&mut self, flats: &[Vec<f32>]) -> Result<()> {
+        let mut params = self.params_mut();
+        if flats.len() != params.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "param import: {} tensors supplied, network has {}",
+                flats.len(),
+                params.len()
+            )));
+        }
+        if let Some((i, (flat, t))) = flats
+            .iter()
+            .zip(params.iter())
+            .enumerate()
+            .find(|(_, (flat, t))| flat.len() != t.len())
+        {
+            return Err(NnError::InvalidConfig(format!(
+                "param import: tensor {i} has {} values, network expects {}",
+                flat.len(),
+                t.len()
+            )));
+        }
+        for (flat, t) in flats.iter().zip(params.iter_mut()) {
+            t.data_mut().copy_from_slice(flat);
+        }
+        Ok(())
+    }
+
     /// Serializes the model to a JSON string.
     ///
     /// # Errors

@@ -358,7 +358,12 @@ enum Targets<'a> {
 
 /// Mixes `(seed, epoch)` into one 64-bit rng seed (SplitMix64 finalizer), so
 /// each epoch draws an independent, reproducible shuffle stream.
-fn epoch_seed(seed: u64, epoch: usize) -> u64 {
+///
+/// Public because distributed trainers (`dcn-ps`) must reproduce this exact
+/// stream to schedule the same batches in the same order as a single-process
+/// [`Trainer::fit_resumable`] run — the bitwise-identity contract between
+/// the two hangs on this one function.
+pub fn epoch_seed(seed: u64, epoch: usize) -> u64 {
     let mut z = seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

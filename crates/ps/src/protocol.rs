@@ -1,0 +1,854 @@
+//! The parameter-server wire protocol: length-prefixed binary frames over
+//! localhost TCP, in the same style as `dcn-serve`.
+//!
+//! # Frame layout (all integers little-endian)
+//!
+//! ```text
+//! frame     := len:u32 payload              len = payload bytes, ≤ MAX_FRAME
+//! payload   := client-msg | server-msg      first byte is the kind tag
+//!
+//! hello     := 0x01 worker:u32 incarnation:u32
+//! get_work  := 0x02 worker:u32
+//! push      := 0x03 worker:u32 epoch:u32 batch:u32 version:u64 loss:f32
+//!              tensors
+//! pull      := 0x04 worker:u32
+//! heartbeat := 0x05 worker:u32
+//! done      := 0x06 worker:u32
+//!
+//! welcome   := 0x41 mode:u8 n:u32 epochs:u32 batch:u32 workers:u32
+//!              quorum:u32 start_epoch:u32 seed:u64 task_len:u8 task:utf8
+//! work      := 0x42 epoch:u32 batch:u32 version:u64 tensors
+//! shutdown  := 0x43
+//! ack       := 0x44 applied:u8 version:u64 has_params:u8 [tensors]
+//! params    := 0x45 version:u64 tensors
+//! error     := 0x46 code:u8 msg_len:u16 msg:utf8
+//!
+//! tensors   := count:u32 (len:u32 values:f32×len)×count
+//! ```
+//!
+//! Parameter and gradient tensors travel as flat f32 little-endian value
+//! vectors in `Network::params()` order: the f32 bits round-trip exactly,
+//! which is what lets BSP mode stay bitwise-identical to single-process
+//! training across the wire.
+//!
+//! # Error mapping
+//!
+//! Malformed frames from a *worker* decode to [`DcnError::Config`]; the
+//! server is machine-written, so malformed frames from the *server* decode
+//! to [`DcnError::Corrupt`]. A stream ending mid-frame is an IO-class
+//! error; between frames it is a clean EOF (`Ok(None)`).
+
+use std::io::{Read, Write};
+
+use dcn_core::DcnError;
+
+/// Hard ceiling on a frame's payload size (16 MiB): a hostile or corrupt
+/// length prefix is rejected before any allocation. The largest legitimate
+/// frame — a full CIFAR-CNN parameter set — is well under 1 MiB.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// Most tensors one params/grads message may carry; the workspace models
+/// have ≤ 8 parameter tensors, so this bounds hostile counts cheaply.
+pub const MAX_TENSORS: usize = 4096;
+
+const KIND_HELLO: u8 = 0x01;
+const KIND_GET_WORK: u8 = 0x02;
+const KIND_PUSH: u8 = 0x03;
+const KIND_PULL: u8 = 0x04;
+const KIND_HEARTBEAT: u8 = 0x05;
+const KIND_DONE: u8 = 0x06;
+
+const KIND_WELCOME: u8 = 0x41;
+const KIND_WORK: u8 = 0x42;
+const KIND_SHUTDOWN: u8 = 0x43;
+const KIND_ACK: u8 = 0x44;
+const KIND_PARAMS: u8 = 0x45;
+const KIND_ERROR: u8 = 0x46;
+
+/// How shard updates are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Bulk-synchronous: one global batch in flight at a time, applied in a
+    /// fixed order — the final model is bitwise-identical to single-process
+    /// `Trainer::fit_resumable` with the same seed, for any worker count.
+    Bsp,
+    /// Wait-free: each worker trains its own partition and updates apply in
+    /// arrival order — maximum throughput, run-to-run nondeterministic.
+    Async,
+}
+
+impl Mode {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Result<Self, DcnError> {
+        match s {
+            "bsp" => Ok(Mode::Bsp),
+            "async" => Ok(Mode::Async),
+            other => Err(DcnError::Config(format!(
+                "unknown mode {other:?} (bsp or async)"
+            ))),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Bsp => "bsp",
+            Mode::Async => "async",
+        }
+    }
+}
+
+/// A message from a worker to the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Handshake: identifies the worker and its respawn incarnation.
+    Hello {
+        /// Stable worker index in `0..workers`.
+        worker: u32,
+        /// Respawn count; bumped each time the orchestrator restarts a
+        /// killed worker, so the server can tell a rejoin from a duplicate.
+        incarnation: u32,
+    },
+    /// BSP: ask for the next batch assignment (blocks until one is free).
+    GetWork {
+        /// The asking worker.
+        worker: u32,
+    },
+    /// Gradients for one batch, computed at parameter `version`.
+    PushGrads {
+        /// The pushing worker.
+        worker: u32,
+        /// Epoch the batch belongs to.
+        epoch: u32,
+        /// Batch index within the epoch.
+        batch: u32,
+        /// Parameter version the gradients were computed against.
+        version: u64,
+        /// Mean loss over the batch.
+        loss: f32,
+        /// Flat gradients, one vector per parameter tensor.
+        grads: Vec<Vec<f32>>,
+    },
+    /// Async: fetch the current parameters.
+    PullParams {
+        /// The asking worker.
+        worker: u32,
+    },
+    /// Liveness signal (async workers send these between pushes).
+    Heartbeat {
+        /// The worker reporting in.
+        worker: u32,
+    },
+    /// Async: the worker finished every epoch of its partition.
+    Done {
+        /// The finished worker.
+        worker: u32,
+    },
+}
+
+/// A message from the server to a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Handshake reply: the full job description a worker needs to rebuild
+    /// the dataset, model and shuffle streams deterministically.
+    Welcome(JobSpec),
+    /// BSP: one batch assignment with the parameters to compute it at.
+    Work {
+        /// Epoch of the assignment.
+        epoch: u32,
+        /// Batch index within the epoch.
+        batch: u32,
+        /// Parameter version being shipped.
+        version: u64,
+        /// Flat parameters, one vector per tensor.
+        params: Vec<Vec<f32>>,
+    },
+    /// Training is complete; the worker should exit cleanly.
+    Shutdown,
+    /// Reply to a push: whether the gradients were applied, the resulting
+    /// version, and (async mode) fresh parameters to continue from.
+    Ack {
+        /// `true` if applied; `false` if the push was stale or duplicate.
+        applied: bool,
+        /// The server's parameter version after handling the push.
+        version: u64,
+        /// Fresh parameters (async mode piggyback); empty in BSP.
+        params: Option<Vec<Vec<f32>>>,
+    },
+    /// Reply to a pull: the current parameters.
+    Params {
+        /// The shipped parameter version.
+        version: u64,
+        /// Flat parameters, one vector per tensor.
+        params: Vec<Vec<f32>>,
+    },
+    /// A typed failure (e.g. quorum lost); `code` is the
+    /// [`DcnError::exit_code`] of the class.
+    Error {
+        /// Failure-class exit code.
+        code: u8,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl ServerMsg {
+    /// The variant's wire name, for "expected X, got Y" diagnostics that
+    /// must not drag a full parameter dump into the error message.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ServerMsg::Welcome(_) => "Welcome",
+            ServerMsg::Work { .. } => "Work",
+            ServerMsg::Shutdown => "Shutdown",
+            ServerMsg::Ack { .. } => "Ack",
+            ServerMsg::Params { .. } => "Params",
+            ServerMsg::Error { .. } => "Error",
+        }
+    }
+}
+
+/// The job description shipped in [`ServerMsg::Welcome`]: everything a
+/// worker needs to reconstruct dataset, model and shuffle order bitwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Task name (`mnist` or `cifar`).
+    pub task: String,
+    /// Training-set size.
+    pub n: u32,
+    /// Total epochs.
+    pub epochs: u32,
+    /// Mini-batch size.
+    pub batch_size: u32,
+    /// Expected worker count (fixes async partition boundaries).
+    pub workers: u32,
+    /// Minimum surviving workers for an async run to keep going.
+    pub min_quorum: u32,
+    /// First epoch of this run (> 0 after a shard-checkpoint resume).
+    pub start_epoch: u32,
+    /// Execution mode.
+    pub mode: Mode,
+    /// The training seed every RNG stream derives from.
+    pub seed: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates the underlying IO error.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    w.write_all(&out)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` is a clean EOF at a frame
+/// boundary; EOF mid-frame or an oversized length prefix is an error.
+///
+/// # Errors
+///
+/// [`DcnError::Io`] for truncated streams, [`DcnError::Config`] for a
+/// length prefix beyond [`MAX_FRAME`].
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<Vec<u8>>, DcnError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        Filled::Eof => return Ok(None),
+        Filled::Partial(got) => {
+            return Err(frame_io(format!(
+                "stream ended inside a length prefix ({got} of 4 bytes)"
+            )))
+        }
+        Filled::Full => {}
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(DcnError::Config(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        Filled::Full => Ok(Some(payload)),
+        Filled::Eof | Filled::Partial(_) => {
+            Err(frame_io(format!("stream ended inside a {len}-byte frame")))
+        }
+    }
+}
+
+enum Filled {
+    Full,
+    Partial(usize),
+    Eof,
+}
+
+/// `read_exact` that distinguishes "no bytes at all" (clean EOF) from "some
+/// bytes then EOF" (torn frame).
+fn read_exact_or_eof<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> Result<Filled, DcnError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Filled::Eof
+                } else {
+                    Filled::Partial(filled)
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(DcnError::Io {
+                    site: "ps.frame.read".to_string(),
+                    kind: e.kind(),
+                    msg: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(Filled::Full)
+}
+
+fn frame_io(msg: String) -> DcnError {
+    DcnError::Io {
+        site: "ps.frame.eof".to_string(),
+        kind: std::io::ErrorKind::UnexpectedEof,
+        msg,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding
+// ---------------------------------------------------------------------------
+
+/// Byte cursor over a payload; every take is bounds-checked into a typed
+/// error, so garbage input can never panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(format!(
+                "payload truncated reading {what} (need {n} bytes at offset {}, have {})",
+                self.pos,
+                self.buf.len() - self.pos
+            )),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, String> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, String> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+fn put_tensors(out: &mut Vec<u8>, tensors: &[Vec<f32>]) {
+    out.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+    for t in tensors {
+        out.extend_from_slice(&(t.len() as u32).to_le_bytes());
+        for &v in t {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn take_tensors(c: &mut Cursor<'_>) -> Result<Vec<Vec<f32>>, String> {
+    let count = c.u32("tensor count")? as usize;
+    if count > MAX_TENSORS {
+        return Err(format!(
+            "tensor count {count} exceeds the wire limit {MAX_TENSORS}"
+        ));
+    }
+    let mut tensors = Vec::with_capacity(count);
+    for ti in 0..count {
+        let len = c.u32(&format!("tensor {ti} length"))? as usize;
+        if len.checked_mul(4).is_none_or(|bytes| bytes > c.remaining()) {
+            return Err(format!(
+                "tensor {ti} claims {len} values, only {} payload bytes remain",
+                c.remaining()
+            ));
+        }
+        let mut values = Vec::with_capacity(len);
+        for vi in 0..len {
+            values.push(c.f32(&format!("tensor {ti} value {vi}"))?);
+        }
+        tensors.push(values);
+    }
+    Ok(tensors)
+}
+
+/// Encodes a client message payload (unframed).
+pub fn encode_client(msg: &ClientMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        ClientMsg::Hello {
+            worker,
+            incarnation,
+        } => {
+            out.push(KIND_HELLO);
+            out.extend_from_slice(&worker.to_le_bytes());
+            out.extend_from_slice(&incarnation.to_le_bytes());
+        }
+        ClientMsg::GetWork { worker } => {
+            out.push(KIND_GET_WORK);
+            out.extend_from_slice(&worker.to_le_bytes());
+        }
+        ClientMsg::PushGrads {
+            worker,
+            epoch,
+            batch,
+            version,
+            loss,
+            grads,
+        } => {
+            out.push(KIND_PUSH);
+            out.extend_from_slice(&worker.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&batch.to_le_bytes());
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(&loss.to_le_bytes());
+            put_tensors(&mut out, grads);
+        }
+        ClientMsg::PullParams { worker } => {
+            out.push(KIND_PULL);
+            out.extend_from_slice(&worker.to_le_bytes());
+        }
+        ClientMsg::Heartbeat { worker } => {
+            out.push(KIND_HEARTBEAT);
+            out.extend_from_slice(&worker.to_le_bytes());
+        }
+        ClientMsg::Done { worker } => {
+            out.push(KIND_DONE);
+            out.extend_from_slice(&worker.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a client message payload.
+///
+/// # Errors
+///
+/// [`DcnError::Config`] on any malformed input — the worker sent something
+/// invalid; the connection survives when the framing itself was intact.
+pub fn decode_client(payload: &[u8]) -> Result<ClientMsg, DcnError> {
+    decode_client_inner(payload).map_err(DcnError::Config)
+}
+
+fn decode_client_inner(payload: &[u8]) -> Result<ClientMsg, String> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8("kind tag")?;
+    let msg = match kind {
+        KIND_HELLO => ClientMsg::Hello {
+            worker: c.u32("worker")?,
+            incarnation: c.u32("incarnation")?,
+        },
+        KIND_GET_WORK => ClientMsg::GetWork {
+            worker: c.u32("worker")?,
+        },
+        KIND_PUSH => ClientMsg::PushGrads {
+            worker: c.u32("worker")?,
+            epoch: c.u32("epoch")?,
+            batch: c.u32("batch")?,
+            version: c.u64("version")?,
+            loss: c.f32("loss")?,
+            grads: take_tensors(&mut c)?,
+        },
+        KIND_PULL => ClientMsg::PullParams {
+            worker: c.u32("worker")?,
+        },
+        KIND_HEARTBEAT => ClientMsg::Heartbeat {
+            worker: c.u32("worker")?,
+        },
+        KIND_DONE => ClientMsg::Done {
+            worker: c.u32("worker")?,
+        },
+        other => return Err(format!("unknown client message tag {other:#04x}")),
+    };
+    if c.remaining() != 0 {
+        return Err(format!(
+            "{} trailing bytes after client message",
+            c.remaining()
+        ));
+    }
+    Ok(msg)
+}
+
+/// Encodes a server message payload (unframed).
+pub fn encode_server(msg: &ServerMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        ServerMsg::Welcome(spec) => {
+            out.push(KIND_WELCOME);
+            out.push(match spec.mode {
+                Mode::Bsp => 0,
+                Mode::Async => 1,
+            });
+            out.extend_from_slice(&spec.n.to_le_bytes());
+            out.extend_from_slice(&spec.epochs.to_le_bytes());
+            out.extend_from_slice(&spec.batch_size.to_le_bytes());
+            out.extend_from_slice(&spec.workers.to_le_bytes());
+            out.extend_from_slice(&spec.min_quorum.to_le_bytes());
+            out.extend_from_slice(&spec.start_epoch.to_le_bytes());
+            out.extend_from_slice(&spec.seed.to_le_bytes());
+            let task = spec.task.as_bytes();
+            let take = task.len().min(u8::MAX as usize);
+            out.push(take as u8);
+            out.extend_from_slice(&task[..take]);
+        }
+        ServerMsg::Work {
+            epoch,
+            batch,
+            version,
+            params,
+        } => {
+            out.push(KIND_WORK);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&batch.to_le_bytes());
+            out.extend_from_slice(&version.to_le_bytes());
+            put_tensors(&mut out, params);
+        }
+        ServerMsg::Shutdown => out.push(KIND_SHUTDOWN),
+        ServerMsg::Ack {
+            applied,
+            version,
+            params,
+        } => {
+            out.push(KIND_ACK);
+            out.push(u8::from(*applied));
+            out.extend_from_slice(&version.to_le_bytes());
+            match params {
+                Some(p) => {
+                    out.push(1);
+                    put_tensors(&mut out, p);
+                }
+                None => out.push(0),
+            }
+        }
+        ServerMsg::Params { version, params } => {
+            out.push(KIND_PARAMS);
+            out.extend_from_slice(&version.to_le_bytes());
+            put_tensors(&mut out, params);
+        }
+        ServerMsg::Error { code, msg } => {
+            let bytes = msg.as_bytes();
+            let take = bytes.len().min(u16::MAX as usize);
+            // Truncate on a char boundary so the frame stays valid UTF-8.
+            let take = (0..=take)
+                .rev()
+                .find(|&t| msg.is_char_boundary(t))
+                .unwrap_or(0);
+            out.push(KIND_ERROR);
+            out.push(*code);
+            out.extend_from_slice(&(take as u16).to_le_bytes());
+            out.extend_from_slice(&bytes[..take]);
+        }
+    }
+    out
+}
+
+/// Decodes a server message payload.
+///
+/// # Errors
+///
+/// [`DcnError::Corrupt`] on any malformed input — the server is
+/// machine-written, so bad bytes mean a damaged stream, not a bad ask.
+pub fn decode_server(payload: &[u8]) -> Result<ServerMsg, DcnError> {
+    decode_server_inner(payload).map_err(DcnError::Corrupt)
+}
+
+fn decode_server_inner(payload: &[u8]) -> Result<ServerMsg, String> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8("kind tag")?;
+    let msg = match kind {
+        KIND_WELCOME => {
+            let mode = match c.u8("mode")? {
+                0 => Mode::Bsp,
+                1 => Mode::Async,
+                other => return Err(format!("unknown mode byte {other}")),
+            };
+            let n = c.u32("n")?;
+            let epochs = c.u32("epochs")?;
+            let batch_size = c.u32("batch_size")?;
+            let workers = c.u32("workers")?;
+            let min_quorum = c.u32("min_quorum")?;
+            let start_epoch = c.u32("start_epoch")?;
+            let seed = c.u64("seed")?;
+            let task_len = c.u8("task length")? as usize;
+            let task = std::str::from_utf8(c.take(task_len, "task")?)
+                .map_err(|e| format!("task name is not UTF-8: {e}"))?
+                .to_string();
+            ServerMsg::Welcome(JobSpec {
+                task,
+                n,
+                epochs,
+                batch_size,
+                workers,
+                min_quorum,
+                start_epoch,
+                mode,
+                seed,
+            })
+        }
+        KIND_WORK => ServerMsg::Work {
+            epoch: c.u32("epoch")?,
+            batch: c.u32("batch")?,
+            version: c.u64("version")?,
+            params: take_tensors(&mut c)?,
+        },
+        KIND_SHUTDOWN => ServerMsg::Shutdown,
+        KIND_ACK => {
+            let applied = match c.u8("applied")? {
+                0 => false,
+                1 => true,
+                other => return Err(format!("unknown applied byte {other}")),
+            };
+            let version = c.u64("version")?;
+            let params = match c.u8("has_params")? {
+                0 => None,
+                1 => Some(take_tensors(&mut c)?),
+                other => return Err(format!("unknown has_params byte {other}")),
+            };
+            ServerMsg::Ack {
+                applied,
+                version,
+                params,
+            }
+        }
+        KIND_PARAMS => ServerMsg::Params {
+            version: c.u64("version")?,
+            params: take_tensors(&mut c)?,
+        },
+        KIND_ERROR => {
+            let code = c.u8("code")?;
+            let len = c.u16("msg length")? as usize;
+            let msg = std::str::from_utf8(c.take(len, "msg")?)
+                .map_err(|e| format!("error message is not UTF-8: {e}"))?
+                .to_string();
+            ServerMsg::Error { code, msg }
+        }
+        other => return Err(format!("unknown server message tag {other:#04x}")),
+    };
+    if c.remaining() != 0 {
+        return Err(format!(
+            "{} trailing bytes after server message",
+            c.remaining()
+        ));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_client(msg: ClientMsg) {
+        let bytes = encode_client(&msg);
+        let back = decode_client(&bytes).unwrap();
+        assert_eq!(msg, back);
+    }
+
+    fn roundtrip_server(msg: ServerMsg) {
+        let bytes = encode_server(&msg);
+        let back = decode_server(&bytes).unwrap();
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        roundtrip_client(ClientMsg::Hello {
+            worker: 3,
+            incarnation: 2,
+        });
+        roundtrip_client(ClientMsg::GetWork { worker: 1 });
+        roundtrip_client(ClientMsg::PushGrads {
+            worker: 0,
+            epoch: 4,
+            batch: 17,
+            version: 141,
+            loss: 0.25,
+            grads: vec![vec![1.0, -2.5, f32::MIN_POSITIVE], vec![], vec![0.0]],
+        });
+        roundtrip_client(ClientMsg::PullParams { worker: 2 });
+        roundtrip_client(ClientMsg::Heartbeat { worker: 9 });
+        roundtrip_client(ClientMsg::Done { worker: 5 });
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        roundtrip_server(ServerMsg::Welcome(JobSpec {
+            task: "mnist".into(),
+            n: 512,
+            epochs: 3,
+            batch_size: 32,
+            workers: 4,
+            min_quorum: 2,
+            start_epoch: 1,
+            mode: Mode::Async,
+            seed: 42,
+        }));
+        roundtrip_server(ServerMsg::Work {
+            epoch: 1,
+            batch: 7,
+            version: 23,
+            params: vec![vec![0.5; 10], vec![-1.0]],
+        });
+        roundtrip_server(ServerMsg::Shutdown);
+        roundtrip_server(ServerMsg::Ack {
+            applied: true,
+            version: 24,
+            params: None,
+        });
+        roundtrip_server(ServerMsg::Ack {
+            applied: false,
+            version: 24,
+            params: Some(vec![vec![1.5, 2.5]]),
+        });
+        roundtrip_server(ServerMsg::Params {
+            version: 9,
+            params: vec![vec![3.0; 4]],
+        });
+        roundtrip_server(ServerMsg::Error {
+            code: 8,
+            msg: "quorum lost".into(),
+        });
+    }
+
+    #[test]
+    fn tensor_values_roundtrip_bitwise() {
+        let tricky = vec![vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            f32::MIN_POSITIVE,
+            1.0000001,
+        ]];
+        let msg = ServerMsg::Params {
+            version: 1,
+            params: tricky.clone(),
+        };
+        let bytes = encode_server(&msg);
+        let Ok(ServerMsg::Params { params, .. }) = decode_server(&bytes) else {
+            panic!("decode failed");
+        };
+        let want: Vec<u32> = tricky[0].iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = params[0].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn malformed_client_payloads_are_config_errors() {
+        assert!(matches!(
+            decode_client(&[0xFF]),
+            Err(DcnError::Config(_))
+        ));
+        assert!(matches!(decode_client(&[]), Err(DcnError::Config(_))));
+        // Truncated push: header promises tensors that are not there.
+        let mut push = encode_client(&ClientMsg::PushGrads {
+            worker: 0,
+            epoch: 0,
+            batch: 0,
+            version: 0,
+            loss: 0.0,
+            grads: vec![vec![1.0; 8]],
+        });
+        push.truncate(push.len() - 5);
+        assert!(matches!(decode_client(&push), Err(DcnError::Config(_))));
+        // Trailing garbage after a well-formed message.
+        let mut hello = encode_client(&ClientMsg::Hello {
+            worker: 0,
+            incarnation: 0,
+        });
+        hello.push(0);
+        assert!(matches!(decode_client(&hello), Err(DcnError::Config(_))));
+    }
+
+    #[test]
+    fn malformed_server_payloads_are_corrupt_errors() {
+        assert!(matches!(
+            decode_server(&[0xEE]),
+            Err(DcnError::Corrupt(_))
+        ));
+        let mut work = encode_server(&ServerMsg::Work {
+            epoch: 0,
+            batch: 0,
+            version: 0,
+            params: vec![vec![2.0; 4]],
+        });
+        work.truncate(work.len() - 3);
+        assert!(matches!(decode_server(&work), Err(DcnError::Corrupt(_))));
+        // A hostile tensor count is rejected before allocation.
+        let mut bomb = vec![KIND_PARAMS];
+        bomb.extend_from_slice(&0u64.to_le_bytes());
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_server(&bomb), Err(DcnError::Corrupt(_))));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_clean_eof_is_none() {
+        let payload = encode_client(&ClientMsg::Heartbeat { worker: 1 });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(payload));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_frame_is_an_io_error() {
+        let payload = encode_client(&ClientMsg::Heartbeat { worker: 1 });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(DcnError::Io { .. })));
+        // Oversized length prefix is rejected before allocation.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(matches!(read_frame(&mut r), Err(DcnError::Config(_))));
+    }
+}

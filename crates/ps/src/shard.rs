@@ -1,0 +1,363 @@
+//! CRC-sealed parameter shards with crash-safe checkpoints.
+//!
+//! The server's authoritative parameters live in the model, but they are
+//! *owned* in shards: contiguous runs of the `Network::params()` tensor
+//! list, each with its own Adam optimizer. Because Adam's update is
+//! element-independent and its step counter advances once per global batch
+//! on every shard, S per-shard optimizers produce bit-for-bit the same
+//! update one global optimizer would — sharding changes crash granularity
+//! and lock granularity, never the numbers.
+//!
+//! Checkpoints reuse the workspace durability kit: each shard serializes to
+//! JSON, gains a CRC32 footer via `dcn_fault::seal`, and lands via
+//! `write_atomic` (temp file + rename), so a crash mid-checkpoint leaves
+//! either the previous epoch's shard set or the new one — never a torn
+//! shard. A manifest (same sealing) binds the shard set to a job identity
+//! and epoch, and a resumed server refuses shards from a different job.
+
+use std::path::Path;
+
+use dcn_core::DcnError;
+use dcn_nn::{Adam, Network, Optimizer};
+use dcn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The sharded optimizer state for one job.
+pub struct ShardStore {
+    /// Tensor-index range each shard owns, in order.
+    ranges: Vec<std::ops::Range<usize>>,
+    /// One optimizer per shard, aligned with `ranges`.
+    opts: Vec<Adam>,
+}
+
+/// What a shard-checkpoint load found on disk.
+#[derive(Debug)]
+pub struct Resume {
+    /// First epoch still to run.
+    pub epoch: usize,
+    /// Parameter version (total applied batches) at the checkpoint.
+    pub version: u64,
+    /// Mean losses of the completed epochs.
+    pub epoch_losses: Vec<f32>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ShardFile {
+    shard: usize,
+    first_tensor: usize,
+    params: Vec<Vec<f32>>,
+    optimizer: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    task: String,
+    n: usize,
+    seed: u64,
+    shards: usize,
+    epoch: usize,
+    version: u64,
+    epoch_losses: Vec<f32>,
+}
+
+impl ShardStore {
+    /// Creates `shards` shards over a model with `num_tensors` parameter
+    /// tensors (capped at one shard per tensor), each with a fresh
+    /// `Adam::new(lr)`.
+    pub fn new(num_tensors: usize, shards: usize, lr: f32) -> Self {
+        let shards = shards.clamp(1, num_tensors.max(1));
+        let mut ranges = Vec::with_capacity(shards);
+        let mut opts = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let start = s * num_tensors / shards;
+            let end = (s + 1) * num_tensors / shards;
+            ranges.push(start..end);
+            opts.push(Adam::new(lr));
+        }
+        ShardStore { ranges, opts }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the store holds no shards (it never does by construction;
+    /// present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Applies one batch of gradients shard by shard, in fixed shard order.
+    /// Equivalent bitwise to a single global `Adam::step` over all tensors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer shape/count mismatches as [`DcnError`].
+    pub fn apply(&mut self, net: &mut Network, grads: &[Tensor]) -> Result<(), DcnError> {
+        let mut params = net.params_mut();
+        if grads.len() != params.len() {
+            return Err(DcnError::Config(format!(
+                "gradient push carries {} tensors, model has {}",
+                grads.len(),
+                params.len()
+            )));
+        }
+        for (range, opt) in self.ranges.iter().zip(self.opts.iter_mut()) {
+            opt.step(&mut params[range.clone()], &grads[range.clone()])?;
+        }
+        Ok(())
+    }
+
+    /// Writes the shard set and manifest for `(epoch, version)` to `dir`,
+    /// each file sealed with a CRC footer and written atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`DcnError::Io`] on filesystem failure, [`DcnError::Corrupt`] on
+    /// serialization failure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn checkpoint(
+        &self,
+        net: &Network,
+        dir: &Path,
+        task: &str,
+        n: usize,
+        seed: u64,
+        epoch: usize,
+        version: u64,
+        epoch_losses: &[f32],
+    ) -> Result<(), DcnError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("ps.shard.mkdir", dir, &e))?;
+        let flats = net.export_param_data();
+        for (s, (range, opt)) in self.ranges.iter().zip(self.opts.iter()).enumerate() {
+            let file = ShardFile {
+                shard: s,
+                first_tensor: range.start,
+                params: flats[range.clone()].to_vec(),
+                optimizer: opt.export_state()?,
+            };
+            let json = serde_json::to_string(&file)
+                .map_err(|e| DcnError::Corrupt(format!("encoding shard {s}: {e}")))?;
+            let path = dir.join(format!("shard-{s}.json"));
+            dcn_fault::write_atomic(&path, dcn_fault::seal(&json).as_bytes(), "ps.shard.write")
+                .map_err(|e| io_err("ps.shard.write_err", &path, &e))?;
+        }
+        let manifest = Manifest {
+            task: task.to_string(),
+            n,
+            seed,
+            shards: self.ranges.len(),
+            epoch,
+            version,
+            epoch_losses: epoch_losses.to_vec(),
+        };
+        let json = serde_json::to_string(&manifest)
+            .map_err(|e| DcnError::Corrupt(format!("encoding shard manifest: {e}")))?;
+        let path = dir.join("manifest.json");
+        // The manifest lands last: a crash between shard writes and the
+        // manifest leaves the previous manifest pointing at the previous
+        // (still intact, atomically-replaced) shard set.
+        dcn_fault::write_atomic(&path, dcn_fault::seal(&json).as_bytes(), "ps.shard.manifest")
+            .map_err(|e| io_err("ps.shard.manifest_err", &path, &e))?;
+        if dcn_obs::enabled() {
+            dcn_obs::counter(crate::names::PS_SHARD_CHECKPOINTS_TOTAL).inc();
+        }
+        Ok(())
+    }
+
+    /// Loads a shard checkpoint from `dir` into `net` and this store,
+    /// verifying CRCs and the job identity. `Ok(None)` means no manifest —
+    /// a fresh start, not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`DcnError::Corrupt`] for CRC/parse failures or a shard-count
+    /// mismatch, [`DcnError::Config`] for a manifest from a different job,
+    /// [`DcnError::Io`] for unreadable shard files.
+    pub fn load(
+        &mut self,
+        net: &mut Network,
+        dir: &Path,
+        task: &str,
+        n: usize,
+        seed: u64,
+    ) -> Result<Option<Resume>, DcnError> {
+        let manifest_path = dir.join("manifest.json");
+        if !manifest_path.exists() {
+            return Ok(None);
+        }
+        let policy = dcn_fault::RetryPolicy::default();
+        let raw = dcn_fault::read_with_retry(&manifest_path, &policy, "ps.shard.manifest_read")
+            .map_err(|e| io_err("ps.shard.manifest_read_err", &manifest_path, &e))?;
+        let json = dcn_fault::unseal(&raw)
+            .map_err(|e| DcnError::Corrupt(format!("shard manifest: {e}")))?;
+        let manifest: Manifest = serde_json::from_str(json)
+            .map_err(|e| DcnError::Corrupt(format!("shard manifest: {e}")))?;
+        if manifest.task != task || manifest.n != n || manifest.seed != seed {
+            return Err(DcnError::Config(format!(
+                "shard checkpoint belongs to job (task={}, n={}, seed={}), not (task={task}, n={n}, seed={seed})",
+                manifest.task, manifest.n, manifest.seed
+            )));
+        }
+        if manifest.shards != self.ranges.len() {
+            return Err(DcnError::Corrupt(format!(
+                "manifest says {} shards, store is configured for {}",
+                manifest.shards,
+                self.ranges.len()
+            )));
+        }
+        let mut flats = net.export_param_data();
+        for (s, (range, opt)) in self.ranges.iter().zip(self.opts.iter_mut()).enumerate() {
+            let path = dir.join(format!("shard-{s}.json"));
+            let raw = dcn_fault::read_with_retry(&path, &policy, "ps.shard.read")
+                .map_err(|e| io_err("ps.shard.read_err", &path, &e))?;
+            let json = dcn_fault::unseal(&raw)
+                .map_err(|e| DcnError::Corrupt(format!("shard {s}: {e}")))?;
+            let file: ShardFile = serde_json::from_str(json)
+                .map_err(|e| DcnError::Corrupt(format!("shard {s}: {e}")))?;
+            if file.shard != s
+                || file.first_tensor != range.start
+                || file.params.len() != range.len()
+            {
+                return Err(DcnError::Corrupt(format!(
+                    "shard {s} layout disagrees with the manifest shard grid"
+                )));
+            }
+            flats[range.clone()].clone_from_slice(&file.params);
+            opt.import_state(&file.optimizer)?;
+        }
+        net.import_param_data(&flats)?;
+        net.validate_finite()?;
+        Ok(Some(Resume {
+            epoch: manifest.epoch,
+            version: manifest.version,
+            epoch_losses: manifest.epoch_losses,
+        }))
+    }
+}
+
+fn io_err(site: &str, path: &Path, e: &std::io::Error) -> DcnError {
+    DcnError::Io {
+        site: site.to_string(),
+        kind: e.kind(),
+        msg: format!("{}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(3);
+        dcn_core::models::mlp(6, 5, 3, &mut rng).unwrap()
+    }
+
+    fn fake_grads(net: &Network, scale: f32) -> Vec<Tensor> {
+        net.params()
+            .iter()
+            .map(|p| {
+                let vals: Vec<f32> = (0..p.len()).map(|i| scale * (i as f32 + 1.0)).collect();
+                Tensor::from_vec(p.shape().to_vec(), vals).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_apply_matches_global_adam_bitwise() {
+        let mut a = tiny_net();
+        let mut b = a.clone();
+        let mut store = ShardStore::new(a.params().len(), 3, 0.002);
+        let mut global = Adam::new(0.002);
+        for step in 0..5 {
+            let grads = fake_grads(&a, 0.1 * (step as f32 + 1.0));
+            store.apply(&mut a, &grads).unwrap();
+            let mut params = b.params_mut();
+            global.step(&mut params, &grads).unwrap();
+        }
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_params_and_optimizer_state() {
+        let dir = std::env::temp_dir().join(format!("dcn_ps_shard_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut net = tiny_net();
+        let mut store = ShardStore::new(net.params().len(), 2, 0.002);
+        let grads = fake_grads(&net, 0.5);
+        store.apply(&mut net, &grads).unwrap();
+        store
+            .checkpoint(&net, &dir, "mnist", 99, 7, 2, 11, &[0.5, 0.4])
+            .unwrap();
+
+        let mut fresh = tiny_net();
+        let mut restored = ShardStore::new(fresh.params().len(), 2, 0.002);
+        let resume = restored
+            .load(&mut fresh, &dir, "mnist", 99, 7)
+            .unwrap()
+            .unwrap();
+        assert_eq!(resume.epoch, 2);
+        assert_eq!(resume.version, 11);
+        assert_eq!(resume.epoch_losses, vec![0.5, 0.4]);
+        assert_eq!(fresh.to_json().unwrap(), net.to_json().unwrap());
+
+        // The restored optimizer continues bitwise-identically.
+        let grads2 = fake_grads(&net, 0.25);
+        store.apply(&mut net, &grads2).unwrap();
+        restored.apply(&mut fresh, &grads2).unwrap();
+        assert_eq!(fresh.to_json().unwrap(), net.to_json().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_job_identity_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("dcn_ps_shardid_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let net = tiny_net();
+        let store = ShardStore::new(net.params().len(), 2, 0.002);
+        store
+            .checkpoint(&net, &dir, "mnist", 99, 7, 1, 5, &[0.9])
+            .unwrap();
+        let mut fresh = tiny_net();
+        let mut other = ShardStore::new(fresh.params().len(), 2, 0.002);
+        let err = other.load(&mut fresh, &dir, "mnist", 99, 8).unwrap_err();
+        assert!(matches!(err, DcnError::Config(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_shard_fails_closed() {
+        let dir = std::env::temp_dir().join(format!("dcn_ps_shardcrc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let net = tiny_net();
+        let store = ShardStore::new(net.params().len(), 2, 0.002);
+        store
+            .checkpoint(&net, &dir, "mnist", 99, 7, 1, 5, &[0.9])
+            .unwrap();
+        // Flip a payload byte in shard 0; the CRC footer must catch it.
+        let path = dir.join("shard-0.json");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut fresh = tiny_net();
+        let mut other = ShardStore::new(fresh.params().len(), 2, 0.002);
+        let err = other.load(&mut fresh, &dir, "mnist", 99, 7).unwrap_err();
+        assert!(matches!(err, DcnError::Corrupt(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_means_fresh_start() {
+        let dir = std::env::temp_dir().join(format!("dcn_ps_shardfresh_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut net = tiny_net();
+        let mut store = ShardStore::new(net.params().len(), 2, 0.002);
+        assert!(store
+            .load(&mut net, &dir, "mnist", 99, 7)
+            .unwrap()
+            .is_none());
+    }
+}

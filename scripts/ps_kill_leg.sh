@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# SIGKILL-a-worker-mid-epoch leg for the distributed CI job.
+#
+# Runs the dcn-ps orchestrator (in-process server + worker child
+# processes), SIGKILLs one worker partway through training, waits for
+# the respawned incarnation to finish the run, and asserts the saved
+# model is byte-identical to the single-process reference the caller
+# already produced.
+#
+# Must run as a script FILE, not an inline `bash -c` string: an inline
+# command's own cmdline contains this text, so any pgrep pattern that
+# names the worker would match (and kill) the monitoring shell itself.
+# The bracket trick in 'dcn-ps wo[r]ker' keeps the pattern from
+# matching its own pgrep invocation for the same reason.
+#
+# Usage: ps_kill_leg.sh <reference-model.json> <output-model.json>
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REF=${1:?usage: ps_kill_leg.sh <reference-model.json> <output-model.json>}
+OUT=${2:?usage: ps_kill_leg.sh <reference-model.json> <output-model.json>}
+BIN=target/release/dcn-ps
+LOG=$(mktemp)
+
+rm -f "$OUT"
+# n=4096 x 2 epochs runs ~4-6s; the kill at 2.5s lands mid-run.
+"$BIN" train --task mnist --n 4096 --epochs 2 --seed 7 --workers 2 \
+    --straggler-ms 500 --out "$OUT" >"$LOG" 2>&1 &
+ORCH=$!
+
+sleep 2.5
+W=$(pgrep -f 'dcn-ps wo[r]ker' | head -1 || true)
+if [ -z "$W" ]; then
+    echo "no live worker to kill — run finished too fast or never started"
+    cat "$LOG"
+    exit 1
+fi
+kill -9 "$W"
+echo "SIGKILLed worker pid $W mid-epoch"
+
+wait "$ORCH"
+echo "orchestrator exit: $?"
+grep -E 'respawning|workers_lost' "$LOG" || true
+
+cmp "$REF" "$OUT"
+echo "model after SIGKILL + respawn is bitwise identical to the single-process run"
