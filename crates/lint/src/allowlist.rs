@@ -10,9 +10,13 @@
 //!   allowance must be lowered so the improvement can never silently
 //!   regress;
 //! * an entry naming a file that no longer exists fails — dead allowances
-//!   are not allowed to linger.
+//!   are not allowed to linger;
+//! * an entry that no longer matches a real site fails — a zero-count
+//!   allowance, or a file the rule does not even scan (moved out of the
+//!   rule's crates/dirs), is stale and must be deleted, so the lists can
+//!   only shrink in fact, not just by convention.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 /// A parsed allowlist: workspace-relative path → allowed finding count.
@@ -78,10 +82,13 @@ impl Allowlist {
 
     /// Applies shrink-only semantics: marks findings covered by an
     /// allowance as allowlisted and returns the allowlist-level violations
-    /// (over allowance, under allowance, dead entries).
+    /// (over allowance, under allowance, dead and stale entries).
+    /// `scanned` is the set of workspace-relative files the rule actually
+    /// inspected — an entry outside it can never match a real site again.
     pub fn apply(
         &self,
         root: &Path,
+        scanned: &BTreeSet<String>,
         findings: &mut [crate::findings::Finding],
     ) -> Vec<AllowlistViolation> {
         let mut per_file: BTreeMap<String, usize> = BTreeMap::new();
@@ -110,10 +117,27 @@ impl Allowlist {
         }
         for (file, &allowance) in &self.entries {
             let hits = per_file.get(file.as_str()).copied().unwrap_or(0);
-            if !root.join(file).is_file() {
+            if allowance == 0 {
+                violations.push(AllowlistViolation {
+                    file: file.clone(),
+                    message: format!(
+                        "{file}: zero-count entry in {} is stale — delete the line",
+                        self.source
+                    ),
+                });
+            } else if !root.join(file).is_file() {
                 violations.push(AllowlistViolation {
                     file: file.clone(),
                     message: format!("{} lists missing file {file}", self.source),
+                });
+            } else if hits == 0 && !scanned.contains(file.as_str()) {
+                violations.push(AllowlistViolation {
+                    file: file.clone(),
+                    message: format!(
+                        "{file}: entry in {} is stale — the rule no longer scans this \
+                         file, so the allowance can never match a real site; delete it",
+                        self.source
+                    ),
                 });
             } else if hits < allowance {
                 violations.push(AllowlistViolation {
@@ -160,10 +184,12 @@ mod tests {
         std::fs::write(dir.join("crates/x/src/a.rs"), "").expect("write");
         std::fs::write(dir.join("crates/x/src/b.rs"), "").expect("write");
 
+        let scanned: BTreeSet<String> =
+            ["crates/x/src/a.rs", "crates/x/src/b.rs"].map(String::from).into();
         let (a, _) = Allowlist::parse("t.txt", "1 crates/x/src/a.rs\n2 crates/x/src/b.rs\n");
         // a.rs: exactly at allowance → silent. b.rs: under allowance → fail.
         let mut f = vec![finding("crates/x/src/a.rs"), finding("crates/x/src/b.rs")];
-        let v = a.apply(&dir, &mut f);
+        let v = a.apply(&dir, &scanned, &mut f);
         assert!(f[0].allowlisted && f[1].allowlisted);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("shrink"));
@@ -171,7 +197,7 @@ mod tests {
         // Over allowance → fail, findings stay visible.
         let mut f = vec![finding("crates/x/src/a.rs"), finding("crates/x/src/a.rs")];
         let (a1, _) = Allowlist::parse("t.txt", "1 crates/x/src/a.rs\n");
-        let v = a1.apply(&dir, &mut f);
+        let v = a1.apply(&dir, &scanned, &mut f);
         assert!(!f[0].allowlisted && !f[1].allowlisted);
         assert!(v.iter().any(|x| x.message.contains("allowance is 1")));
     }
@@ -182,8 +208,29 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("mkdir");
         let (a, _) = Allowlist::parse("t.txt", "1 crates/gone/src/x.rs\n");
         let mut f: Vec<Finding> = Vec::new();
-        let v = a.apply(&dir, &mut f);
+        let v = a.apply(&dir, &BTreeSet::new(), &mut f);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("missing file"));
+    }
+
+    #[test]
+    fn stale_entries_fail() {
+        let dir = std::env::temp_dir().join("dcn_lint_allowlist_stale");
+        std::fs::create_dir_all(dir.join("crates/x/src")).expect("mkdir");
+        std::fs::write(dir.join("crates/x/src/a.rs"), "").expect("write");
+
+        // The file exists on disk but the rule no longer scans it: stale.
+        let (a, _) = Allowlist::parse("t.txt", "1 crates/x/src/a.rs\n");
+        let mut f: Vec<Finding> = Vec::new();
+        let v = a.apply(&dir, &BTreeSet::new(), &mut f);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("stale"), "{}", v[0].message);
+
+        // A zero-count allowance can never match a real site: stale too.
+        let scanned: BTreeSet<String> = ["crates/x/src/a.rs".to_string()].into();
+        let (a0, _) = Allowlist::parse("t.txt", "0 crates/x/src/a.rs\n");
+        let v = a0.apply(&dir, &scanned, &mut f);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("zero-count"), "{}", v[0].message);
     }
 }

@@ -1,7 +1,7 @@
 //! The analysis engine: walks the workspace, runs rules over lexed files,
 //! applies shrink-only allowlists, and assembles the report.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -145,8 +145,8 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Runs `rules` (all six when `only` is `None`) over the workspace at
-/// `root`, applying each rule's allowlist from `ci/lint/`.
+/// Runs `rules` (the full registry when `only` is `None`) over the
+/// workspace at `root`, applying each rule's allowlist from `ci/lint/`.
 pub fn run(root: &Path, only: Option<&[String]>) -> Result<Report, LintError> {
     let mut rules: Vec<Box<dyn Rule>> = registry();
     if let Some(names) = only {
@@ -163,7 +163,7 @@ pub fn run(root: &Path, only: Option<&[String]>) -> Result<Report, LintError> {
     let mut reports = Vec::new();
     for rule in &mut rules {
         let mut findings = Vec::new();
-        let mut files_scanned = 0usize;
+        let mut scanned: BTreeSet<String> = BTreeSet::new();
         for krate in rule.crates() {
             for dir in rule.dirs() {
                 for path in rs_files(root, krate, dir)? {
@@ -175,12 +175,14 @@ pub fn run(root: &Path, only: Option<&[String]>) -> Result<Report, LintError> {
                     }
                     if let Some(file) = cache.get(&path) {
                         rule.check_file(file, &mut findings);
-                        files_scanned += 1;
+                        scanned.insert(file.path.clone());
                     }
                 }
             }
         }
+        rule.check_aux(root, &mut findings);
         rule.finish(&mut findings);
+        let files_scanned = scanned.len();
 
         let allow_path = root.join("ci").join("lint").join(rule.allowlist());
         let allow_text = std::fs::read_to_string(&allow_path)
@@ -191,7 +193,7 @@ pub fn run(root: &Path, only: Option<&[String]>) -> Result<Report, LintError> {
             parse_violations.into_iter().map(|v| v.message).collect();
         allowlist_violations.extend(
             allowlist
-                .apply(root, &mut findings)
+                .apply(root, &scanned, &mut findings)
                 .into_iter()
                 .map(|v| v.message),
         );

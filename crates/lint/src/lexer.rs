@@ -293,6 +293,15 @@ pub fn lex(src: &str) -> Vec<Token> {
         line: 1,
     };
     let mut tokens = Vec::new();
+    // A shebang (`#!` at the very start of the file, not followed by `[`)
+    // is not an inner attribute: rustc strips the whole first line. Without
+    // this carve-out the line degrades to `#`/`!`/ident soup and its text
+    // gets audited as code.
+    if s.peek(0) == Some('#') && s.peek(1) == Some('!') && s.peek(2) != Some('[') {
+        let mut text = String::new();
+        s.line_comment(&mut text);
+        tokens.push(Token { kind: TokenKind::Comment, text, line: 1 });
+    }
     while let Some(c) = s.peek(0) {
         let line = s.line;
         match c {
@@ -504,6 +513,23 @@ mod tests {
         assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "0"));
         assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "10"));
         assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && t == "1.5e3"));
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment_not_attribute_or_code() {
+        // `#!` at file start without `[` is a shebang: one Comment token
+        // covering the whole line, nothing from it audited as code.
+        let toks = kinds("#!/usr/bin/env cargo-eval panic!\nfn main() {}\n");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert!(toks[0].1.contains("/usr/bin/env"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "panic"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "main"));
+        // `#![...]` at file start is still an inner attribute…
+        let toks = kinds("#![deny(missing_docs)]\nfn f() {}\n");
+        assert_eq!(toks[0].0, TokenKind::Attr);
+        // …and a `#!` later in the file is untouched (two Punct tokens).
+        let toks = kinds("fn f() {}\n#!x\n");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == "#"));
     }
 
     #[test]

@@ -1,19 +1,25 @@
 //! # dcn-lint
 //!
 //! Workspace-native static analysis for the DCN reproduction: a
-//! zero-dependency, std-only engine with a token-level Rust lexer and six
-//! rules machine-checking the invariants the serving stack's guarantees
-//! rest on — bitwise determinism, panic-freedom, audited `unsafe`, and the
-//! error/fault/observability site registries.
+//! zero-dependency, std-only engine with a token-level Rust lexer, a
+//! scope layer ([`scope`]) computing guard live-ranges, and ten rules
+//! machine-checking the invariants the serving stack's guarantees rest
+//! on — bitwise determinism, panic-freedom, audited `unsafe`, the
+//! error/fault/observability site registries, and concurrency safety
+//! (lock scope, lock order, poison handling, exit-code agreement).
 //!
-//! | rule          | invariant                                                         |
-//! |---------------|-------------------------------------------------------------------|
-//! | `panic-free`  | serving-path code returns typed errors, never panics              |
-//! | `determinism` | numeric crates read no clocks, environment, entropy, hash maps    |
-//! | `unsafe-audit`| every `unsafe` carries a `// SAFETY:` justification               |
-//! | `error-site`  | error site strings: non-empty, dotted, unique per file            |
-//! | `obs-naming`  | metric/span names: `snake_case.dotted`, minted exactly once       |
-//! | `fault-site`  | fault-injection sites: plan grammar, registered exactly once      |
+//! | rule                 | invariant                                                      |
+//! |----------------------|----------------------------------------------------------------|
+//! | `panic-free`         | serving-path code returns typed errors, never panics           |
+//! | `determinism`        | numeric crates read no clocks, environment, entropy, hash maps |
+//! | `unsafe-audit`       | every `unsafe` carries a `// SAFETY:` justification            |
+//! | `error-site`         | error site strings: non-empty, dotted, unique per file         |
+//! | `obs-naming`         | metric/span names: `snake_case.dotted`, minted exactly once    |
+//! | `fault-site`         | fault-injection sites: plan grammar, registered exactly once   |
+//! | `lock-scope`         | no blocking call while a lock guard binding is live            |
+//! | `lock-order`         | static acquisition graph is acyclic and matches the canon file |
+//! | `poison-policy`      | every `.lock()` handles `PoisonError` with the one idiom       |
+//! | `exit-code-registry` | `DcnError` ↔ exit-code table agrees across crates and docs     |
 //!
 //! Each rule is gated by a SHRINK-ONLY allowlist under `ci/lint/`: counts
 //! may only go down, so every improvement is locked in and every new
@@ -33,6 +39,7 @@ pub mod engine;
 pub mod findings;
 pub mod lexer;
 pub mod rules;
+pub mod scope;
 pub mod source;
 
 pub use engine::{find_root, run, LintError, Report, RuleReport};

@@ -1,0 +1,445 @@
+//! `exit-code-registry`: the `DcnError` variant ↔ process exit-code table
+//! agrees everywhere it is spelled.
+//!
+//! The table below is the registry — this rule is the arbiter copy, so
+//! "agrees with the lint itself" holds by construction. It is checked
+//! against:
+//!
+//! * the taxonomy: the `fn exit_code` match in `crates/core/src/error.rs`
+//!   (every canonical variant present, mapped to its canonical code, the
+//!   wildcard arm mapped to 1, nothing else);
+//! * every usage string in the audited crates that mentions "exit code"
+//!   and lists `<code> <label>` entries (both CLIs' `--help` text) —
+//!   entries must cover 0–8 exactly once each with the canonical labels;
+//! * the operator documentation: the markdown table in DESIGN.md §10
+//!   (via `check_aux`, so fixture tests exercise the source checks alone).
+//!
+//! | code | label        | variant      |
+//! |------|--------------|--------------|
+//! | 0    | ok           | —            |
+//! | 1    | other        | any other    |
+//! | 2    | config…      | `Config`     |
+//! | 3    | io           | `Io`         |
+//! | 4    | corrupt…     | `Corrupt`    |
+//! | 5    | non-finite   | `NonFinite`  |
+//! | 6    | overloaded   | `Overloaded` |
+//! | 7    | peer lost    | `PeerLost`   |
+//! | 8    | quorum lost  | `QuorumLost` |
+
+use std::path::Path;
+
+use super::Rule;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Canonical `(code, label prefix, DcnError variant)` rows for codes with
+/// a dedicated variant. Labels in usage text may extend the prefix
+/// (`config` matches both "config" and "configuration").
+const CANON: &[(u32, &str, &str)] = &[
+    (2, "config", "Config"),
+    (3, "io", "Io"),
+    (4, "corrupt", "Corrupt"),
+    (5, "non-finite", "NonFinite"),
+    (6, "overloaded", "Overloaded"),
+    (7, "peer lost", "PeerLost"),
+    (8, "quorum lost", "QuorumLost"),
+];
+
+fn label_prefix(code: u32) -> &'static str {
+    match code {
+        0 => "ok",
+        1 => "other",
+        _ => CANON
+            .iter()
+            .find(|(c, _, _)| *c == code)
+            .map_or("?", |(_, l, _)| l),
+    }
+}
+
+/// See the module docs.
+#[derive(Default)]
+pub struct ExitCodeRegistry {
+    /// Whether `check_aux` ran (workspace mode: enforce presence too).
+    workspace: bool,
+    /// Files where an `fn exit_code` taxonomy was found.
+    taxonomies: usize,
+    /// Usage tables found: `(file, line)`.
+    usages: Vec<(String, u32)>,
+}
+
+impl Rule for ExitCodeRegistry {
+    fn name(&self) -> &'static str {
+        "exit-code-registry"
+    }
+
+    fn description(&self) -> &'static str {
+        "the DcnError variant <-> exit-code table agrees across core, CLIs, and DESIGN.md"
+    }
+
+    fn crates(&self) -> &'static [&'static str] {
+        // Scoped to the crates that spell the table: the taxonomy (core)
+        // and the operator-facing CLIs. dcn-lint's own 0/1/2/3 CLI codes
+        // are a different registry and must not collide here.
+        &["core", "cli", "serve", "ps"]
+    }
+
+    fn allowlist(&self) -> &'static str {
+        "exit_code_registry_allowlist.txt"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        self.check_taxonomy(file, out);
+        self.check_usage_strings(file, out);
+    }
+
+    fn check_aux(&mut self, root: &Path, out: &mut Vec<Finding>) {
+        self.workspace = true;
+        let path = root.join("DESIGN.md");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                out.push(doc_finding(0, format!("cannot read DESIGN.md: {e}")));
+                return;
+            }
+        };
+        let mut rows = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if !line.starts_with('|') {
+                continue;
+            }
+            let cells: Vec<String> = line
+                .split('|')
+                .map(|c| c.trim().replace('`', ""))
+                .collect();
+            // `| 3 | io | Io |` splits into ["", "3", "io", "Io", ""].
+            if cells.len() < 4 {
+                continue;
+            }
+            let Ok(code) = cells[1].parse::<u32>() else {
+                continue;
+            };
+            rows.push((ln as u32 + 1, code, cells[2].clone(), cells[3].clone()));
+        }
+        if rows.is_empty() {
+            out.push(doc_finding(
+                0,
+                "DESIGN.md has no machine-checkable exit-code table (markdown rows \
+                 `| <code> | <label> | <variant> |`)"
+                    .to_string(),
+            ));
+            return;
+        }
+        let mut seen = Vec::new();
+        for (line, code, label, variant) in &rows {
+            if seen.contains(code) {
+                out.push(doc_finding(
+                    *line,
+                    format!("exit code {code} appears twice in the DESIGN.md table"),
+                ));
+                continue;
+            }
+            seen.push(*code);
+            if *code > 8 {
+                out.push(doc_finding(
+                    *line,
+                    format!("exit code {code} is outside the registry (0-8)"),
+                ));
+                continue;
+            }
+            let want = label_prefix(*code);
+            if !label.to_lowercase().starts_with(want) {
+                out.push(doc_finding(
+                    *line,
+                    format!(
+                        "DESIGN.md labels exit code {code} {label:?}; the registry says \
+                         {want:?}"
+                    ),
+                ));
+            }
+            if let Some((_, _, v)) = CANON.iter().find(|(c, _, _)| c == code) {
+                if variant != v {
+                    out.push(doc_finding(
+                        *line,
+                        format!(
+                            "DESIGN.md maps exit code {code} to variant {variant:?}; the \
+                             taxonomy says `{v}`"
+                        ),
+                    ));
+                }
+            }
+        }
+        for code in 0..=8u32 {
+            if !seen.contains(&code) {
+                out.push(doc_finding(
+                    0,
+                    format!("DESIGN.md exit-code table is missing code {code}"),
+                ));
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Finding>) {
+        if !self.workspace {
+            return;
+        }
+        if self.taxonomies == 0 {
+            out.push(doc_finding(
+                0,
+                "no `fn exit_code` taxonomy found in the audited crates — the registry \
+                 has lost its source of truth"
+                    .to_string(),
+            ));
+        }
+        // Each operator-facing binary spells the table once in its usage.
+        if self.usages.len() < 3 {
+            let found: Vec<String> = self
+                .usages
+                .iter()
+                .map(|(f, l)| format!("{f}:{l}"))
+                .collect();
+            out.push(doc_finding(
+                0,
+                format!(
+                    "expected an exit-code table in each CLI usage string (dcn, \
+                     dcn-serve, dcn-ps) but found {} ({})",
+                    self.usages.len(),
+                    found.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+impl ExitCodeRegistry {
+    /// Parses and validates a `fn exit_code` match body.
+    fn check_taxonomy(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let n = file.tokens.len();
+        for i in 0..n {
+            if !file.is_code(i)
+                || !file.tokens[i].is_ident("fn")
+                || !file
+                    .next_code(i)
+                    .is_some_and(|f| file.tokens[f].is_ident("exit_code"))
+            {
+                continue;
+            }
+            self.taxonomies += 1;
+            // The fn body: from its first `{` to the matching `}`.
+            let mut j = i;
+            while j < n && !file.tokens[j].is_punct("{") {
+                j += 1;
+            }
+            let body_start = j;
+            let mut depth = 0i32;
+            while j < n {
+                match file.tokens[j].text.as_str() {
+                    "{" if file.tokens[j].kind == TokenKind::Punct => depth += 1,
+                    "}" if file.tokens[j].kind == TokenKind::Punct => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let body_end = j.min(n);
+            let mut arms: Vec<(String, u32, u32)> = Vec::new();
+            let mut k = body_start;
+            while k < body_end {
+                let tok = &file.tokens[k];
+                let variant = if tok.is_ident("DcnError") {
+                    let v = file
+                        .next_code(k)
+                        .filter(|&c| file.tokens[c].is_punct("::"))
+                        .and_then(|c| file.next_code(c))
+                        .filter(|&v| file.tokens[v].kind == TokenKind::Ident);
+                    v.map(|v| file.tokens[v].text.clone())
+                } else if tok.is_ident("_") {
+                    Some("_".to_string())
+                } else {
+                    None
+                };
+                let Some(variant) = variant else {
+                    k += 1;
+                    continue;
+                };
+                // Scan forward to `=` `>` then the arm's code literal.
+                let mut m = k + 1;
+                let mut code = None;
+                while m + 1 < body_end {
+                    if file.tokens[m].is_punct("=") && file.tokens[m + 1].is_punct(">") {
+                        let num = file.next_code(m + 1);
+                        code = num.and_then(|x| file.tokens[x].text.parse::<u32>().ok());
+                        break;
+                    }
+                    if file.tokens[m].is_punct(",") {
+                        break;
+                    }
+                    m += 1;
+                }
+                if let Some(code) = code {
+                    arms.push((variant, code, tok.line));
+                }
+                k = m + 1;
+            }
+            for (variant, code, line) in &arms {
+                let want = if variant == "_" {
+                    Some(1)
+                } else {
+                    CANON
+                        .iter()
+                        .find(|(_, _, v)| v == variant)
+                        .map(|(c, _, _)| *c)
+                };
+                match want {
+                    Some(w) if w != *code => out.push(code_finding(
+                        file,
+                        *line,
+                        format!(
+                            "taxonomy maps `{variant}` to exit code {code}; the registry \
+                             says {w}"
+                        ),
+                    )),
+                    None => out.push(code_finding(
+                        file,
+                        *line,
+                        format!(
+                            "taxonomy arm `{variant}` (code {code}) is not in the exit-code \
+                             registry — extend the registry (rule, CLIs, DESIGN.md) first"
+                        ),
+                    )),
+                    _ => {}
+                }
+            }
+            for (code, _, variant) in CANON {
+                if !arms.iter().any(|(v, _, _)| v == variant) {
+                    out.push(code_finding(
+                        file,
+                        file.tokens[i].line,
+                        format!(
+                            "taxonomy is missing the `{variant}` arm (exit code {code})"
+                        ),
+                    ));
+                }
+            }
+            if !arms.iter().any(|(v, _, _)| v == "_") {
+                out.push(code_finding(
+                    file,
+                    file.tokens[i].line,
+                    "taxonomy is missing the wildcard arm (exit code 1)".to_string(),
+                ));
+            }
+        }
+    }
+
+    /// Parses and validates `<code> <label>` tables in usage strings.
+    fn check_usage_strings(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for i in 0..file.tokens.len() {
+            if !file.is_code(i) || file.tokens[i].kind != TokenKind::Str {
+                continue;
+            }
+            let text = file.tokens[i].text.to_lowercase();
+            let Some(at) = text.rfind("exit code") else {
+                continue;
+            };
+            let entries = parse_entries(&text[at..]);
+            if entries.is_empty() {
+                // A prose mention, not a table.
+                continue;
+            }
+            let line = file.tokens[i].line;
+            self.usages.push((file.path.clone(), line));
+            let mut seen = Vec::new();
+            for (code, label) in &entries {
+                if seen.contains(code) {
+                    out.push(code_finding(
+                        file,
+                        line,
+                        format!("usage table lists exit code {code} twice"),
+                    ));
+                    continue;
+                }
+                seen.push(*code);
+                if *code > 8 {
+                    out.push(code_finding(
+                        file,
+                        line,
+                        format!("usage table lists exit code {code}, outside the registry (0-8)"),
+                    ));
+                    continue;
+                }
+                let want = label_prefix(*code);
+                if !label.starts_with(want) {
+                    out.push(code_finding(
+                        file,
+                        line,
+                        format!(
+                            "usage table labels exit code {code} {label:?}; the registry \
+                             says {want:?}"
+                        ),
+                    ));
+                }
+            }
+            for code in 0..=8u32 {
+                if !seen.contains(&code) {
+                    out.push(code_finding(
+                        file,
+                        line,
+                        format!("usage exit-code table is missing code {code}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Splits the text after "exit code" into `(code, label)` entries:
+/// comma-separated, each `<digits> <label…>`, parentheticals stripped.
+fn parse_entries(text: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for piece in text.split(',') {
+        let piece = piece.trim_start_matches(|c: char| !c.is_ascii_digit());
+        let digits: String = piece.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            continue;
+        }
+        let Ok(code) = digits.parse::<u32>() else {
+            continue;
+        };
+        let label = piece[digits.len()..]
+            .split('(')
+            .next()
+            .unwrap_or("")
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push((code, label));
+    }
+    out
+}
+
+fn code_finding(file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "exit-code-registry",
+        file: file.path.clone(),
+        line,
+        snippet: file.snippet(line),
+        message,
+        allowlisted: false,
+    }
+}
+
+fn doc_finding(line: u32, message: String) -> Finding {
+    Finding {
+        rule: "exit-code-registry",
+        file: "DESIGN.md".to_string(),
+        line,
+        snippet: String::new(),
+        message,
+        allowlisted: false,
+    }
+}

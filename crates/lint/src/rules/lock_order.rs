@@ -1,0 +1,304 @@
+//! `lock-order`: the static lock-acquisition graph is acyclic and agrees
+//! with the canonical order file `ci/lint/lock_order.txt`.
+//!
+//! Locks in the serving and PS planes are `dcn_obs::ordered::Mutex`es,
+//! each constructed with a unique dotted site name. This rule rebuilds the
+//! *static* acquisition graph: every `ordered::Mutex::new(…, "site")`
+//! construction is a node, and a guard binding whose `let` falls inside
+//! another guard's live-range (different receivers) is an edge
+//! `outer → inner`. It then checks:
+//!
+//! * site names are well-formed, present, and minted exactly once;
+//! * the graph has no cycle (a cycle is a deadlock an unlucky schedule
+//!   can realize);
+//! * every site appears in `ci/lint/lock_order.txt`, every entry there
+//!   still matches a real construction (the file can only shrink in
+//!   fact), and every observed edge runs forward in the file's order.
+//!
+//! The runtime witness ([`dcn_obs::ordered`]) checks the same DAG
+//! dynamically in every concurrency test, so the two layers cross-validate:
+//! the file is the single declared order, the rule proves the code can
+//! only acquire in that order, the witness proves it actually does.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use super::{is_dotted_name, Rule, SERVING_CRATES};
+use crate::findings::Finding;
+use crate::scope::{guard_bindings, ordered_constructions};
+use crate::source::SourceFile;
+
+/// Relative path of the canonical order file, from the workspace root.
+pub const ORDER_FILE: &str = "ci/lint/lock_order.txt";
+
+/// See the module docs.
+#[derive(Default)]
+pub struct LockOrder {
+    /// site → (crate, file, line) of its construction(s).
+    sites: BTreeMap<String, Vec<(String, String, u32)>>,
+    /// Per crate: binding ident → site name (for edge resolution).
+    bindings: BTreeMap<String, BTreeMap<String, String>>,
+    /// Per crate: (outer_receiver, inner_receiver, file, line) raw edges.
+    raw_edges: Vec<(String, String, String, String, u32)>,
+    /// The canonical order, once `check_aux` loaded it.
+    canon: Option<Vec<String>>,
+}
+
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(k)) => k.to_string(),
+        _ => "fixture".to_string(),
+    }
+}
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "static lock-acquisition graph is acyclic and matches ci/lint/lock_order.txt"
+    }
+
+    fn crates(&self) -> &'static [&'static str] {
+        SERVING_CRATES
+    }
+
+    fn allowlist(&self) -> &'static str {
+        "lock_order_allowlist.txt"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let krate = crate_of(&file.path);
+        for c in ordered_constructions(file) {
+            let Some(site) = c.site else {
+                out.push(finding(
+                    file,
+                    c.line,
+                    "ordered::Mutex::new without a literal site name — the witness site \
+                     must be a string literal so the static graph can see it"
+                        .to_string(),
+                ));
+                continue;
+            };
+            if !is_dotted_name(&site, 2) {
+                out.push(finding(
+                    file,
+                    c.line,
+                    format!(
+                        "lock site {site:?} is not a dotted snake_case name \
+                         (want e.g. `serve.queue.inner`)"
+                    ),
+                ));
+                continue;
+            }
+            self.sites
+                .entry(site.clone())
+                .or_default()
+                .push((krate.clone(), file.path.clone(), c.line));
+            self.bindings
+                .entry(krate.clone())
+                .or_default()
+                .insert(c.binding, site);
+        }
+        // Nested guard live-ranges become acquisition edges.
+        let guards = guard_bindings(file);
+        for outer in &guards {
+            for inner in &guards {
+                let nested = outer.start <= inner.let_idx && inner.let_idx < outer.end;
+                if nested && outer.receiver != inner.receiver && !inner.via_wait {
+                    self.raw_edges.push((
+                        krate.clone(),
+                        outer.receiver.clone(),
+                        inner.receiver.clone(),
+                        file.path.clone(),
+                        inner.line,
+                    ));
+                }
+            }
+        }
+    }
+
+    fn check_aux(&mut self, root: &Path, out: &mut Vec<Finding>) {
+        match std::fs::read_to_string(root.join(ORDER_FILE)) {
+            Ok(text) => {
+                let mut order = Vec::new();
+                for (ln, line) in text.lines().enumerate() {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    if !is_dotted_name(line, 2) {
+                        out.push(aux_finding(
+                            (ln + 1) as u32,
+                            line.to_string(),
+                            format!("malformed canonical-order entry {line:?}"),
+                        ));
+                        continue;
+                    }
+                    order.push(line.to_string());
+                }
+                self.canon = Some(order);
+            }
+            Err(e) => out.push(aux_finding(
+                0,
+                String::new(),
+                format!("cannot read {ORDER_FILE}: {e}"),
+            )),
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Finding>) {
+        // Every site is minted exactly once, workspace-wide.
+        for (site, uses) in &self.sites {
+            if uses.len() > 1 {
+                let places: Vec<String> = uses
+                    .iter()
+                    .map(|(_, f, l)| format!("{f}:{l}"))
+                    .collect();
+                let (_, file, line) = &uses[1];
+                out.push(Finding {
+                    rule: "lock-order",
+                    file: file.clone(),
+                    line: *line,
+                    snippet: String::new(),
+                    message: format!(
+                        "lock site {site:?} constructed more than once ({}) — witness sites \
+                         must pin one lock",
+                        places.join(", ")
+                    ),
+                    allowlisted: false,
+                });
+            }
+        }
+        // Resolve receiver-level edges to site-level edges per crate.
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut edge_where: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+        for (krate, from, to, file, line) in &self.raw_edges {
+            let Some(map) = self.bindings.get(krate) else {
+                continue;
+            };
+            // Edges between non-ordered locks (receiver not a known site
+            // binding) are outside this rule's graph.
+            let (Some(fs), Some(ts)) = (map.get(from), map.get(to)) else {
+                continue;
+            };
+            edges.entry(fs.clone()).or_default().insert(ts.clone());
+            edge_where
+                .entry((fs.clone(), ts.clone()))
+                .or_insert_with(|| (file.clone(), *line));
+        }
+        // Cycle check: DFS from every node.
+        for start in edges.keys() {
+            let mut stack = vec![(start.clone(), vec![start.clone()])];
+            let mut seen = BTreeSet::new();
+            while let Some((cur, path)) = stack.pop() {
+                for next in edges.get(&cur).into_iter().flatten() {
+                    // Report each cycle once, from its smallest node.
+                    if next == start && path.iter().min().map(String::as_str) == Some(start) {
+                        let (file, line) = edge_where
+                            .get(&(cur.clone(), next.clone()))
+                            .cloned()
+                            .unwrap_or_default();
+                        out.push(Finding {
+                            rule: "lock-order",
+                            file,
+                            line,
+                            snippet: String::new(),
+                            message: format!(
+                                "lock-acquisition cycle: {} -> {start} — an unlucky schedule \
+                                 deadlocks here",
+                                path.join(" -> ")
+                            ),
+                            allowlisted: false,
+                        });
+                        continue;
+                    }
+                    if seen.insert(next.clone()) {
+                        let mut p = path.clone();
+                        p.push(next.clone());
+                        stack.push((next.clone(), p));
+                    }
+                }
+            }
+        }
+        // Canonical-order agreement (only when check_aux loaded the file —
+        // fixture tests exercise the graph logic without it).
+        let Some(canon) = &self.canon else {
+            return;
+        };
+        let pos: BTreeMap<&str, usize> = canon
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i))
+            .collect();
+        for (site, uses) in &self.sites {
+            if !pos.contains_key(site.as_str()) {
+                let (_, file, line) = &uses[0];
+                out.push(Finding {
+                    rule: "lock-order",
+                    file: file.clone(),
+                    line: *line,
+                    snippet: String::new(),
+                    message: format!(
+                        "lock site {site:?} is not declared in {ORDER_FILE} — add it at \
+                         its position in the global acquisition order"
+                    ),
+                    allowlisted: false,
+                });
+            }
+        }
+        for entry in canon {
+            if !self.sites.contains_key(entry) {
+                out.push(aux_finding(
+                    0,
+                    entry.clone(),
+                    format!(
+                        "stale canonical-order entry {entry:?} — no \
+                         ordered::Mutex construction mints this site any more"
+                    ),
+                ));
+            }
+        }
+        for ((from, to), (file, line)) in &edge_where {
+            if let (Some(&pf), Some(&pt)) = (pos.get(from.as_str()), pos.get(to.as_str())) {
+                if pf >= pt {
+                    out.push(Finding {
+                        rule: "lock-order",
+                        file: file.clone(),
+                        line: *line,
+                        snippet: String::new(),
+                        message: format!(
+                            "acquisition edge {from:?} -> {to:?} runs against the canonical \
+                             order in {ORDER_FILE}"
+                        ),
+                        allowlisted: false,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn finding(file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "lock-order",
+        file: file.path.clone(),
+        line,
+        snippet: file.snippet(line),
+        message,
+        allowlisted: false,
+    }
+}
+
+fn aux_finding(line: u32, snippet: String, message: String) -> Finding {
+    Finding {
+        rule: "lock-order",
+        file: ORDER_FILE.to_string(),
+        line,
+        snippet,
+        message,
+        allowlisted: false,
+    }
+}

@@ -1,0 +1,106 @@
+//! `lock-scope`: no blocking call while a lock guard binding is live.
+//!
+//! A `MutexGuard` held across a blocking operation — socket IO, an
+//! `accept`, a thread `join`, a channel `recv`, a `sleep` — stalls every
+//! other thread contending for that lock, and in the serving plane that
+//! turns one slow client into a head-of-line blockage for the whole
+//! batcher. The rule walks the [`crate::scope`] guard live-ranges and
+//! flags any blocking-call token inside one.
+//!
+//! Escape hatches are structural, not annotations: `drop(guard)` before
+//! the blocking call, or narrowing the guard into its own `{ … }` block,
+//! both end the live-range and silence the rule.
+//!
+//! Identifier disambiguation (the lexer has no types): `read`/`write`
+//! count as blocking only *with* arguments (`sock.read(&mut buf)`) — the
+//! empty-argument forms are `RwLock` guard acquisitions; `join` counts
+//! only *without* arguments (`handle.join()`) — `Path::join(seg)` takes
+//! one.
+
+use super::{Rule, SERVING_CRATES};
+use crate::findings::Finding;
+use crate::scope::guard_bindings;
+use crate::source::SourceFile;
+
+/// Method/function names that park the calling thread.
+const BLOCKING: &[&str] = &[
+    "read",
+    "write",
+    "read_exact",
+    "write_all",
+    "read_to_end",
+    "read_to_string",
+    "accept",
+    "connect",
+    "recv",
+    "recv_timeout",
+    "sleep",
+    "join",
+];
+
+/// See the module docs.
+pub struct LockScope;
+
+impl Rule for LockScope {
+    fn name(&self) -> &'static str {
+        "lock-scope"
+    }
+
+    fn description(&self) -> &'static str {
+        "no blocking call (io/accept/join/recv/sleep) while a lock guard is live"
+    }
+
+    fn crates(&self) -> &'static [&'static str] {
+        SERVING_CRATES
+    }
+
+    fn allowlist(&self) -> &'static str {
+        "lock_scope_allowlist.txt"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let guards = guard_bindings(file);
+        if guards.is_empty() {
+            return;
+        }
+        let mut flagged: Vec<usize> = Vec::new();
+        for g in &guards {
+            for i in g.start..g.end.min(file.tokens.len()) {
+                if !file.is_code(i) || flagged.contains(&i) {
+                    continue;
+                }
+                let name = &file.tokens[i].text;
+                if !BLOCKING.contains(&name.as_str()) || !file.is_call(i, name) {
+                    continue;
+                }
+                let empty_args = file
+                    .next_code(i)
+                    .and_then(|open| file.next_code(open))
+                    .is_some_and(|n| file.tokens[n].is_punct(")"));
+                // `join()` blocks with no args; `read`/`write` block only
+                // WITH args (bare forms are RwLock acquisitions).
+                let blocking = match name.as_str() {
+                    "join" => empty_args,
+                    "read" | "write" => !empty_args,
+                    _ => true,
+                };
+                if !blocking {
+                    continue;
+                }
+                flagged.push(i);
+                out.push(Finding {
+                    rule: "lock-scope",
+                    file: file.path.clone(),
+                    line: file.tokens[i].line,
+                    snippet: file.snippet(file.tokens[i].line),
+                    message: format!(
+                        "blocking call `{name}` while lock guard `{}` (acquired from `{}` on \
+                         line {}) is live — drop the guard first or narrow its block",
+                        g.name, g.receiver, g.line
+                    ),
+                    allowlisted: false,
+                });
+            }
+        }
+    }
+}

@@ -7,19 +7,29 @@
 
 mod determinism;
 mod error_site;
+mod exit_code_registry;
 mod fault_site;
+mod lock_order;
+mod lock_scope;
 mod obs_naming;
 mod panic_free;
+mod poison_policy;
 mod unsafe_audit;
+
+use std::path::Path;
 
 use crate::findings::Finding;
 use crate::source::SourceFile;
 
 pub use determinism::Determinism;
 pub use error_site::ErrorSite;
+pub use exit_code_registry::ExitCodeRegistry;
 pub use fault_site::FaultSite;
+pub use lock_order::{LockOrder, ORDER_FILE};
+pub use lock_scope::LockScope;
 pub use obs_naming::ObsNaming;
 pub use panic_free::PanicFree;
+pub use poison_policy::PoisonPolicy;
 pub use unsafe_audit::UnsafeAudit;
 
 /// One static-analysis rule.
@@ -38,6 +48,11 @@ pub trait Rule {
     fn allowlist(&self) -> &'static str;
     /// Inspects one file, appending findings.
     fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Finding>);
+    /// Audits non-Rust workspace artifacts (canonical-order files, docs)
+    /// after every source file was seen and before [`Rule::finish`]. Only
+    /// the engine calls this — fixture tests exercise `check_file`/`finish`
+    /// alone, so rules must degrade gracefully without it.
+    fn check_aux(&mut self, _root: &Path, _out: &mut Vec<Finding>) {}
     /// Emits cross-file findings after every file was seen.
     fn finish(&mut self, _out: &mut Vec<Finding>) {}
 }
@@ -51,6 +66,10 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(ErrorSite),
         Box::new(ObsNaming::default()),
         Box::new(FaultSite::default()),
+        Box::new(LockScope),
+        Box::new(LockOrder::default()),
+        Box::new(PoisonPolicy::default()),
+        Box::new(ExitCodeRegistry::default()),
     ]
 }
 
@@ -113,7 +132,7 @@ mod tests {
         let mut names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 10);
         for r in &rules {
             assert!(r.allowlist().ends_with("_allowlist.txt"), "{}", r.name());
         }

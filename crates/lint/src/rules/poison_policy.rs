@@ -1,0 +1,165 @@
+//! `poison-policy`: every raw `.lock()` handles `PoisonError` with the
+//! one workspace idiom.
+//!
+//! A poisoned mutex means some thread panicked while holding the guard.
+//! The workspace policy is to *absorb* poisoning —
+//! `.lock().unwrap_or_else(PoisonError::into_inner)` — because every
+//! guarded structure is kept consistent by construction (single-field
+//! writes, drained-on-close queues), so cascading the panic would turn
+//! one failed request into a dead server. Before this rule, `crates/serve`
+//! spelled the recovery five different ways; now any `.lock()` must either
+//!
+//! * be an [`dcn_obs::ordered`] lock (the idiom is baked into the
+//!   wrapper — its guard is poison-free by type), or
+//! * chain `.unwrap_or_else(PoisonError::into_inner)` immediately
+//!   (the `std::sync::`-qualified path is accepted too).
+//!
+//! Receiver-position `self.lock()` helper methods are exempt: the helper
+//! body's own `.lock()` is audited instead, so the policy is still checked
+//! exactly once per lock.
+
+use std::collections::BTreeSet;
+
+use super::{Rule, SERVING_CRATES};
+use crate::findings::Finding;
+use crate::scope::ordered_constructions;
+use crate::source::SourceFile;
+
+/// See the module docs.
+#[derive(Default)]
+pub struct PoisonPolicy {
+    /// Binding idents of `ordered::Mutex` constructions, per crate.
+    ordered: BTreeSet<(String, String)>,
+    /// Non-idiom `.lock()` sites awaiting the exemption check in `finish`:
+    /// `(crate, receiver, file, line)`.
+    pending: Vec<(String, String, String, u32)>,
+}
+
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(k)) => k.to_string(),
+        _ => "fixture".to_string(),
+    }
+}
+
+impl Rule for PoisonPolicy {
+    fn name(&self) -> &'static str {
+        "poison-policy"
+    }
+
+    fn description(&self) -> &'static str {
+        "every .lock() absorbs PoisonError via unwrap_or_else(PoisonError::into_inner)"
+    }
+
+    fn crates(&self) -> &'static [&'static str] {
+        SERVING_CRATES
+    }
+
+    fn allowlist(&self) -> &'static str {
+        "poison_policy_allowlist.txt"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let _ = out;
+        let krate = crate_of(&file.path);
+        for c in ordered_constructions(file) {
+            self.ordered.insert((krate.clone(), c.binding));
+        }
+        for i in 0..file.tokens.len() {
+            if !file.is_code(i) || !file.is_call(i, "lock") {
+                continue;
+            }
+            // Only method-position `.lock()` — a free `lock(…)` fn is not
+            // a mutex acquisition.
+            let Some(dot) = file.prev_code(i) else {
+                continue;
+            };
+            if !file.tokens[dot].is_punct(".") {
+                continue;
+            }
+            let receiver = match file.prev_code(dot) {
+                Some(r) if file.tokens[r].kind == crate::lexer::TokenKind::Ident => {
+                    file.tokens[r].text.clone()
+                }
+                _ => "?".to_string(),
+            };
+            // `self.lock()` is a call to a guard-returning helper whose own
+            // body is audited; flagging the call site would double-count.
+            if receiver == "self" {
+                continue;
+            }
+            if idiom_follows(file, i) {
+                continue;
+            }
+            self.pending.push((
+                krate.clone(),
+                receiver,
+                file.path.clone(),
+                file.tokens[i].line,
+            ));
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Finding>) {
+        for (krate, receiver, file, line) in self.pending.drain(..) {
+            // An ordered::Mutex binding: the wrapper absorbs poisoning
+            // itself, no chain needed (or possible).
+            if self.ordered.contains(&(krate.clone(), receiver.clone())) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "poison-policy",
+                file,
+                line,
+                snippet: String::new(),
+                message: format!(
+                    "`.lock()` on `{receiver}` without \
+                     `.unwrap_or_else(PoisonError::into_inner)` — use the one workspace \
+                     poison idiom or an ordered::Mutex"
+                ),
+                allowlisted: false,
+            });
+        }
+    }
+}
+
+/// Whether the `.lock()` whose name token is at `i` chains the idiom:
+/// `.unwrap_or_else(PoisonError::into_inner)`, optionally `std::sync::`
+/// qualified.
+fn idiom_follows(file: &SourceFile, i: usize) -> bool {
+    // lock ( ) . unwrap_or_else ( … )
+    let open = file.next_code(i);
+    let close = open.and_then(|o| file.next_code(o));
+    let Some(close) = close.filter(|&c| file.tokens[c].is_punct(")")) else {
+        return false;
+    };
+    let dot = file.next_code(close);
+    let Some(dot) = dot.filter(|&d| file.tokens[d].is_punct(".")) else {
+        return false;
+    };
+    let name = file.next_code(dot);
+    let Some(name) = name.filter(|&m| file.tokens[m].is_ident("unwrap_or_else")) else {
+        return false;
+    };
+    let Some(arg_open) = file.next_code(name).filter(|&o| file.tokens[o].is_punct("(")) else {
+        return false;
+    };
+    // Collect the argument's ident path up to the matching `)`.
+    let mut idents = Vec::new();
+    let mut j = arg_open + 1;
+    while j < file.tokens.len() {
+        let t = &file.tokens[j];
+        if t.is_punct(")") {
+            break;
+        }
+        if t.kind == crate::lexer::TokenKind::Ident {
+            idents.push(t.text.as_str().to_string());
+        } else if !t.is_punct("::") {
+            return false;
+        }
+        j += 1;
+    }
+    idents == ["PoisonError", "into_inner"]
+        || idents == ["std", "sync", "PoisonError", "into_inner"]
+}

@@ -1,0 +1,485 @@
+//! The scope layer: brace-tree block extents and guard live-ranges on top
+//! of the token stream.
+//!
+//! The six original rules reason purely at token level; the concurrency
+//! rules (`lock-scope`, `lock-order`, `poison-policy`) need one structural
+//! fact the lexer cannot give them: *how long a lock guard stays alive*.
+//! This module computes it conservatively:
+//!
+//! * **Blocks** — every matched `{ … }` pair, innermost-first lookup.
+//! * **Guard bindings** — a plain `let` statement whose initializer
+//!   contains a guard-producing call: `.lock(…)`, an empty-argument
+//!   `.read()` / `.write()` (RwLock), or a condvar `.wait(…)` /
+//!   `.wait_timeout(…)` whose arguments re-bind an already-live guard.
+//! * **Live range** — from the `;` closing the `let` statement to the
+//!   first `drop(<name>)` call naming the binding, or to the `}` closing
+//!   the innermost block containing the `let` — the two escape hatches
+//!   (`drop` the guard early, or narrow its block) fall out naturally.
+//!
+//! Deliberate imprecision, documented so rules stay predictable:
+//! `if let` / `while let` scrutinees and guard *temporaries*
+//! (`x.lock().field`) are not tracked — the workspace convention is to
+//! bind guards with a plain `let`, which the rules themselves enforce at
+//! every site they audit.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// One `let`-bound lock guard with its computed live range.
+#[derive(Debug, Clone)]
+pub struct GuardBinding {
+    /// The binding identifier (`let <name> = …`).
+    pub name: String,
+    /// The identifier the guard was acquired from — the receiver ident
+    /// immediately before `.lock(` (`"?"` when the receiver is not a plain
+    /// identifier, e.g. a call result).
+    pub receiver: String,
+    /// Token index of the `let` keyword.
+    pub let_idx: usize,
+    /// 1-based source line of the `let`.
+    pub line: u32,
+    /// First token index at which the guard is live (just past the
+    /// statement's closing `;`).
+    pub start: usize,
+    /// Exclusive end of the live range: the `drop` call's ident token, or
+    /// the closing `}` of the innermost enclosing block.
+    pub end: usize,
+    /// Whether the binding came from a condvar `wait`/`wait_timeout`
+    /// re-binding rather than a fresh `.lock()`.
+    pub via_wait: bool,
+}
+
+/// An `ordered::Mutex::new(…, "site")` construction found in a file.
+#[derive(Debug, Clone)]
+pub struct OrderedConstruction {
+    /// The binding the lock lives under: a struct field name or a
+    /// `let`/`static`/`const` binding ident (`"?"` when undeterminable).
+    pub binding: String,
+    /// The dotted site name literal, or `None` when the last argument is
+    /// not a string literal.
+    pub site: Option<String>,
+    /// 1-based source line of the construction.
+    pub line: u32,
+}
+
+/// Every matched `{ … }` pair in the file, as `(open_idx, close_idx)`.
+pub fn brace_pairs(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut stack = Vec::new();
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Punct {
+            continue;
+        }
+        match tok.text.as_str() {
+            "{" => stack.push(i),
+            "}" => {
+                if let Some(open) = stack.pop() {
+                    pairs.push((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    pairs
+}
+
+/// The innermost block containing token `idx`, if any.
+pub fn enclosing_block(pairs: &[(usize, usize)], idx: usize) -> Option<(usize, usize)> {
+    pairs
+        .iter()
+        .filter(|&&(open, close)| open < idx && idx < close)
+        .min_by_key(|&&(open, close)| close - open)
+        .copied()
+}
+
+/// Whether the initializer token at `i` starts a guard-producing call:
+/// `.lock(` with any arguments, or `.read(` / `.write(` with an *empty*
+/// argument list (`RwLock`; with arguments those idents are IO calls).
+fn guard_source(file: &SourceFile, i: usize) -> bool {
+    let tok = &file.tokens[i];
+    if tok.kind != TokenKind::Ident {
+        return false;
+    }
+    let dotted = file
+        .prev_code(i)
+        .is_some_and(|p| file.tokens[p].is_punct("."));
+    if !dotted {
+        return false;
+    }
+    let Some(open) = file.next_code(i) else {
+        return false;
+    };
+    if !file.tokens[open].is_punct("(") {
+        return false;
+    }
+    match tok.text.as_str() {
+        "lock" => true,
+        "read" | "write" => file
+            .next_code(open)
+            .is_some_and(|n| file.tokens[n].is_punct(")")),
+        _ => false,
+    }
+}
+
+/// The receiver ident of the method call whose name token is at `i`
+/// (`shared.state.lock()` → `state`), or `"?"`.
+fn receiver_of(file: &SourceFile, i: usize) -> String {
+    let dot = match file.prev_code(i) {
+        Some(p) if file.tokens[p].is_punct(".") => p,
+        _ => return "?".to_string(),
+    };
+    match file.prev_code(dot) {
+        Some(r) if file.tokens[r].kind == TokenKind::Ident => file.tokens[r].text.clone(),
+        _ => "?".to_string(),
+    }
+}
+
+/// Pattern idents bound by tokens `pat` (exclusive of `=`): plain idents
+/// minus binding noise (`mut`, `ref`) and enum constructors.
+fn pattern_idents(file: &SourceFile, pat: std::ops::Range<usize>) -> Vec<(usize, String)> {
+    const SKIP: &[&str] = &["mut", "ref", "Some", "Ok", "Err", "None", "box", "_"];
+    let mut out = Vec::new();
+    for i in pat {
+        let tok = &file.tokens[i];
+        if tok.kind == TokenKind::Ident && !SKIP.contains(&tok.text.as_str()) {
+            out.push((i, tok.text.clone()));
+        }
+    }
+    out
+}
+
+/// Computes every guard binding in the file with its live range. Bindings
+/// inside `#[cfg(test)]` extents are skipped — rules only audit production
+/// code.
+pub fn guard_bindings(file: &SourceFile) -> Vec<GuardBinding> {
+    let pairs = brace_pairs(file);
+    let mut out: Vec<GuardBinding> = Vec::new();
+    let n = file.tokens.len();
+    let mut i = 0;
+    while i < n {
+        if !file.is_code(i) || !file.tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // Skip `if let` / `while let`: their scrutinee ends at `{`, not
+        // `;`, and the workspace never binds guards through them.
+        let is_stmt_let = !file
+            .prev_code(i)
+            .is_some_and(|p| file.tokens[p].is_ident("if") || file.tokens[p].is_ident("while"));
+        if !is_stmt_let {
+            i += 1;
+            continue;
+        }
+        // Find the `=` introducing the initializer (punct depth 0 in
+        // parens/brackets; a `let x;` without one is skipped).
+        let mut eq = None;
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < n {
+            let t = &file.tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "=" if depth == 0 => {
+                        // `==` never appears before a let's `=`; `=>` can't
+                        // either, so a bare `=` is the binding.
+                        eq = Some(j);
+                        break;
+                    }
+                    ";" | "{" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            i += 1;
+            continue;
+        };
+        // The initializer runs to the `;` closing the statement (all
+        // bracket kinds at depth 0, so struct literals and closures with
+        // inner `;` don't cut it short).
+        let mut end_semi = None;
+        let (mut pd, mut bd, mut sd) = (0i32, 0i32, 0i32);
+        let mut j = eq + 1;
+        while j < n {
+            let t = &file.tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" => pd += 1,
+                    ")" => pd -= 1,
+                    "[" => sd += 1,
+                    "]" => sd -= 1,
+                    "{" => bd += 1,
+                    "}" => bd -= 1,
+                    ";" if pd == 0 && bd == 0 && sd == 0 => {
+                        end_semi = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(semi) = end_semi else {
+            i += 1;
+            continue;
+        };
+        // Is the initializer guard-producing?
+        let mut receiver = None;
+        let mut via_wait = false;
+        for k in eq + 1..semi {
+            if guard_source(file, k) {
+                receiver = Some(receiver_of(file, k));
+                break;
+            }
+            let t = &file.tokens[k];
+            if (t.is_ident("wait") || t.is_ident("wait_timeout"))
+                && file
+                    .next_code(k)
+                    .is_some_and(|nx| file.tokens[nx].is_punct("("))
+            {
+                // A condvar wait re-binds whichever live guard it consumed.
+                let arg_guard = (k..semi).find_map(|a| {
+                    let at = &file.tokens[a];
+                    if at.kind != TokenKind::Ident {
+                        return None;
+                    }
+                    out.iter()
+                        .find(|g| g.name == at.text && g.start <= k && k < g.end)
+                        .map(|g| g.receiver.clone())
+                });
+                if let Some(recv) = arg_guard {
+                    receiver = Some(recv);
+                    via_wait = true;
+                    break;
+                }
+            }
+        }
+        let Some(receiver) = receiver else {
+            i = semi + 1;
+            continue;
+        };
+        let block_end = enclosing_block(&pairs, i).map_or(n, |(_, close)| close);
+        for (_, name) in pattern_idents(file, i + 1..eq) {
+            // The range ends early at an explicit `drop(<name>)` whose sole
+            // argument is the binding.
+            let mut end = block_end;
+            for d in semi + 1..block_end {
+                if file.is_call(d, "drop") {
+                    let open = file.next_code(d);
+                    let arg = open.and_then(|o| file.next_code(o));
+                    let close = arg.and_then(|a| file.next_code(a));
+                    let is_named = arg.is_some_and(|a| file.tokens[a].is_ident(&name))
+                        && close.is_some_and(|c| file.tokens[c].is_punct(")"));
+                    if is_named {
+                        end = d;
+                        break;
+                    }
+                }
+            }
+            out.push(GuardBinding {
+                name,
+                receiver: receiver.clone(),
+                let_idx: i,
+                line: file.tokens[i].line,
+                start: semi + 1,
+                end,
+                via_wait,
+            });
+        }
+        i = semi + 1;
+    }
+    out
+}
+
+/// Finds every `ordered::Mutex::new(…, "site")` construction in the file,
+/// resolving the binding the lock lives under (struct field or
+/// `let`/`static`/`const` ident).
+pub fn ordered_constructions(file: &SourceFile) -> Vec<OrderedConstruction> {
+    let mut out = Vec::new();
+    let n = file.tokens.len();
+    for i in 0..n {
+        if !file.is_code(i) || !file.tokens[i].is_ident("ordered") {
+            continue;
+        }
+        // Match the exact path `ordered :: Mutex :: new (`.
+        let mut cur = i;
+        let mut matched = true;
+        for want in ["::", "Mutex", "::", "new"] {
+            match file.next_code(cur) {
+                Some(nx)
+                    if (want == "::" && file.tokens[nx].is_punct("::"))
+                        || file.tokens[nx].is_ident(want) =>
+                {
+                    cur = nx;
+                }
+                _ => {
+                    matched = false;
+                    break;
+                }
+            }
+        }
+        if !matched || !file.is_call(cur, "new") {
+            continue;
+        }
+        let site = file
+            .call_arg_literals(cur)
+            .last()
+            .map(|&lit| file.tokens[lit].text.clone());
+        out.push(OrderedConstruction {
+            binding: binding_of(file, i),
+            site,
+            line: file.tokens[i].line,
+        });
+    }
+    out
+}
+
+/// The binding ident a construction starting at token `i` assigns into:
+/// `field: ordered::Mutex::new(…)` → `field` (also through wrappers like
+/// `Arc::new(…)`); `let|static|const NAME … = ordered::Mutex::new(…)` →
+/// `NAME`. Walks backwards to the statement start, treating the first
+/// pre-`=` colon as a struct-field marker.
+fn binding_of(file: &SourceFile, i: usize) -> String {
+    let mut saw_eq = false;
+    let mut k = i;
+    while let Some(prev) = file.prev_code(k) {
+        let t = &file.tokens[prev];
+        if t.is_ident("let") || t.is_ident("static") || t.is_ident("const") {
+            let mut name = file.next_code(prev);
+            if name.is_some_and(|nx| file.tokens[nx].is_ident("mut")) {
+                name = name.and_then(|nx| file.next_code(nx));
+            }
+            return match name {
+                Some(nx) if file.tokens[nx].kind == TokenKind::Ident => {
+                    file.tokens[nx].text.clone()
+                }
+                _ => "?".to_string(),
+            };
+        }
+        if t.is_punct("=") {
+            // Keep walking: the binding keyword (and a possible type
+            // annotation's `:`) are further left.
+            saw_eq = true;
+        } else if t.is_punct(":") && !saw_eq {
+            // A colon before any `=` is a struct-field initializer.
+            return match file.prev_code(prev) {
+                Some(f) if file.tokens[f].kind == TokenKind::Ident => {
+                    file.tokens[f].text.clone()
+                }
+                _ => "?".to_string(),
+            };
+        } else if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        k = prev;
+    }
+    "?".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/a.rs", src)
+    }
+
+    #[test]
+    fn guard_lives_to_scope_exit_by_default() {
+        let f = parse("fn f(m: &Mutex<u32>) { let g = m.lock().unwrap_or_else(e);\n *g += 1; }\n");
+        let gs = guard_bindings(&f);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].name, "g");
+        assert_eq!(gs[0].receiver, "m");
+        // The range ends at the fn body's closing brace.
+        assert!(f.tokens[gs[0].end].is_punct("}"));
+    }
+
+    #[test]
+    fn explicit_drop_ends_the_range() {
+        let f = parse(
+            "fn f() { let inner = self.inner.lock();\n use_it(&inner);\n drop(inner);\n after(); }\n",
+        );
+        let gs = guard_bindings(&f);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].receiver, "inner");
+        assert!(f.tokens[gs[0].end].is_ident("drop"));
+        let after = f.tokens.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(after > gs[0].end, "code after drop is outside the range");
+    }
+
+    #[test]
+    fn narrowed_block_ends_the_range() {
+        let f = parse("fn f() { { let g = m.lock(); touch(&g); }\n slow_io(); }\n");
+        let gs = guard_bindings(&f);
+        assert_eq!(gs.len(), 1);
+        let io = f.tokens.iter().position(|t| t.is_ident("slow_io")).unwrap();
+        assert!(io > gs[0].end, "narrowed block ends the guard before slow_io");
+    }
+
+    #[test]
+    fn wait_timeout_rebinds_with_the_same_receiver() {
+        let f = parse(
+            "fn f() { let mut st = shared.state.lock();\n loop { let (guard, _) = cond.wait_timeout(st, d);\n st = guard;\n break; } }\n",
+        );
+        let gs = guard_bindings(&f);
+        assert_eq!(gs.len(), 2, "{gs:#?}");
+        assert_eq!(gs[0].receiver, "state");
+        assert_eq!(gs[1].name, "guard");
+        assert_eq!(gs[1].receiver, "state", "wait re-binding keeps the receiver");
+        assert!(gs[1].via_wait);
+    }
+
+    #[test]
+    fn rwlock_read_write_bind_guards_but_io_read_does_not() {
+        let f = parse(
+            "fn f() { let r = rw.read();\n let w = rw.write();\n let nbytes = sock.read(&mut buf); }\n",
+        );
+        let gs = guard_bindings(&f);
+        let names: Vec<&str> = gs.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(names, ["r", "w"], "IO read with args is not a guard");
+    }
+
+    #[test]
+    fn if_let_and_plain_lets_without_locks_are_skipped() {
+        let f = parse(
+            "fn f() { if let Ok(v) = m.lock() { use_it(v); }\n let x = compute();\n }\n",
+        );
+        assert!(guard_bindings(&f).is_empty());
+    }
+
+    #[test]
+    fn ordered_constructions_resolve_field_and_let_bindings() {
+        let f = parse(
+            "fn f() { let q = Q { inner: ordered::Mutex::new(Inner::default(), \"serve.queue.inner\") };\n let m = ordered::Mutex::new(0u32, \"fixture.site\"); }\n",
+        );
+        let cs = ordered_constructions(&f);
+        assert_eq!(cs.len(), 2, "{cs:#?}");
+        assert_eq!(cs[0].binding, "inner");
+        assert_eq!(cs[0].site.as_deref(), Some("serve.queue.inner"));
+        assert_eq!(cs[1].binding, "m");
+        assert_eq!(cs[1].site.as_deref(), Some("fixture.site"));
+    }
+
+    #[test]
+    fn ordered_construction_resolves_binding_through_wrappers() {
+        let f = parse(
+            "fn f() { let conns = Arc::new(ordered::Mutex::new(Vec::new(), \"serve.conns\")); }\n",
+        );
+        let cs = ordered_constructions(&f);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].binding, "conns", "Arc::new wrapper is walked through");
+        assert_eq!(cs[0].site.as_deref(), Some("serve.conns"));
+    }
+
+    #[test]
+    fn ordered_construction_without_literal_site_is_reported_unnamed() {
+        let f = parse("fn f() { let m = ordered::Mutex::new(0u32, site_var); }\n");
+        let cs = ordered_constructions(&f);
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].site.is_none());
+    }
+}

@@ -191,6 +191,38 @@ mod tests {
     }
 
     #[test]
+    fn out_of_line_test_module_declaration_marks_only_the_declaration() {
+        // `#[cfg(test)] mod tests;` has no brace-tree in THIS file — the
+        // extent is the brace-less declaration itself, ending at its `;`.
+        // The module body lives in tests.rs and is marked when that file
+        // is scanned; code after the declaration here must stay audited.
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() { y.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let mod_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("mod"))
+            .expect("mod token");
+        assert!(f.in_test[mod_idx], "declaration itself is test-marked");
+        let semi = f.tokens[mod_idx..]
+            .iter()
+            .position(|t| t.is_punct(";"))
+            .map(|o| mod_idx + o)
+            .expect("semicolon");
+        assert!(f.in_test[semi], "extent runs through the closing `;`");
+        let unwrap_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(
+            !f.in_test[unwrap_idx],
+            "production code after the out-of-line declaration is audited"
+        );
+        assert!(f.is_code(unwrap_idx));
+    }
+
+    #[test]
     fn mid_file_test_module_is_excluded_and_code_after_is_not() {
         // The historic shell gate stopped at the FIRST #[cfg(test)] line and
         // so never audited `late` at all; the lexer-based extents must both

@@ -1,0 +1,31 @@
+//! exit-code-registry fail fixture: the taxonomy maps `Io` to the wrong
+//! code and drops `QuorumLost`; the usage table mislabels code 2 and
+//! omits code 8. Four disagreements in total.
+
+enum DcnError {
+    Config(String),
+    Io { source: std::io::Error },
+    Corrupt(String),
+    NonFinite(String),
+    Overloaded(String),
+    PeerLost(String),
+    QuorumLost(String),
+    Internal(String),
+}
+
+fn exit_code(e: &DcnError) -> u32 {
+    match e {
+        DcnError::Config(_) => 2,
+        DcnError::Io { .. } => 9,
+        DcnError::Corrupt(_) => 4,
+        DcnError::NonFinite(_) => 5,
+        DcnError::Overloaded(_) => 6,
+        DcnError::PeerLost(_) => 7,
+        _ => 1,
+    }
+}
+
+fn usage() -> &'static str {
+    "exit codes: 0 ok, 2 usage, 3 io, 4 corrupt state, \
+     5 non-finite, 6 overloaded, 7 peer lost, 1 other"
+}

@@ -1,0 +1,31 @@
+//! exit-code-registry pass fixture: a taxonomy with every canonical arm
+//! plus the wildcard, and a usage string spelling the full 0-8 table.
+
+enum DcnError {
+    Config(String),
+    Io { source: std::io::Error },
+    Corrupt(String),
+    NonFinite(String),
+    Overloaded(String),
+    PeerLost(String),
+    QuorumLost(String),
+    Internal(String),
+}
+
+fn exit_code(e: &DcnError) -> u32 {
+    match e {
+        DcnError::Config(_) => 2,
+        DcnError::Io { .. } => 3,
+        DcnError::Corrupt(_) => 4,
+        DcnError::NonFinite(_) => 5,
+        DcnError::Overloaded(_) => 6,
+        DcnError::PeerLost(_) => 7,
+        DcnError::QuorumLost(_) => 8,
+        _ => 1,
+    }
+}
+
+fn usage() -> &'static str {
+    "exit codes: 0 ok, 2 configuration, 3 io, 4 corrupt state, \
+     5 non-finite, 6 overloaded, 7 peer lost, 8 quorum lost, 1 other"
+}

@@ -1,0 +1,33 @@
+//! lock-order fail fixture: a malformed site name, a site minted twice,
+//! and two functions nesting the same pair of locks in opposite
+//! directions — the cycle an unlucky schedule turns into a deadlock.
+
+use dcn_obs::ordered;
+
+struct S {
+    alpha: ordered::Mutex<u32>,
+    beta: ordered::Mutex<u32>,
+    bad: ordered::Mutex<u32>,
+    gamma: ordered::Mutex<u32>,
+}
+
+fn build() -> S {
+    S {
+        alpha: ordered::Mutex::new(0u32, "fixture.alpha"),
+        beta: ordered::Mutex::new(0u32, "fixture.beta"),
+        bad: ordered::Mutex::new(0u32, "BadSite"),
+        gamma: ordered::Mutex::new(0u32, "fixture.alpha"),
+    }
+}
+
+fn forward(s: &S) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    let _ = (*a, *b);
+}
+
+fn backward(s: &S) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    let _ = (*a, *b);
+}

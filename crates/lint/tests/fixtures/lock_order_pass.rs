@@ -1,0 +1,31 @@
+//! lock-order pass fixture: two well-named sites, always nested in the
+//! same direction — the acquisition graph is a single forward edge.
+
+use dcn_obs::ordered;
+
+struct S {
+    alpha: ordered::Mutex<u32>,
+    beta: ordered::Mutex<u32>,
+}
+
+fn build() -> S {
+    S {
+        alpha: ordered::Mutex::new(0u32, "fixture.alpha"),
+        beta: ordered::Mutex::new(0u32, "fixture.beta"),
+    }
+}
+
+fn forward(s: &S) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    let _ = (*a, *b);
+}
+
+fn forward_again(s: &S) {
+    let a = s.alpha.lock();
+    {
+        let b = s.beta.lock();
+        let _ = *b;
+    }
+    let _ = *a;
+}

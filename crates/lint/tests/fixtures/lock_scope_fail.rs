@@ -1,0 +1,22 @@
+//! lock-scope fail fixture: three blocking calls inside guard live ranges.
+
+use std::sync::Mutex;
+
+/// Socket write while the buffer guard is live.
+fn bad_io(m: &Mutex<Vec<u8>>, stream: &mut std::net::TcpStream) {
+    let buf = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = std::io::Write::write_all(stream, &buf);
+}
+
+/// Thread join (empty-argument form) while a guard is live.
+fn bad_join(m: &Mutex<u32>, h: std::thread::JoinHandle<()>) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = h.join();
+    let _ = *g;
+}
+
+/// Sleeping with the lock held stalls every contending thread.
+fn bad_sleep(m: &Mutex<u32>) {
+    let _g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

@@ -1,0 +1,27 @@
+//! lock-scope pass fixture: every blocking call happens outside a guard's
+//! live range, via the two structural escape hatches.
+
+use std::sync::Mutex;
+
+/// Escape hatch 1: `drop(guard)` before the blocking call.
+fn ok_drop(m: &Mutex<Vec<u8>>, stream: &mut std::net::TcpStream) {
+    let buf = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let out = buf.clone();
+    drop(buf);
+    let _ = std::io::Write::write_all(stream, &out);
+}
+
+/// Escape hatch 2: narrow the guard into its own block.
+fn ok_block(m: &Mutex<u32>) {
+    {
+        let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = *g;
+    }
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+/// `Path::join` takes an argument — not a thread join, never blocking.
+fn ok_path_join(m: &Mutex<u32>, p: &std::path::Path) -> std::path::PathBuf {
+    let _g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    p.join("segment")
+}

@@ -1,0 +1,18 @@
+//! poison-policy fail fixture: two raw `.lock()` calls that diverge from
+//! the canonical `unwrap_or_else(PoisonError::into_inner)` idiom.
+
+use std::sync::Mutex;
+
+struct S {
+    raw: Mutex<u32>,
+}
+
+/// Propagates the poison panic instead of absorbing it.
+fn bad_unwrap(s: &S) -> u32 {
+    *s.raw.lock().unwrap()
+}
+
+/// Same policy violation, different spelling.
+fn bad_expect(s: &S) -> u32 {
+    *s.raw.lock().expect("poisoned")
+}

@@ -1,0 +1,47 @@
+//! poison-policy pass fixture: every raw `.lock()` uses the canonical
+//! poison-absorbing idiom, ordered locks are exempt by construction, and
+//! receiver-position helper calls (`self.lock()`) are exempt by shape.
+
+use std::sync::{Mutex, PoisonError};
+
+use dcn_obs::ordered;
+
+struct S {
+    raw: Mutex<u32>,
+    inner: ordered::Mutex<u32>,
+}
+
+fn build() -> S {
+    S {
+        raw: Mutex::new(0u32),
+        inner: ordered::Mutex::new(0u32, "fixture.site"),
+    }
+}
+
+/// Canonical idiom, short import path.
+fn ok1(s: &S) -> u32 {
+    *s.raw.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Canonical idiom, fully qualified path.
+fn ok2(s: &S) -> u32 {
+    *s.raw.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Ordered lock: the wrapper absorbs poison by type, nothing to handle.
+fn ok3(s: &S) -> u32 {
+    *s.inner.lock()
+}
+
+struct Wrapper(Mutex<u32>);
+
+impl Wrapper {
+    fn lock(&self) -> u32 {
+        *self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// `self.lock()` is a helper-method call, not a raw mutex acquisition.
+    fn doubled(&self) -> u32 {
+        self.lock() * 2
+    }
+}

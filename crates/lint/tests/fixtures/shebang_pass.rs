@@ -1,0 +1,8 @@
+#!/usr/bin/env run-cargo-script -- panic! unwrap() expect("not code")
+//! Shebang regression fixture: the first line is an interpreter
+//! directive, not an attribute and not code — the banned words inside it
+//! must never reach a rule.
+
+fn main() {
+    println!("clean");
+}

@@ -173,3 +173,88 @@ fn fault_site_fail_fixture_trips_duplicate_registration() {
     assert_eq!(findings.len(), 1, "{findings:#?}");
     assert!(findings[0].message.contains("already registered"));
 }
+
+#[test]
+fn lock_scope_pass_fixture_is_clean() {
+    assert_pass("lock-scope", "lock_scope_pass.rs");
+}
+
+#[test]
+fn lock_scope_fail_fixture_trips_io_join_and_sleep() {
+    let findings = run_rule("lock-scope", "lock_scope_fail.rs");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    let text = format!("{findings:?}");
+    assert!(text.contains("`write_all`"));
+    assert!(text.contains("`join`"));
+    assert!(text.contains("`sleep`"));
+    // Every message names the guard's acquisition so the fix is obvious.
+    assert!(findings.iter().all(|f| f.message.contains("is live")));
+}
+
+#[test]
+fn lock_order_pass_fixture_is_clean() {
+    assert_pass("lock-order", "lock_order_pass.rs");
+}
+
+#[test]
+fn lock_order_fail_fixture_trips_grammar_duplicate_and_cycle() {
+    let findings = run_rule("lock-order", "lock_order_fail.rs");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    let text = format!("{findings:?}");
+    assert!(text.contains("BadSite"), "non-dotted site missed: {text}");
+    assert!(
+        text.contains("constructed more than once"),
+        "duplicate site missed: {text}"
+    );
+    assert!(
+        text.contains("lock-acquisition cycle"),
+        "reversed nesting missed: {text}"
+    );
+    // The cycle is reported exactly once, from its smallest node.
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.message.contains("cycle"))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn poison_policy_pass_fixture_is_clean() {
+    assert_pass("poison-policy", "poison_policy_pass.rs");
+}
+
+#[test]
+fn poison_policy_fail_fixture_trips_unwrap_and_expect() {
+    let findings = run_rule("poison-policy", "poison_policy_fail.rs");
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.message.contains("`raw`")));
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("PoisonError::into_inner")));
+}
+
+#[test]
+fn exit_code_registry_pass_fixture_is_clean() {
+    assert_pass("exit-code-registry", "exit_code_registry_pass.rs");
+}
+
+#[test]
+fn exit_code_registry_fail_fixture_trips_all_four_disagreements() {
+    let findings = run_rule("exit-code-registry", "exit_code_registry_fail.rs");
+    assert_eq!(findings.len(), 4, "{findings:#?}");
+    let text = format!("{findings:?}");
+    assert!(text.contains("maps `Io` to exit code 9"), "{text}");
+    assert!(text.contains("missing the `QuorumLost` arm"), "{text}");
+    assert!(text.contains("labels exit code 2"), "{text}");
+    assert!(text.contains("missing code 8"), "{text}");
+}
+
+#[test]
+fn shebang_line_banned_words_do_not_reach_rules() {
+    // Regression: `#!/usr/bin/env …` used to lex as the start of an
+    // attribute; the interpreter line is a comment, so the `panic!` and
+    // `unwrap()` inside it are invisible to panic-free.
+    assert_pass("panic-free", "shebang_pass.rs");
+}

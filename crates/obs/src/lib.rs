@@ -25,6 +25,12 @@
 //! plus snapshot export; a non-boolean value is treated as the output
 //! directory), or programmatically with [`set_enabled`].
 //!
+//! The crate also hosts the debug/test-only runtime lock-order witness
+//! ([`ordered`]): named `Mutex`/`Condvar` wrappers that record the
+//! acquisition DAG and panic on a would-be deadlock when
+//! `DCN_LOCK_WITNESS=1` is set. Release builds compile the bookkeeping
+//! out entirely — the wrapper is bitwise non-interfering when disabled.
+//!
 //! ```
 //! dcn_obs::set_enabled(true);
 //! if dcn_obs::enabled() {
@@ -37,6 +43,7 @@
 
 #![deny(missing_docs)]
 
+pub mod ordered;
 mod recorder;
 mod registry;
 mod sketch;

@@ -1,0 +1,499 @@
+//! Runtime lock-order witness: `ordered::Mutex<T>` / `ordered::Condvar`.
+//!
+//! Every lock in the serving and parameter-server planes is constructed
+//! with a dotted **site name** (`ordered::Mutex::new(value, "ps.state")`).
+//! When the witness is enabled, each acquisition records an edge from
+//! every site the current thread already holds to the site being
+//! acquired, building the process-wide acquisition DAG. The first edge
+//! that would close a cycle — or a re-acquisition of a site the thread
+//! already holds — panics immediately with both site names, so every
+//! existing concurrency test doubles as a deadlock detector. The observed
+//! DAG is exported via [`witness_edges`] / [`witness_sites`] so tests can
+//! assert it is consistent with the canonical order in
+//! `ci/lint/lock_order.txt` (the same file the static `lock-order` rule
+//! checks).
+//!
+//! The witness is **debug/test-only**: its bookkeeping is compiled only
+//! under `cfg(any(test, debug_assertions))` and, even then, does nothing
+//! until enabled via the `DCN_LOCK_WITNESS=1` environment variable or
+//! [`set_witness_enabled`]. In release builds the wrapper is a transparent
+//! shim over `std::sync::Mutex` — bitwise non-interfering. Poisoning is
+//! absorbed with the workspace idiom (`unwrap_or_else(PoisonError::into_inner)`)
+//! so panicking witness threads in tests cannot cascade.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{MutexGuard, PoisonError};
+
+/// Witness gate: 0 = unresolved, 1 = forced off, 2 = forced on,
+/// 3 = env said off, 4 = env said on.
+static WITNESS: AtomicU8 = AtomicU8::new(0);
+
+/// Whether witness bookkeeping is compiled into this build at all.
+/// Release binaries (no `debug_assertions`) always report `false`.
+pub fn witness_compiled() -> bool {
+    cfg!(any(test, debug_assertions))
+}
+
+/// Whether the witness is recording: compiled in AND enabled by
+/// `DCN_LOCK_WITNESS=1` or [`set_witness_enabled`].
+pub fn witness_enabled() -> bool {
+    if !witness_compiled() {
+        return false;
+    }
+    match WITNESS.load(Ordering::Relaxed) {
+        2 | 4 => true,
+        1 | 3 => false,
+        _ => {
+            let on = std::env::var("DCN_LOCK_WITNESS").map(|v| v == "1").unwrap_or(false);
+            WITNESS.store(if on { 4 } else { 3 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces the witness on or off for this process, overriding the
+/// environment. Tests use this to opt in without re-exec.
+pub fn set_witness_enabled(on: bool) {
+    WITNESS.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Clears a [`set_witness_enabled`] override so the environment variable
+/// is consulted again on the next acquisition.
+pub fn clear_witness_override() {
+    WITNESS.store(0, Ordering::Relaxed);
+}
+
+/// The acquisition edges observed so far, as `(held_site, acquired_site)`
+/// pairs in sorted order. Empty when the witness is compiled out or has
+/// recorded nothing.
+pub fn witness_edges() -> Vec<(String, String)> {
+    #[cfg(any(test, debug_assertions))]
+    {
+        return witness::edges();
+    }
+    #[allow(unreachable_code)]
+    Vec::new()
+}
+
+/// Every site the witness has seen acquired, sorted. Empty when compiled
+/// out.
+pub fn witness_sites() -> Vec<String> {
+    #[cfg(any(test, debug_assertions))]
+    {
+        return witness::sites();
+    }
+    #[allow(unreachable_code)]
+    Vec::new()
+}
+
+/// Clears the observed DAG (sites and edges). Tests call this to isolate
+/// their assertions from earlier acquisitions in the same process.
+pub fn reset_witness() {
+    #[cfg(any(test, debug_assertions))]
+    witness::reset();
+}
+
+#[cfg(any(test, debug_assertions))]
+mod witness {
+    //! Bookkeeping for the lock-order witness. Compiled only into
+    //! debug/test builds; the `panic!`s below are the whole point — a
+    //! would-be deadlock must fail loudly in CI, not hang.
+
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::{Mutex, PoisonError};
+
+    /// Process-wide acquisition graph: site → set of sites acquired while
+    /// it was held (edge held → acquired).
+    struct Graph {
+        sites: BTreeSet<&'static str>,
+        edges: BTreeMap<&'static str, BTreeSet<&'static str>>,
+    }
+
+    static GRAPH: Mutex<Graph> = Mutex::new(Graph {
+        sites: BTreeSet::new(),
+        edges: BTreeMap::new(),
+    });
+
+    thread_local! {
+        /// Sites this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Is `to` reachable from `from` through recorded edges?
+    fn reaches(g: &Graph, from: &str, to: &str) -> bool {
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(cur) = stack.pop() {
+            if cur == to {
+                return true;
+            }
+            if !seen.insert(cur.to_string()) {
+                continue;
+            }
+            if let Some(next) = g.edges.get(cur) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    fn die(msg: String) -> ! {
+        panic!("{msg}");
+    }
+
+    /// Records the acquisition of `site` by this thread: inserts an edge
+    /// from every held site, panicking if an edge would close a cycle or
+    /// the thread already holds `site`. Called BEFORE blocking on the
+    /// underlying mutex so a real deadlock becomes a panic, not a hang.
+    pub fn acquiring(site: &'static str) {
+        let held: Vec<&'static str> =
+            HELD.try_with(|h| h.borrow().clone()).unwrap_or_default();
+        if held.contains(&site) {
+            die(format!(
+                "lock-order witness: thread re-acquired `{site}` while already holding it \
+                 (held: {held:?})"
+            ));
+        }
+        let mut g = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+        g.sites.insert(site);
+        for from in held {
+            if reaches(&g, site, from) {
+                die(format!(
+                    "lock-order witness: acquiring `{site}` while holding `{from}` closes a \
+                     cycle — some thread previously acquired `{from}` (directly or transitively) \
+                     while holding `{site}`; observed edges: {:?}",
+                    edges_locked(&g)
+                ));
+            }
+            g.edges.entry(from).or_default().insert(site);
+        }
+        drop(g);
+        let _ = HELD.try_with(|h| h.borrow_mut().push(site));
+    }
+
+    /// Records the release of `site` (guards may drop out of acquisition
+    /// order, so remove by value at the last occurrence).
+    pub fn releasing(site: &'static str) {
+        let _ = HELD.try_with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|s| *s == site) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    fn edges_locked(g: &Graph) -> Vec<(String, String)> {
+        g.edges
+            .iter()
+            .flat_map(|(from, tos)| {
+                tos.iter().map(move |to| (from.to_string(), to.to_string()))
+            })
+            .collect()
+    }
+
+    pub fn edges() -> Vec<(String, String)> {
+        let g = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+        edges_locked(&g)
+    }
+
+    pub fn sites() -> Vec<String> {
+        let g = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+        g.sites.iter().map(|s| s.to_string()).collect()
+    }
+
+    pub fn reset() {
+        let mut g = GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+        g.sites.clear();
+        g.edges.clear();
+    }
+}
+
+/// A named mutex that reports acquisitions to the lock-order witness.
+/// Drop-in for `std::sync::Mutex` at the workspace's call shapes; the
+/// poison policy is baked in (poisoning is absorbed, never surfaced).
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    site: &'static str,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value` under the dotted witness site name `site`. Site names
+    /// must be unique per lock object class; the static `lock-order` rule
+    /// checks them against `ci/lint/lock_order.txt`.
+    pub const fn new(value: T, site: &'static str) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+            site,
+        }
+    }
+
+    /// Acquires the lock, recording the acquisition edge first (so a real
+    /// deadlock panics in witness mode instead of hanging).
+    pub fn lock(&self) -> Guard<'_, T> {
+        let witnessed = witness_enabled();
+        #[cfg(any(test, debug_assertions))]
+        if witnessed {
+            witness::acquiring(self.site);
+        }
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        Guard {
+            guard: std::mem::ManuallyDrop::new(guard),
+            site: self.site,
+            witnessed,
+        }
+    }
+
+    /// The witness site name this lock was constructed with.
+    pub fn site(&self) -> &'static str {
+        self.site
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ordered::Mutex")
+            .field("site", &self.site)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// A held [`Mutex`] guard; releases the witness record on drop.
+pub struct Guard<'a, T> {
+    guard: std::mem::ManuallyDrop<MutexGuard<'a, T>>,
+    site: &'static str,
+    witnessed: bool,
+}
+
+impl<T> Deref for Guard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for Guard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the inner guard is dropped exactly once, here; the field
+        // is never touched again after this.
+        unsafe { std::mem::ManuallyDrop::drop(&mut self.guard) };
+        if self.witnessed {
+            #[cfg(any(test, debug_assertions))]
+            witness::releasing(self.site);
+        }
+        let _ = self.site;
+    }
+}
+
+/// A condvar paired with [`Mutex`]: waiting releases the witness record
+/// while the thread is parked and re-records the acquisition on wake, so
+/// the DAG reflects what the thread actually holds.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// An empty condvar.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing `guard`'s lock while parked.
+    pub fn wait<'a, T>(&self, guard: Guard<'a, T>) -> Guard<'a, T> {
+        let (site, witnessed, inner) = guard.into_parts();
+        if witnessed {
+            #[cfg(any(test, debug_assertions))]
+            witness::releasing(site);
+        }
+        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        if witnessed {
+            #[cfg(any(test, debug_assertions))]
+            witness::acquiring(site);
+        }
+        Guard {
+            guard: std::mem::ManuallyDrop::new(inner),
+            site,
+            witnessed,
+        }
+    }
+
+    /// Blocks until notified or `dur` elapses; the bool reports timeout.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: Guard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (Guard<'a, T>, bool) {
+        let (site, witnessed, inner) = guard.into_parts();
+        if witnessed {
+            #[cfg(any(test, debug_assertions))]
+            witness::releasing(site);
+        }
+        let (inner, timeout) = self
+            .inner
+            .wait_timeout(inner, dur)
+            .unwrap_or_else(PoisonError::into_inner);
+        if witnessed {
+            #[cfg(any(test, debug_assertions))]
+            witness::acquiring(site);
+        }
+        (
+            Guard {
+                guard: std::mem::ManuallyDrop::new(inner),
+                site,
+                witnessed,
+            },
+            timeout.timed_out(),
+        )
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, T> Guard<'a, T> {
+    /// Decomposes the guard without running its `Drop` (the witness record
+    /// is NOT released — callers in [`Condvar`] manage it explicitly).
+    fn into_parts(self) -> (&'static str, bool, MutexGuard<'a, T>) {
+        let mut this = std::mem::ManuallyDrop::new(self);
+        let site = this.site;
+        let witnessed = this.witnessed;
+        // SAFETY: `self` is wrapped in ManuallyDrop so its Drop never runs;
+        // the inner guard is taken exactly once here.
+        let inner = unsafe { std::mem::ManuallyDrop::take(&mut this.guard) };
+        (site, witnessed, inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    /// The witness DAG is process-global, so tests that assert on it run
+    /// under one lock to avoid cross-test interference.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn consistent_nesting_records_edges_without_panicking() {
+        let _s = serial();
+        set_witness_enabled(true);
+        reset_witness();
+        let a = Mutex::new(1u32, "t.order.a");
+        let b = Mutex::new(2u32, "t.order.b");
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            assert_eq!(*ga + *gb, 3);
+        }
+        assert!(witness_sites().contains(&"t.order.a".to_string()));
+        assert!(witness_edges().contains(&("t.order.a".to_string(), "t.order.b".to_string())));
+        set_witness_enabled(false);
+    }
+
+    #[test]
+    fn reversed_order_panics_with_both_site_names() {
+        let _s = serial();
+        set_witness_enabled(true);
+        reset_witness();
+        let result = std::thread::spawn(|| {
+            static A: Mutex<u32> = Mutex::new(0, "t.cycle.a");
+            static B: Mutex<u32> = Mutex::new(0, "t.cycle.b");
+            {
+                let _ga = A.lock();
+                let _gb = B.lock();
+            }
+            let _gb = B.lock();
+            let _ga = A.lock(); // closes the cycle -> witness panics
+        })
+        .join();
+        set_witness_enabled(false);
+        let err = result.expect_err("reversed acquisition must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".to_string());
+        assert!(msg.contains("t.cycle.a") && msg.contains("t.cycle.b"), "{msg}");
+    }
+
+    #[test]
+    fn relocking_a_held_site_panics() {
+        let _s = serial();
+        set_witness_enabled(true);
+        reset_witness();
+        let result = std::thread::spawn(|| {
+            static M: Mutex<u32> = Mutex::new(0, "t.relock.m");
+            let _g1 = M.lock();
+            let _g2 = M.lock(); // self-deadlock -> witness panics before blocking
+        })
+        .join();
+        set_witness_enabled(false);
+        assert!(result.is_err(), "re-acquisition must panic, not hang");
+    }
+
+    #[test]
+    fn condvar_wait_timeout_round_trips_the_guard() {
+        let _s = serial();
+        set_witness_enabled(true);
+        reset_witness();
+        let m = Mutex::new(7u32, "t.cv.m");
+        let cv = Condvar::new();
+        let g = m.lock();
+        let (g, timed_out) = cv.wait_timeout(g, Duration::from_millis(10));
+        assert!(timed_out);
+        assert_eq!(*g, 7);
+        drop(g);
+        // After the wake the site is re-held then released; a fresh lock
+        // must succeed (no stale HELD entry).
+        let g2 = m.lock();
+        assert_eq!(*g2, 7);
+        set_witness_enabled(false);
+    }
+
+    #[test]
+    fn disabled_witness_records_nothing() {
+        let _s = serial();
+        set_witness_enabled(false);
+        reset_witness();
+        let a = Mutex::new(1u32, "t.off.a");
+        let b = Mutex::new(2u32, "t.off.b");
+        let _ga = a.lock();
+        let _gb = b.lock();
+        assert!(witness_sites().is_empty());
+        assert!(witness_edges().is_empty());
+    }
+
+    #[test]
+    fn compiled_flag_matches_build_profile() {
+        // Tests always build with cfg(test), so the witness is compiled in.
+        assert!(witness_compiled());
+    }
+}

@@ -16,13 +16,14 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dcn_core::{models, DcnError};
 use dcn_data::Dataset;
 use dcn_nn::Network;
+use dcn_obs::ordered;
 use dcn_tensor::Tensor;
 
 use crate::protocol::{
@@ -139,15 +140,9 @@ struct State {
 }
 
 struct Shared {
-    state: Mutex<State>,
-    cond: Condvar,
+    state: ordered::Mutex<State>,
+    cond: ordered::Condvar,
     done: AtomicBool,
-}
-
-impl Shared {
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
-    }
 }
 
 /// A server accepted on a bound socket, training in background threads.
@@ -184,7 +179,7 @@ impl RunningServer {
                 });
             }
         }
-        let mut st = self.shared.lock();
+        let mut st = self.shared.state.lock();
         match st.result.take() {
             Some(r) => r,
             None => Err(DcnError::Io {
@@ -284,32 +279,35 @@ pub fn serve(cfg: ServerConfig) -> Result<RunningServer, DcnError> {
     let mode = cfg.mode;
     let already_done = start_epoch >= cfg.epochs;
     let shared = Arc::new(Shared {
-        state: Mutex::new(State {
-            cfg,
-            net,
-            test: job.test,
-            store,
-            num_batches: nb,
-            start_epoch,
-            epoch: start_epoch,
-            batch: 0,
-            version,
-            epoch_losses,
-            loss_sum: 0.0,
-            assignment: None,
-            workers: BTreeMap::new(),
-            workers_lost: 0,
-            finished: false,
-            result: None,
-            failure: None,
-        }),
-        cond: Condvar::new(),
+        state: ordered::Mutex::new(
+            State {
+                cfg,
+                net,
+                test: job.test,
+                store,
+                num_batches: nb,
+                start_epoch,
+                epoch: start_epoch,
+                batch: 0,
+                version,
+                epoch_losses,
+                loss_sum: 0.0,
+                assignment: None,
+                workers: BTreeMap::new(),
+                workers_lost: 0,
+                finished: false,
+                result: None,
+                failure: None,
+            },
+            "ps.state",
+        ),
+        cond: ordered::Condvar::new(),
         done: AtomicBool::new(false),
     });
     if already_done {
         // A resumed job that already completed every epoch: finalize
         // immediately so `join` returns the checkpointed model's summary.
-        let mut st = shared.lock();
+        let mut st = shared.state.lock();
         finalize(&shared, &mut st);
     }
 
@@ -321,7 +319,7 @@ pub fn serve(cfg: ServerConfig) -> Result<RunningServer, DcnError> {
                 return;
             }
             std::thread::sleep(straggler / 4);
-            let mut st = shared.lock();
+            let mut st = shared.state.lock();
             if st.finished {
                 return;
             }
@@ -405,7 +403,7 @@ fn connection(shared: &Shared, stream: TcpStream) {
         }
     }
     if let Some((w, inc)) = who {
-        let mut st = shared.lock();
+        let mut st = shared.state.lock();
         // Only count a death if this connection's incarnation is still the
         // current one (a respawn may already have re-joined) and the run is
         // live — a worker that got Shutdown disconnects normally.
@@ -428,7 +426,7 @@ fn dispatch(shared: &Shared, msg: ClientMsg, who: &mut Option<(u32, u32)>) -> Se
             incarnation,
         } => {
             *who = Some((worker, incarnation));
-            let mut st = shared.lock();
+            let mut st = shared.state.lock();
             let now = Instant::now();
             let info = st.workers.entry(worker).or_insert(WorkerInfo {
                 incarnation,
@@ -466,7 +464,7 @@ fn dispatch(shared: &Shared, msg: ClientMsg, who: &mut Option<(u32, u32)>) -> Se
             grads,
         } => push_grads(shared, worker, epoch, batch, version, loss, &grads),
         ClientMsg::PullParams { worker } => {
-            let mut st = shared.lock();
+            let mut st = shared.state.lock();
             touch(&mut st, worker);
             ServerMsg::Params {
                 version: st.version,
@@ -474,7 +472,7 @@ fn dispatch(shared: &Shared, msg: ClientMsg, who: &mut Option<(u32, u32)>) -> Se
             }
         }
         ClientMsg::Heartbeat { worker } => {
-            let mut st = shared.lock();
+            let mut st = shared.state.lock();
             touch(&mut st, worker);
             if st.workers.get(&worker).is_some_and(|w| !w.alive) {
                 return evicted(&st, worker);
@@ -486,7 +484,7 @@ fn dispatch(shared: &Shared, msg: ClientMsg, who: &mut Option<(u32, u32)>) -> Se
             }
         }
         ClientMsg::Done { worker } => {
-            let mut st = shared.lock();
+            let mut st = shared.state.lock();
             touch(&mut st, worker);
             if let Some(info) = st.workers.get_mut(&worker) {
                 info.done = true;
@@ -515,7 +513,7 @@ fn evicted(st: &State, worker: u32) -> ServerMsg {
 /// BSP scheduler: hand out the pending batch, parking while another
 /// worker's assignment is outstanding and fresh.
 fn get_work(shared: &Shared, worker: u32) -> ServerMsg {
-    let mut st = shared.lock();
+    let mut st = shared.state.lock();
     touch(&mut st, worker);
     if st.cfg.mode != Mode::Bsp {
         return ServerMsg::Error {
@@ -536,10 +534,8 @@ fn get_work(shared: &Shared, worker: u32) -> ServerMsg {
                     // Fresh assignment elsewhere: park until it applies,
                     // dies, or goes stale.
                     let wait = straggler - age;
-                    let (guard, _) = shared
-                        .cond
-                        .wait_timeout(st, wait.min(Duration::from_millis(250)))
-                        .unwrap_or_else(PoisonError::into_inner);
+                    let (guard, _) =
+                        shared.cond.wait_timeout(st, wait.min(Duration::from_millis(250)));
                     st = guard;
                     continue;
                 }
@@ -571,7 +567,7 @@ fn push_grads(
     loss: f32,
     grads: &[Vec<f32>],
 ) -> ServerMsg {
-    let mut st = shared.lock();
+    let mut st = shared.state.lock();
     touch(&mut st, worker);
     if st.finished {
         return finished_reply(&st);
@@ -718,7 +714,7 @@ fn finish_epoch(st: &mut State) -> Result<(), DcnError> {
 
 /// Declares a worker dead, releases its BSP assignment, and (async)
 /// enforces the quorum.
-fn mark_dead(shared: &Shared, st: &mut MutexGuard<'_, State>, worker: u32, why: &str) {
+fn mark_dead(shared: &Shared, st: &mut ordered::Guard<'_, State>, worker: u32, why: &str) {
     let Some(info) = st.workers.get_mut(&worker) else {
         return;
     };
@@ -757,7 +753,7 @@ fn mark_dead(shared: &Shared, st: &mut MutexGuard<'_, State>, worker: u32, why: 
 }
 
 /// Async completion: every worker that is still alive has finished.
-fn maybe_finish_async(shared: &Shared, st: &mut MutexGuard<'_, State>) {
+fn maybe_finish_async(shared: &Shared, st: &mut ordered::Guard<'_, State>) {
     if st.finished || st.cfg.mode != Mode::Async {
         return;
     }
@@ -769,7 +765,7 @@ fn maybe_finish_async(shared: &Shared, st: &mut MutexGuard<'_, State>) {
 }
 
 /// Records a failed run and wakes everyone.
-fn fail(shared: &Shared, st: &mut MutexGuard<'_, State>, e: DcnError) {
+fn fail(shared: &Shared, st: &mut ordered::Guard<'_, State>, e: DcnError) {
     if st.finished {
         return;
     }
@@ -802,7 +798,7 @@ fn finished_reply(st: &State) -> ServerMsg {
 }
 
 /// Records a successful run: final accuracy, final model save, summary.
-fn finalize(shared: &Shared, st: &mut MutexGuard<'_, State>) {
+fn finalize(shared: &Shared, st: &mut ordered::Guard<'_, State>) {
     if st.finished {
         return;
     }

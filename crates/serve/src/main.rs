@@ -287,7 +287,7 @@ per-request vote budgets ride in the request frame itself (max votes,
 deadline, quorum) — see DESIGN.md §12 for the wire layout.
 
 exit codes: 0 ok, 2 configuration, 3 io, 4 corrupt state, 5 non-finite,
-6 overloaded, 1 other"
+6 overloaded, 7 peer lost, 8 quorum lost, 1 other"
         .to_string()
 }
 

@@ -15,9 +15,9 @@
 //! the consumer and filling the queue.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
 
 use dcn_core::DcnError;
+use dcn_obs::ordered;
 
 /// What admission control decided for an accepted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,8 +38,8 @@ struct Inner<T> {
 /// A bounded MPSC queue with watermark-based admission control. Producers
 /// are connection reader threads; the single consumer is the batcher.
 pub struct BoundedQueue<T> {
-    inner: Mutex<Inner<T>>,
-    ready: Condvar,
+    inner: ordered::Mutex<Inner<T>>,
+    ready: ordered::Condvar,
     capacity: usize,
     shed_mark: usize,
 }
@@ -50,12 +50,15 @@ impl<T> BoundedQueue<T> {
     /// are either full-service or rejected).
     pub fn new(capacity: usize, shed_mark: usize) -> Self {
         BoundedQueue {
-            inner: Mutex::new(Inner {
-                items: VecDeque::with_capacity(capacity.min(1024)),
-                closed: false,
-                paused: false,
-            }),
-            ready: Condvar::new(),
+            inner: ordered::Mutex::new(
+                Inner {
+                    items: VecDeque::with_capacity(capacity.min(1024)),
+                    closed: false,
+                    paused: false,
+                },
+                "serve.queue.inner",
+            ),
+            ready: ordered::Condvar::new(),
             capacity: capacity.max(1),
             shed_mark,
         }
@@ -73,10 +76,7 @@ impl<T> BoundedQueue<T> {
         &self,
         make: impl FnOnce(Admission) -> T,
     ) -> Result<Admission, DcnError> {
-        let mut inner = self
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut inner = self.inner.lock();
         if inner.closed {
             return Err(DcnError::Config(
                 "serving queue is closed (server shutting down)".to_string(),
@@ -109,10 +109,7 @@ impl<T> BoundedQueue<T> {
     /// then drains up to `max` items in FIFO order. An empty result means
     /// the queue is closed and fully drained.
     pub fn pop_batch(&self, max: usize) -> Vec<T> {
-        let mut inner = self
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut inner = self.inner.lock();
         loop {
             if !inner.paused && !inner.items.is_empty() {
                 let take = max.max(1).min(inner.items.len());
@@ -121,10 +118,7 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return Vec::new();
             }
-            inner = self
-                .ready
-                .wait(inner)
-                .unwrap_or_else(PoisonError::into_inner);
+            inner = self.ready.wait(inner);
         }
     }
 
@@ -133,20 +127,13 @@ impl<T> BoundedQueue<T> {
     /// running — the deterministic way to drive the queue to its watermarks
     /// in tests, and an operational drain valve.
     pub fn set_paused(&self, paused: bool) {
-        self.inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .paused = paused;
+        self.inner.lock().paused = paused;
         self.ready.notify_all();
     }
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .items
-            .len()
+        self.inner.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -168,10 +155,7 @@ impl<T> BoundedQueue<T> {
     /// once drained. Clears any pause so queued requests still get answered
     /// during shutdown.
     pub fn close(&self) {
-        let mut inner = self
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut inner = self.inner.lock();
         inner.closed = true;
         inner.paused = false;
         drop(inner);

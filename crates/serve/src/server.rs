@@ -31,7 +31,9 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+
+use dcn_obs::ordered;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -168,7 +170,7 @@ impl FlightState {
 /// The write half of a connection. All response writes go through
 /// [`Conn::send`] — the single fault-injection point for the write path.
 struct Conn {
-    stream: Mutex<TcpStream>,
+    stream: ordered::Mutex<TcpStream>,
     mode: WireMode,
 }
 
@@ -178,10 +180,7 @@ impl Conn {
     /// client cannot take down the batch.
     fn send(&self, resp: &Response) -> Result<(), DcnError> {
         let payload = encode_response(resp, self.mode)?;
-        let mut stream = self
-            .stream
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut stream = self.stream.lock();
         let injected = dcn_fault::maybe_io_error("serve.conn.write");
         injected
             .map_or_else(|| write_frame(&mut *stream, &payload, self.mode), Err)
@@ -200,7 +199,7 @@ pub struct Server {
     admin_addr: Option<SocketAddr>,
     queue: Arc<BoundedQueue<Job>>,
     shutdown: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: Arc<ordered::Mutex<Vec<TcpStream>>>,
     flight: Arc<FlightState>,
     acceptor: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
@@ -235,7 +234,7 @@ impl Server {
         })?;
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.shed_mark));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Mutex::new(Vec::new()));
+        let conns = Arc::new(ordered::Mutex::new(Vec::new(), "serve.conns"));
         let flight = Arc::new(FlightState::new(config.flight_dir.clone()));
 
         let (admin_addr, admin) = match &config.admin_addr {
@@ -323,10 +322,7 @@ impl Server {
         // Unblock the acceptor with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         // Unblock readers parked in read_frame.
-        let conns = self
-            .conns
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let conns = self.conns.lock();
         for c in conns.iter() {
             let _ = c.shutdown(std::net::Shutdown::Both);
         }
@@ -355,7 +351,7 @@ fn acceptor_loop(
     listener: &TcpListener,
     queue: &Arc<BoundedQueue<Job>>,
     shutdown: &Arc<AtomicBool>,
-    conns: &Arc<Mutex<Vec<TcpStream>>>,
+    conns: &Arc<ordered::Mutex<Vec<TcpStream>>>,
     mode: WireMode,
     flight: &Arc<FlightState>,
 ) {
@@ -376,10 +372,7 @@ fn acceptor_loop(
             dcn_obs::counter(names::SERVE_CONNECTIONS_TOTAL).inc();
         }
         if let Ok(registered) = stream.try_clone() {
-            conns
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push(registered);
+            conns.lock().push(registered);
         }
         let queue = Arc::clone(queue);
         let shutdown = Arc::clone(shutdown);
@@ -399,7 +392,7 @@ fn reader_loop(
 ) {
     let conn = match stream.try_clone() {
         Ok(write_half) => Arc::new(Conn {
-            stream: Mutex::new(write_half),
+            stream: ordered::Mutex::new(write_half, "serve.conn.stream"),
             mode,
         }),
         Err(_) => return,

@@ -40,6 +40,47 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
     PLAN_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// The canonical lock-acquisition order from `ci/lint/lock_order.txt` —
+/// the same file the static `lock-order` rule enforces.
+fn canonical_lock_order() -> Vec<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/lint/lock_order.txt");
+    std::fs::read_to_string(path)
+        .expect("canonical lock-order file")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Asserts the runtime witness's observed acquisition DAG is consistent
+/// with the canonical order: every site declared, every edge forward.
+fn assert_witness_matches_canon() {
+    if !dcn_obs::ordered::witness_compiled() {
+        return;
+    }
+    let canon = canonical_lock_order();
+    let sites = dcn_obs::ordered::witness_sites();
+    assert!(
+        sites.contains(&"ps.state".to_string()),
+        "witness never saw the coordinator lock: {sites:?}"
+    );
+    for site in &sites {
+        assert!(
+            canon.contains(site),
+            "witnessed site {site:?} is not declared in ci/lint/lock_order.txt"
+        );
+    }
+    for (from, to) in dcn_obs::ordered::witness_edges() {
+        let pf = canon.iter().position(|s| *s == from);
+        let pt = canon.iter().position(|s| *s == to);
+        assert!(
+            pf < pt,
+            "observed acquisition {from:?} -> {to:?} runs against the canonical order"
+        );
+    }
+}
+
 fn temp_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!(
         "dcn_ps_test_{tag}_{}_{:?}",
@@ -125,6 +166,12 @@ fn bsp_final_model_is_bitwise_identical_to_single_process() {
 fn bsp_survives_worker_death_and_respawn_bitwise() {
     let _guard = lock();
     dcn_fault::set_plan(None);
+    // This leg runs under the runtime lock-order witness: worker death,
+    // respawn, and the straggler sweep all cross the coordinator lock,
+    // and the observed acquisitions must stay consistent with the
+    // canonical order the static `lock-order` rule enforces.
+    dcn_obs::ordered::reset_witness();
+    dcn_obs::ordered::set_witness_enabled(true);
     let reference = reference_model_json();
     let out = temp_path("death_model");
     let cfg = ServerConfig {
@@ -173,6 +220,8 @@ fn bsp_survives_worker_death_and_respawn_bitwise() {
         "worker death + respawn changed the BSP result"
     );
     assert!(summary.workers_lost >= 1, "the crash was never noticed");
+    assert_witness_matches_canon();
+    dcn_obs::ordered::clear_witness_override();
 }
 
 #[test]

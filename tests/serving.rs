@@ -73,6 +73,48 @@ fn assert_matches_serial(dcn: &Dcn, req: &Request, resp: &Response) {
     }
 }
 
+/// The canonical lock-acquisition order from `ci/lint/lock_order.txt` —
+/// the same file the static `lock-order` rule enforces.
+fn canonical_lock_order() -> Vec<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/lint/lock_order.txt");
+    std::fs::read_to_string(path)
+        .expect("canonical lock-order file")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Asserts the runtime witness's observed acquisition DAG is consistent
+/// with the canonical order: every site declared, every edge forward.
+fn assert_witness_matches_canon(min_sites: usize) {
+    if !dcn_obs::ordered::witness_compiled() {
+        return;
+    }
+    let canon = canonical_lock_order();
+    let sites = dcn_obs::ordered::witness_sites();
+    assert!(
+        sites.len() >= min_sites,
+        "witness saw {} sites, expected at least {min_sites}: {sites:?}",
+        sites.len()
+    );
+    for site in &sites {
+        assert!(
+            canon.contains(site),
+            "witnessed site {site:?} is not declared in ci/lint/lock_order.txt"
+        );
+    }
+    for (from, to) in dcn_obs::ordered::witness_edges() {
+        let pf = canon.iter().position(|s| *s == from);
+        let pt = canon.iter().position(|s| *s == to);
+        assert!(
+            pf < pt,
+            "observed acquisition {from:?} -> {to:?} runs against the canonical order"
+        );
+    }
+}
+
 /// An input the detector flags (low-margin logits), found by shrinking a
 /// blob point toward the box center until the serial verdict is Corrected.
 fn flagged_input(dcn: &Dcn) -> Tensor {
@@ -266,6 +308,12 @@ fn stalled_client_cannot_stall_the_rest_past_their_deadline() {
 #[test]
 fn backpressure_walks_the_qos_ladder() {
     with_plan(None, || {
+        // This leg runs under the runtime lock-order witness: the
+        // reader/batcher/writer threads exercise every serving-plane lock,
+        // and the observed acquisition DAG must match the canonical file
+        // the static `lock-order` rule enforces.
+        dcn_obs::ordered::reset_witness();
+        dcn_obs::ordered::set_witness_enabled(true);
         let dcn = Arc::new(demo_dcn(11, 24).expect("demo dcn"));
         let server = start_server(
             Arc::clone(&dcn),
@@ -355,6 +403,10 @@ fn backpressure_walks_the_qos_ladder() {
             }
         }
         server.shutdown();
+        // All three serving locks were exercised: queue admission, the
+        // connection table, and at least one per-connection write half.
+        assert_witness_matches_canon(3);
+        dcn_obs::ordered::clear_witness_override();
     });
 }
 
